@@ -1,0 +1,59 @@
+"""Ablation: queue-occupancy features on/off (§V).
+
+The paper notes their 100 Gbps testbed left queue occupancy nearly
+untouched, yet Table V still ranks occupancy statistics among the top
+features.  This ablation drops the three queue columns from the INT
+feature set and re-trains: on our 1 Gbps bottleneck the loss should be
+small (occupancy is informative but not load-bearing), quantifying how
+much the INT-only features actually buy.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.datasets import cached_dataset
+from repro.features import extract_features
+from repro.ml import (
+    RandomForestClassifier,
+    StandardScaler,
+    classification_report,
+    train_test_split,
+)
+
+QUEUE_COLS = ("queue_occupancy", "queue_occupancy_avg", "queue_occupancy_std")
+
+
+def _fit_score(X, y, seed=0):
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.1, seed=seed)
+    sc = StandardScaler().fit(Xtr)
+    rf = RandomForestClassifier(n_estimators=20, max_depth=14,
+                                max_samples=30000, seed=seed)
+    rf.fit(sc.transform(Xtr), ytr)
+    return classification_report(yte, rf.predict(sc.transform(Xte)))
+
+
+def test_ablation_queue_features(benchmark, dataset):
+    fm = extract_features(dataset.int_records, source="int")
+    keep = [i for i, n in enumerate(fm.names) if n not in QUEUE_COLS]
+
+    def run():
+        full = _fit_score(fm.X, dataset.int_labels)
+        stripped = _fit_score(fm.X[:, keep], dataset.int_labels)
+        return full, stripped
+
+    full, stripped = benchmark(run)
+    print("\n" + render_table(
+        "Ablation: queue-occupancy features",
+        ("Feature set", "Accuracy", "Recall", "Precision", "F1"),
+        [
+            ("all 15 INT features", full["accuracy"], full["recall"],
+             full["precision"], full["f1"]),
+            ("without queue occupancy (12)", stripped["accuracy"],
+             stripped["recall"], stripped["precision"], stripped["f1"]),
+        ],
+        note="mirrors §V: occupancy carries signal but the detector does "
+        "not depend on it at these utilizations",
+    ))
+    assert full["accuracy"] > 0.99
+    # removing occupancy must not collapse the detector (paper §V)
+    assert stripped["accuracy"] > full["accuracy"] - 0.02

@@ -1,0 +1,58 @@
+"""Ablation: bidirectional vs directional Flow ID (§III-2).
+
+The paper defines the Flow ID as the literal five-tuple; the IDS
+pipelines it builds on aggregate both directions into one flow (see
+repro.features.keys).  This ablation extracts features both ways and
+compares detection: direction-merging pairs probes with their responses
+and requests with their data, enriching the flow state each update sees.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.datasets import cached_dataset
+from repro.features import extract_features
+from repro.ml import (
+    RandomForestClassifier,
+    StandardScaler,
+    classification_report,
+    train_test_split,
+)
+
+
+def _score(fm, labels, seed=0):
+    Xtr, Xte, ytr, yte = train_test_split(fm.X, labels, test_size=0.1, seed=seed)
+    sc = StandardScaler().fit(Xtr)
+    rf = RandomForestClassifier(n_estimators=20, max_depth=14,
+                                max_samples=30000, seed=seed)
+    rf.fit(sc.transform(Xtr), ytr)
+    return classification_report(yte, rf.predict(sc.transform(Xte)))
+
+
+def test_ablation_flow_key(benchmark, dataset):
+    def run():
+        bidi = extract_features(dataset.int_records, source="int",
+                                directional=False)
+        dire = extract_features(dataset.int_records, source="int",
+                                directional=True)
+        return (
+            bidi.n_flows, dire.n_flows,
+            _score(bidi, dataset.int_labels),
+            _score(dire, dataset.int_labels),
+        )
+
+    n_bidi, n_dire, rep_bidi, rep_dire = benchmark(run)
+    print("\n" + render_table(
+        "Ablation: flow-key directionality",
+        ("Key", "flows", "Accuracy", "Recall", "Precision"),
+        [
+            ("bidirectional (default)", n_bidi, rep_bidi["accuracy"],
+             rep_bidi["recall"], rep_bidi["precision"]),
+            ("directional five-tuple", n_dire, rep_dire["accuracy"],
+             rep_dire["recall"], rep_dire["precision"]),
+        ],
+        note="directional keys split every conversation in two, so the "
+        "flow count rises and each record carries less context",
+    ))
+    assert n_dire > n_bidi
+    assert rep_bidi["accuracy"] > 0.99

@@ -1,0 +1,61 @@
+"""Ablation: re-enabling the hop-latency feature the paper dropped.
+
+Table II note: hop latency was collected but excluded because the
+authors "were not able to retrieve it on the same scale for all flow
+types".  Our simulator retrieves it consistently, so we can ask what the
+paper left on the table: train with and without the 16th feature and
+compare.  Expected: negligible — at low utilization hop latency is
+serialization-dominated and mostly mirrors packet size.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.datasets import cached_dataset
+from repro.features import extract_features
+from repro.ml import (
+    RandomForestClassifier,
+    StandardScaler,
+    classification_report,
+    train_test_split,
+)
+
+
+def _score(X, y, seed=0):
+    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.1, seed=seed)
+    sc = StandardScaler().fit(Xtr)
+    rf = RandomForestClassifier(n_estimators=20, max_depth=14,
+                                max_samples=30000, seed=seed)
+    rf.fit(sc.transform(Xtr), ytr)
+    return classification_report(yte, rf.predict(sc.transform(Xte))), rf
+
+
+def test_ablation_hop_latency(benchmark, dataset):
+    def run():
+        base = extract_features(dataset.int_records, source="int")
+        with_hl = extract_features(dataset.int_records, source="int",
+                                   include_hop_latency=True)
+        rep_base, _ = _score(base.X, dataset.int_labels)
+        rep_hl, rf_hl = _score(with_hl.X, dataset.int_labels)
+        hl_rank = int(
+            np.argsort(rf_hl.feature_importances_)[::-1].tolist().index(
+                with_hl.names.index("hop_latency")
+            )
+        )
+        return rep_base, rep_hl, hl_rank
+
+    rep_base, rep_hl, hl_rank = benchmark(run)
+    print("\n" + render_table(
+        "Ablation: hop-latency feature (dropped by the paper)",
+        ("Feature set", "Accuracy", "Recall", "Precision", "F1"),
+        [
+            ("15 features (paper default)", rep_base["accuracy"],
+             rep_base["recall"], rep_base["precision"], rep_base["f1"]),
+            ("16 features (+hop latency)", rep_hl["accuracy"],
+             rep_hl["recall"], rep_hl["precision"], rep_hl["f1"]),
+        ],
+        note=f"hop latency ranks #{hl_rank + 1} of 16 by RF importance — "
+        "the paper lost little by dropping it",
+    ))
+    # dropping hop latency was harmless (paper's implicit claim)
+    assert abs(rep_base["accuracy"] - rep_hl["accuracy"]) < 0.01

@@ -1,0 +1,90 @@
+"""Ablation: paper-faithful database scan vs indexed poll (§III-3, §V).
+
+The paper's CentralServer 'continuously communicates with the database
+to check whether there is an update in the records' — an O(resident
+flows) scan per cycle.  The obvious production fix is an indexed
+dirty-set.  This bench runs the live mechanism both ways on a
+many-flow stream and compares the *database work* (records touched per
+poll — deterministic, unlike wall-clock latency) and verifies the
+detection outcome is identical.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.core import AutomatedDDoSDetector, pretrain
+from repro.features import extract_features
+from repro.int_telemetry import REPORT_DTYPE
+from repro.ml import GaussianNB, RandomForestClassifier
+
+N_FLOWS = 2000
+PKTS = 4
+
+
+def _records(seed=0):
+    """A stream with many concurrent flows (the scan cost driver)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    t = 0
+    for p in range(PKTS):
+        for f in range(N_FLOWS):
+            t += 20_000
+            attack = f % 2 == 0
+            rows.append((
+                t, (0x01000000 if attack else 0xAC100000) + f, 0x0A0A0050,
+                1000 + f, 80, 6, 2, 60 if attack else 1200,
+                t % 2**32, t % 2**32, 0, 500, 3,
+            ))
+    rec = np.zeros(len(rows), dtype=REPORT_DTYPE)
+    for i, r in enumerate(rows):
+        rec[i] = r
+    y = (rec["length"] < 200).astype(np.int64)
+    return rec, y
+
+
+def test_ablation_poll_strategy(benchmark):
+    rec, y = _records()
+    fm = extract_features(rec, source="int")
+    bundle = pretrain(fm.X, y, fm.names, panel={
+        "rf": lambda: RandomForestClassifier(n_estimators=5, max_depth=8, seed=0),
+        "gnb": lambda: GaussianNB(),
+    })
+
+    def run_both():
+        out = {}
+        for mode, fast in (("scan (paper)", False), ("indexed", True)):
+            det = AutomatedDDoSDetector(bundle, fast_poll=fast)
+            db = det.run_stream(rec, poll_every=64, cycle_budget=128)
+            decisions = [e.final_decision for e in db.predictions]
+            out[mode] = {
+                "decisions": decisions,
+                "records_scanned": db.records_scanned,
+                "polls": db.polls,
+                "avg_latency_ms": float(np.mean(db.latencies_ns())) / 1e6,
+            }
+        return out
+
+    out = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = [
+        (mode, r["polls"], r["records_scanned"],
+         round(r["records_scanned"] / max(r["polls"], 1)),
+         round(r["avg_latency_ms"], 2))
+        for mode, r in out.items()
+    ]
+    print("\n" + render_table(
+        "Ablation: database poll strategy",
+        ("Poll", "polls", "records scanned", "scanned/poll",
+         "avg latency (ms)"),
+        rows,
+        note=f"{N_FLOWS} concurrent flows; the paper-faithful poll walks "
+        "every resident record each cycle — the §V scaling bottleneck",
+    ))
+
+    scan = out["scan (paper)"]
+    indexed = out["indexed"]
+    # identical detection outcomes: poll strategy is purely operational
+    assert scan["decisions"] == indexed["decisions"]
+    # the scan's database work grows with the resident-flow count...
+    assert scan["records_scanned"] > N_FLOWS * 10
+    # ...while the indexed poll touches no records at all during polls
+    assert indexed["records_scanned"] == 0

@@ -1,0 +1,66 @@
+"""Baseline comparison: entropy anomaly detection vs the paper's ML.
+
+Runs the classic training-free entropy detector over the full campaign
+trace and scores its episode coverage against the ML pipeline's
+(Fig 5-style).  Expected shape: entropy catches the volumetric episodes
+(floods, and the scans via destination-port entropy) without any
+training, but is structurally blind to SlowLoris — the attack class that
+motivates flow-state + learning on top of per-packet telemetry.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.baselines import EntropyDetector
+from repro.traffic import AttackType
+
+
+def test_baseline_entropy_coverage(benchmark, dataset, offline):
+    det = EntropyDetector(window_ns=100_000_000, z_threshold=4.0)
+
+    def run():
+        res = det.detect(dataset.trace.records)
+        windows = [(s, e) for _t, s, e in dataset.schedule.sim_windows()]
+        covered = det.episode_coverage(res, windows)
+        return res, covered
+
+    res, covered = benchmark(run)
+
+    # ML (RF on INT) episode coverage from the offline study
+    ts = offline.int_res.ts
+    pred = offline.int_res.rf_full_predictions
+    rows = []
+    per_type = {}
+    for (atype, s, e), hit in zip(dataset.schedule.sim_windows(), covered):
+        mask = (ts >= s) & (ts < e)
+        ml_hit = bool(pred[mask].mean() > 0.5) if mask.any() else False
+        name = AttackType(atype).display
+        per_type.setdefault(name, []).append((hit, ml_hit))
+        rows.append((name, f"{s / 1e9:.1f}s",
+                     "yes" if hit else "NO", "yes" if ml_hit else "NO"))
+    # benign false-alarm rate outside all episodes
+    starts = res["window_starts"]
+    outside = np.ones(starts.size, dtype=bool)
+    for _t, s, e in dataset.schedule.sim_windows():
+        outside &= ~((starts >= s - det.window_ns) & (starts < e))
+    far = float(res["alarms"][outside & (res["counts"] >= det.min_packets)].mean())
+    rows.append(("benign FAR", "-", f"{far:.2%}", "-"))
+
+    print("\n" + render_table(
+        "Baseline: entropy anomaly detector vs ML (episode coverage)",
+        ("Episode", "start", "entropy detector", "RF on INT"),
+        rows,
+        note="entropy needs no training but misses single-source scans "
+        "(normalized entropies barely move) and is structurally blind to "
+        "low-and-slow attacks; the ML detector covers everything",
+    ))
+
+    # volumetric episodes covered without any training
+    assert all(h for h, _ in per_type["SYN Flood"])
+    # structural blind spots of the distribution view: single-source
+    # scans barely move *normalized* entropies, and low-and-slow
+    # SlowLoris moves nothing — both need the flow-state ML detector
+    assert not any(h for h, _ in per_type["SlowLoris"])
+    assert all(ml for _, ml in per_type["SlowLoris"])
+    assert all(ml for _, ml in per_type["SYN Scan"])
+    assert far < 0.15

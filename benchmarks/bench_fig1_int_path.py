@@ -1,0 +1,12 @@
+"""Regenerates Fig 1: the INT source/transit/sink collection path."""
+
+from repro.analysis.report import exp_fig1
+
+
+def test_fig1_int_path(benchmark):
+    out = benchmark(exp_fig1)
+    print("\n" + out)
+    # one metadata record per hop, in path order, ending at the collector
+    assert out.index("switch 1:") < out.index("switch 2:") < out.index("switch 3:")
+    assert "sink report -> collector" in out
+    assert "hops=3" in out

@@ -1,0 +1,12 @@
+"""Regenerates Fig 2: the four-module mechanism data flow."""
+
+from repro.analysis.report import exp_fig2
+
+
+def test_fig2_architecture(benchmark, testbed):
+    out = benchmark(exp_fig2)
+    print("\n" + out)
+    # the eight numbered steps of the paper's figure, in order
+    for step in range(1, 9):
+        assert f"({step})" in out
+    assert "'mlp'" in out and "'rf'" in out and "'gnb'" in out

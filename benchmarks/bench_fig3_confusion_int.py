@@ -1,0 +1,19 @@
+"""Regenerates Fig 3: RF confusion matrix on INT data.
+
+Paper shape: errors are a vanishing fraction of the test set (paper:
+186 + 126 misclassified out of ~1.8 M packets).
+"""
+
+import numpy as np
+
+from repro.analysis.report import exp_fig3
+
+
+def test_fig3_confusion_int(benchmark, offline):
+    out = benchmark(exp_fig3)
+    print("\n" + out)
+    cm = offline.int_res.cm_rf_split
+    total = cm.sum()
+    errors = total - np.trace(cm)
+    assert errors / total < 0.01  # paper error rate ~2e-4
+    assert cm[1, 1] > 0  # attacks present and detected

@@ -1,0 +1,20 @@
+"""Regenerates Fig 4: RF confusion matrix on sFlow data.
+
+Paper shape: near-perfect on sampled data, with at most a handful of
+errors (paper: 4 attack packets misclassified, no benign errors).
+"""
+
+import numpy as np
+
+from repro.analysis.report import exp_fig4
+
+
+def test_fig4_confusion_sflow(benchmark, offline):
+    out = benchmark(exp_fig4)
+    print("\n" + out)
+    cm = offline.sflow_res.cm_rf_split
+    total = cm.sum()
+    # the sampled test set is small; errors must stay a small handful
+    errors = total - np.trace(cm)
+    assert errors <= max(4, 0.1 * total)
+    assert cm[1, 1] > 0

@@ -1,0 +1,34 @@
+"""Regenerates Fig 5: true labels vs RF predictions on the timeline.
+
+Paper shape asserted quantitatively:
+ * INT predictions flag every attack episode (detection coverage);
+ * sFlow records NOTHING during the SlowLoris episodes — the sampling
+   blind spot that is the figure's headline.
+"""
+
+import numpy as np
+
+from repro.analysis.report import exp_fig5
+from repro.traffic import AttackType
+
+
+def test_fig5_timeline(benchmark, offline):
+    out = benchmark(exp_fig5)
+    print("\n" + out)
+    ds = offline.dataset
+
+    # INT episode coverage: within every episode the RF must flag a
+    # meaningful share of monitored packets.
+    ts = offline.int_res.ts
+    pred = offline.int_res.rf_full_predictions
+    for atype, s, e in ds.schedule.sim_windows():
+        mask = (ts >= s) & (ts < e)
+        assert mask.any(), f"no INT records in {AttackType(atype).display} episode"
+        assert pred[mask].mean() > 0.5, AttackType(atype).display
+
+    # sFlow blindness to SlowLoris (the paper's missing-data finding).
+    sf_ts = offline.sflow_res.ts
+    for atype, s, e in ds.schedule.sim_windows():
+        if atype == AttackType.SLOWLORIS:
+            assert ((sf_ts >= s) & (sf_ts < e)).sum() == 0
+    assert "sFlow samples inside the two SlowLoris episodes: 0" in out

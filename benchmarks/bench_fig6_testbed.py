@@ -1,0 +1,12 @@
+"""Regenerates Fig 6: the physical testbed topology."""
+
+from repro.analysis.report import exp_fig6
+
+
+def test_fig6_testbed(benchmark):
+    out = benchmark(exp_fig6)
+    print("\n" + out)
+    for port in ("port 1", "port 2", "port 3", "port 4", "port 5"):
+        assert port in out
+    assert "source_agent" in out and "target_agent" in out
+    assert "collector" in out

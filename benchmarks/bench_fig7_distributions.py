@@ -1,0 +1,26 @@
+"""Regenerates Fig 7: where live misclassifications cluster.
+
+Paper shape asserted: SlowLoris errors happen "exclusively at the
+beginning of flows" — the first quarter of the replay holds the large
+majority of its misclassifications; benign errors are rare.
+"""
+
+import numpy as np
+
+from repro.analysis.report import exp_fig7
+
+
+def test_fig7_distributions(benchmark, testbed):
+    out = benchmark(exp_fig7)
+    print("\n" + out)
+
+    sl = testbed.decisions["SlowLoris"]
+    wrong = np.flatnonzero(sl != testbed.true_labels["SlowLoris"])
+    assert wrong.size > 0  # zero-day: some early errors must exist
+    # concentration at the start (paper Fig 7b)
+    first_quarter = (wrong < sl.size / 4).mean()
+    assert first_quarter > 0.8, f"only {first_quarter:.0%} of errors early"
+
+    ben = testbed.decisions["Benign"]
+    ben_err = (ben != testbed.true_labels["Benign"]).mean()
+    assert ben_err < 0.06  # paper: 5.8% benign error

@@ -1,0 +1,108 @@
+"""Performance benchmarks: the hot paths of the pipeline.
+
+Not paper reproductions — these keep regressions measurable for the four
+computational cores: the discrete-event engine, bulk feature extraction,
+model training/inference, and the live detector's per-record throughput
+(the paper's §V scaling concern in micro form).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AutomatedDDoSDetector, pretrain
+from repro.dataplane import EventQueue
+from repro.features import extract_features
+from repro.int_telemetry import REPORT_DTYPE
+from repro.ml import GaussianNB, RandomForestClassifier, StandardScaler
+
+
+def test_perf_event_engine(benchmark):
+    """Schedule + drain 100k chained events."""
+
+    def run():
+        eq = EventQueue()
+        remaining = [100_000]
+
+        def tick(_):
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                eq.schedule_in(10, tick)
+
+        eq.schedule(0, tick)
+        eq.run()
+        return eq.processed
+
+    processed = benchmark(run)
+    assert processed == 100_000
+
+
+@pytest.fixture(scope="module")
+def synth_records():
+    rng = np.random.default_rng(0)
+    n = 100_000
+    rec = np.zeros(n, dtype=REPORT_DTYPE)
+    ts = np.sort(rng.integers(0, 10**10, size=n))
+    rec["ts_report"] = ts
+    rec["ingress_ts"] = ts % 2**32
+    rec["egress_ts"] = ts % 2**32
+    rec["src_ip"] = rng.integers(1, 5000, size=n)
+    rec["dst_ip"] = 42
+    rec["src_port"] = rng.integers(1024, 65535, size=n)
+    rec["dst_port"] = 80
+    rec["protocol"] = 6
+    rec["length"] = rng.integers(40, 1500, size=n)
+    return rec
+
+
+def test_perf_feature_extraction(benchmark, synth_records):
+    """Vectorized per-packet features over 100k records."""
+    fm = benchmark(extract_features, synth_records, "int")
+    assert fm.X.shape == (100_000, 15)
+    rate = 100_000 / benchmark.stats["mean"]
+    print(f"\nextraction throughput: {rate / 1e6:.2f} M records/s")
+
+
+def test_perf_rf_train(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(50_000, 15))
+    y = (X[:, 0] + X[:, 3] > 0).astype(int)
+
+    def run():
+        return RandomForestClassifier(
+            n_estimators=10, max_depth=10, max_samples=20000, seed=0
+        ).fit(X, y)
+
+    model = benchmark(run)
+    assert model.score(X[:5000], y[:5000]) > 0.9
+
+
+def test_perf_rf_predict(benchmark):
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(20_000, 15))
+    y = (X[:, 0] > 0).astype(int)
+    model = RandomForestClassifier(n_estimators=10, max_depth=10, seed=0).fit(X, y)
+    Xq = rng.normal(size=(100_000, 15))
+    preds = benchmark(model.predict, Xq)
+    assert preds.shape == (100_000,)
+
+
+def test_perf_detector_stream(benchmark, synth_records):
+    """Live mechanism throughput on 20k records (records/second)."""
+    sub = synth_records[:20_000]
+    fm = extract_features(sub, source="int")
+    y = (fm.X[:, fm.names.index("packet_size")] < 200).astype(int)
+    bundle = pretrain(
+        fm.X, y, fm.names,
+        panel={"rf": lambda: RandomForestClassifier(n_estimators=5, max_depth=8, seed=0),
+               "gnb": lambda: GaussianNB()},
+    )
+
+    def run():
+        det = AutomatedDDoSDetector(bundle, fast_poll=True)
+        db = det.run_stream(sub, poll_every=128, cycle_budget=256)
+        return len(db.predictions)
+
+    n = benchmark(run)
+    assert n == 20_000
+    rate = n / benchmark.stats["mean"]
+    print(f"\ndetector throughput: {rate:,.0f} records/s")

@@ -1,0 +1,14 @@
+"""Regenerates Table I: the attack-episode schedule."""
+
+from repro.analysis.report import exp_table1
+from repro.traffic import AttackType, table1_schedule
+
+
+def test_table1_schedule(benchmark):
+    out = benchmark(exp_table1)
+    print("\n" + out)
+    # paper shape: 11 episodes, the documented type mix, verbatim times
+    eps = table1_schedule()
+    assert len(eps) == 11
+    assert sum(e.attack_type == AttackType.SYN_FLOOD for e in eps) == 5
+    assert "13:24:02" in out and "20:31:12" in out

@@ -1,0 +1,16 @@
+"""Regenerates Table II: feature availability, INT vs sFlow."""
+
+from repro.analysis.report import exp_table2
+from repro.features import feature_names
+
+
+def test_table2_features(benchmark):
+    out = benchmark(exp_table2)
+    print("\n" + out)
+    # paper shape: INT's 15-feature set; sFlow lacks the queue metrics
+    assert len(feature_names("int")) == 15
+    assert len(feature_names("sflow")) == 12
+    assert "queue_occupancy" in out
+    for line in out.splitlines():
+        if line.startswith("queue_occupancy "):
+            assert "yes" in line and "no" in line

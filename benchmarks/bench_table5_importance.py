@@ -1,0 +1,37 @@
+"""Regenerates Table V: top-5 features per model (INT data).
+
+Paper shape asserted: packet-size and inter-arrival variants dominate
+the top-5 lists, and some feature families recur across several models.
+"""
+
+import numpy as np
+
+from repro.analysis.report import exp_table5, top_k
+
+
+def test_table5_importance(benchmark, offline):
+    out = benchmark(exp_table5)
+    print("\n" + out)
+
+    names = offline.int_res.fm.names
+    families = {"packet_size", "inter_arrival", "queue_occupancy",
+                "protocol", "n_packets", "packets_per_second",
+                "bytes_per_second"}
+
+    def family(feat):
+        for f in sorted(families, key=len, reverse=True):
+            if feat.startswith(f):
+                return f
+        return feat
+
+    top_families = set()
+    for model, imp in offline.int_res.importances.items():
+        top = [name for name, _ in top_k(imp, names, 5)]
+        top_families |= {family(t) for t in top}
+        # size or timing features appear in every model's top-5 (paper)
+        assert any(
+            t.startswith("packet_size") or t.startswith("inter_arrival")
+            for t in top
+        ), (model, top)
+    # multiple feature families matter, not just one
+    assert len(top_families) >= 2

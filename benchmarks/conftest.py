@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifacts (campaign dataset, offline study, testbed study)
+are process-cached inside :mod:`repro.analysis.experiments`, so every
+bench file can ask for them without paying the build more than once per
+pytest session.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see the regenerated tables and figures.
+"""
+
+import pytest
+
+from repro.analysis import run_offline_study, run_testbed_study
+from repro.datasets import cached_dataset
+
+PROFILE = "small"
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return cached_dataset(PROFILE)
+
+
+@pytest.fixture(scope="session")
+def offline():
+    return run_offline_study(PROFILE, seed=0)
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    return run_testbed_study(PROFILE, seed=0)

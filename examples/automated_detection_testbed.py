@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""The live automated DDoS detection mechanism on the Fig 6 testbed.
+
+Reproduces the paper's §IV-C experiment flow:
+
+1. pre-train the MLP/RF/GNB panel on a testbed replay of benign + three
+   attack types (SlowLoris deliberately left out — it plays the zero-day
+   role);
+2. replay ~2500 packets per flow type through the single-switch INT
+   testbed;
+3. run the four-module mechanism live (collection → processor → database
+   ⇄ central server ⇄ prediction, 2-of-3 vote, last-3 decision window);
+4. print the Table VI-style scorecard with real wall-clock prediction
+   latencies.
+
+Run:  python examples/automated_detection_testbed.py
+"""
+
+from repro.analysis import run_testbed_study
+from repro.analysis.report import exp_fig7, exp_table6
+
+print("pre-training panel and replaying five flow types (~30 s)...\n")
+study = run_testbed_study("small", seed=0)
+
+print(exp_table6())
+print()
+print(exp_fig7())
+print()
+print(
+    "Note the SlowLoris row: the panel never saw a SlowLoris flow during "
+    "training,\nyet the ensemble flags it — and its misclassifications "
+    "cluster at flow starts,\nwhere a trickling connection is still "
+    "indistinguishable from a fresh handshake\n(the paper's Fig 7b "
+    "observation)."
+)

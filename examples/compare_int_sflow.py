@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""INT vs sFlow head-to-head (the paper's §IV-B study, condensed).
+
+Builds the full synthetic AmLight campaign — six compressed days of web
+traffic with the eleven Table I attack episodes — captures it with both
+INT (every packet) and sFlow (1:512 sampling), trains the same model on
+each capture, and prints the comparison, including the headline sampling
+pathology: sFlow records nothing at all during the SlowLoris episodes.
+
+Run:  python examples/compare_int_sflow.py        (~1 min)
+      python examples/compare_int_sflow.py tiny   (seconds, noisier)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.datasets import cached_dataset
+from repro.features import extract_features
+from repro.ml import (
+    RandomForestClassifier,
+    StandardScaler,
+    classification_report,
+    train_test_split,
+)
+from repro.traffic import AttackType
+
+profile = sys.argv[1] if len(sys.argv) > 1 else "small"
+print(f"building the '{profile}' campaign (cached per process)...")
+ds = cached_dataset(profile)
+print(
+    f"  {len(ds.trace)} packets on the wire -> "
+    f"{len(ds.int_records)} INT reports, {len(ds.sflow_records)} sFlow samples"
+)
+
+for source, records, labels in (
+    ("int", ds.int_records, ds.int_labels),
+    ("sflow", ds.sflow_records, ds.sflow_labels),
+):
+    fm = extract_features(records, source=source)
+    Xtr, Xte, ytr, yte = train_test_split(fm.X, labels, test_size=0.1, seed=0)
+    scaler = StandardScaler().fit(Xtr)
+    model = RandomForestClassifier(
+        n_estimators=20, max_depth=12, max_samples=30000, seed=0
+    ).fit(scaler.transform(Xtr), ytr)
+    rep = classification_report(yte, model.predict(scaler.transform(Xte)))
+    print(
+        f"{source:>5s}: accuracy={rep['accuracy']:.4f} recall={rep['recall']:.4f} "
+        f"precision={rep['precision']:.4f} f1={rep['f1']:.4f} "
+        f"(test n={len(yte)})"
+    )
+
+# --- the sampling blind spot -------------------------------------------
+sl_windows = [
+    (s, e) for t, s, e in ds.schedule.sim_windows() if t == AttackType.SLOWLORIS
+]
+sl_packets = sum(
+    len(ds.trace.time_slice(s, e)) for s, e in sl_windows
+)
+ts = ds.sflow_records["ts_sample"]
+sl_samples = 0
+for s, e in sl_windows:
+    sl_samples += int(((ts >= s) & (ts < e)).sum())
+print(
+    f"\nSlowLoris episodes carried {sl_packets} packets; "
+    f"sFlow (1:{ds.config.sflow_rate}) sampled {sl_samples} of them."
+)
+print("A sampling-based monitor cannot alert on what it never sees —")
+print("the paper's Fig 5 finding, reproduced.")

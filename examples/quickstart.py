@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Quickstart: detect a SYN flood from INT telemetry in ~30 lines.
+
+Builds a tiny monitored network, replays benign web traffic with a SYN
+flood injected in the middle, extracts per-packet flow features from the
+INT telemetry, trains a random forest, and scores it — the essential
+pipeline of the AmLight paper end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.datasets import CampaignConfig, SERVER_IP, monitored_topology
+from repro.datasets.amlight import label_records, _build_truth_map
+from repro.features import extract_features
+from repro.ml import RandomForestClassifier, StandardScaler, train_test_split, classification_report
+from repro.traffic import Replayer, generate_benign, merge_traces, syn_flood
+from repro.traffic.benign import BenignConfig
+
+SEC = 1_000_000_000
+
+# --- 1. a monitored network (3 switches, INT on both directions) -------
+cfg = CampaignConfig.tiny()
+topo, int_collector, _sflow, _agent = monitored_topology(cfg)
+
+# --- 2. traffic: 10 s of web sessions + a 2 s flood in the middle -----
+benign = generate_benign(
+    SERVER_IP, 80, 0, 10 * SEC,
+    BenignConfig(sessions_per_s=3, mean_think_ns=3_000_000, rtt_ns=100_000),
+    seed=1,
+)
+flood = syn_flood(SERVER_IP, 80, 4 * SEC, 6 * SEC, rate_pps=3000, seed=2)
+trace = merge_traces([benign, flood])
+print(f"replaying {len(trace)} packets ({trace.attack_fraction():.0%} attack)")
+
+replayer = Replayer(
+    topo,
+    {"fwd": (topo.switches["edge_client"], 1),
+     "rev": (topo.switches["edge_server"], 2)},
+    classify=lambda row: "fwd" if row["dst_ip"] == SERVER_IP else "rev",
+)
+replayer.replay(trace)
+
+# --- 3. features + labels from the INT capture -------------------------
+records = int_collector.to_records()
+features = extract_features(records, source="int")
+labels, _types = label_records(records, _build_truth_map(trace))
+print(f"captured {len(records)} INT reports -> {features.X.shape[1]} features/packet")
+
+# --- 4. train and score -------------------------------------------------
+X_train, X_test, y_train, y_test = train_test_split(
+    features.X, labels, test_size=0.1, seed=0
+)
+scaler = StandardScaler().fit(X_train)
+model = RandomForestClassifier(n_estimators=15, max_depth=10, seed=0)
+model.fit(scaler.transform(X_train), y_train)
+
+report = classification_report(y_test, model.predict(scaler.transform(X_test)))
+print(
+    f"RF on INT features: accuracy={report['accuracy']:.4f} "
+    f"recall={report['recall']:.4f} precision={report['precision']:.4f} "
+    f"f1={report['f1']:.4f}"
+)
+
+top = np.argsort(model.feature_importances_)[::-1][:3]
+print("top features:", [features.names[i] for i in top])

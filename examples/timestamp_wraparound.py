@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The 32-bit INT timestamp wrap (paper §V), demonstrated end to end.
+
+INT hop metadata carries nanosecond timestamps in 32 bits, so the
+counter wraps every ~4.295 seconds.  A pipeline that differences
+consecutive stamps naively computes wildly wrong inter-arrival times for
+any flow whose packets straddle a wrap — the exact limitation the paper
+calls out for production deployments.  This script builds a slow flow
+whose gaps cross several wraps and shows the feature corruption, then
+the wrap-aware fix.
+
+Run:  python examples/timestamp_wraparound.py
+"""
+
+import numpy as np
+
+from repro.features import extract_features
+from repro.int_telemetry import (
+    REPORT_DTYPE,
+    WRAP_PERIOD_S,
+    delta32,
+    naive_delta32,
+    wrap32,
+)
+
+print(f"32-bit ns counter wraps every {WRAP_PERIOD_S:.3f} s\n")
+
+# --- a slow flow: one packet every 1.5 s, 10 packets --------------------
+gap_ns = 1_500_000_000
+true_times = np.arange(10, dtype=np.int64) * gap_ns
+stamps = wrap32(true_times)
+
+print("packet  true_time(s)  32-bit stamp   naive gap(s)   wrap-aware gap(s)")
+for i in range(1, len(stamps)):
+    naive = int(naive_delta32(int(stamps[i]), int(stamps[i - 1]))) / 1e9
+    aware = int(delta32(int(stamps[i]), int(stamps[i - 1]))) / 1e9
+    marker = "  <-- wrap!" if naive < 0 else ""
+    print(
+        f"{i:>6d}  {true_times[i] / 1e9:>11.1f}  {int(stamps[i]):>12d} "
+        f"{naive:>13.3f} {aware:>18.3f}{marker}"
+    )
+
+# --- effect on extracted features ---------------------------------------
+records = np.zeros(len(stamps), dtype=REPORT_DTYPE)
+records["ts_report"] = true_times
+records["src_ip"], records["dst_ip"] = 1, 2
+records["src_port"], records["dst_port"], records["protocol"] = 1000, 80, 6
+records["length"] = 100
+records["ingress_ts"] = stamps
+records["egress_ts"] = stamps
+
+aware = extract_features(records, source="int", wrap_mode="aware")
+naive = extract_features(records, source="int", wrap_mode="naive")
+col = aware.names.index("inter_arrival_cum")
+print(
+    f"\nflow duration feature:  wrap-aware = {aware.X[-1, col]:.2f} s "
+    f"(truth {true_times[-1] / 1e9:.2f} s),  naive = {naive.X[-1, col]:.2f} s"
+)
+print(
+    "\nWith naive differencing every wrapped gap clamps to zero, so the "
+    "flow looks\nfar shorter and burstier than it is — exactly the error "
+    "the paper warns would\nbreak longer-time-frame analyses.  The "
+    "wrap-aware signed modular difference\nrestores the true gaps; its "
+    "validity window is half a wrap period (~2.15 s per\ngap), the price "
+    "of also tolerating slight record reordering between the two\n"
+    "observation points of a bidirectional flow."
+)

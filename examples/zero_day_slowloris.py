@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Zero-day evaluation: can models trained without SlowLoris catch it?
+
+The paper's Table IV protocol: June 11 — which contains both SYN floods
+*and* the only two SlowLoris episodes of the campaign — is held out as
+the test set, so SlowLoris is a genuinely unseen ("zero-day") attack.
+This script runs that protocol for all four models on both telemetry
+sources and breaks INT recall down per attack type so the zero-day
+behaviour is visible directly.
+
+Run:  python examples/zero_day_slowloris.py
+"""
+
+import numpy as np
+
+from repro.analysis.experiments import MODEL_ORDER, model_zoo
+from repro.datasets import cached_dataset
+from repro.features import extract_features
+from repro.ml import StandardScaler, classification_report
+from repro.traffic import AttackType
+
+print("building the campaign (cached per process)...")
+ds = cached_dataset("small")
+boundary = ds.day_start_ns(11)
+
+for source, records, labels, types, ts in (
+    ("INT", ds.int_records, ds.int_labels, ds.int_types,
+     ds.int_records["ts_report"]),
+    ("sFlow", ds.sflow_records, ds.sflow_labels, ds.sflow_types,
+     ds.sflow_records["ts_sample"]),
+):
+    fm = extract_features(records, source=source.lower())
+    test = np.asarray(ts) >= boundary
+    Xtr, ytr = fm.X[~test], labels[~test]
+    Xte, yte = fm.X[test], labels[test]
+    types_te = types[test]
+    scaler = StandardScaler().fit(Xtr)
+    Xtr_s, Xte_s = scaler.transform(Xtr), scaler.transform(Xte)
+
+    print(f"\n== {source}: train Jun 6-10 ({len(ytr)} rows), "
+          f"test Jun 11 ({len(yte)} rows) ==")
+    for name in MODEL_ORDER:
+        model = model_zoo(seed=0)[name]()
+        model.fit(Xtr_s, ytr)
+        pred = model.predict(Xte_s)
+        rep = classification_report(yte, pred)
+        line = (f"  {name:4s} acc={rep['accuracy']:.4f} "
+                f"recall={rep['recall']:.4f} precision={rep['precision']:.4f}")
+        per_type = []
+        for at in (AttackType.SYN_FLOOD, AttackType.SLOWLORIS):
+            mask = types_te == int(at)
+            if mask.any():
+                per_type.append(f"{at.display} recall={pred[mask].mean():.2f}")
+        if per_type:
+            line += "   [" + ", ".join(per_type) + "]"
+        print(line)
+
+print(
+    "\nThe paper's qualitative findings to look for: INT models stay "
+    "accurate on the\nunseen day; sFlow's weaker models (GNB precision, "
+    "NN) degrade visibly because\nthe sampled training set never "
+    "contained anything SlowLoris-like at all."
+)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs (which must build an editable wheel) fail
+with ``invalid command 'bdist_wheel'``.  ``python setup.py develop`` and
+``pip install -e . --no-build-isolation`` both work through this shim.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — INT-based automated DDoS detection (AmLight, SC'24), reproduced.
+
+A self-contained implementation of the paper's system and every
+substrate it depends on:
+
+* :mod:`repro.dataplane` — discrete-event programmable switches
+* :mod:`repro.int_telemetry` — the INT stack (incl. PINT-style sampling)
+* :mod:`repro.sflow` — the sFlow comparison stack
+* :mod:`repro.traffic` — benign + attack workloads, schedules, pcap I/O
+* :mod:`repro.ml` — from-scratch models, metrics, curves, CV
+* :mod:`repro.features` — the Data Processor's feature engineering
+* :mod:`repro.core` — the paper's four-module detection mechanism
+* :mod:`repro.mitigation` — the detect→mitigate loop (paper future work)
+* :mod:`repro.controlplane` — episode-level operator alerts
+* :mod:`repro.baselines` — classic entropy detector for comparison
+* :mod:`repro.datasets` — synthetic campaign + testbed captures
+* :mod:`repro.analysis` — every paper table/figure, microburst detection
+
+Command line: ``python -m repro tables|figures|dataset|schedule|report``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dataplane",
+    "int_telemetry",
+    "sflow",
+    "traffic",
+    "ml",
+    "features",
+    "core",
+    "mitigation",
+    "controlplane",
+    "baselines",
+    "datasets",
+    "analysis",
+]

@@ -1,0 +1,59 @@
+"""Experiment runners, table rendering, and figure reproduction."""
+
+from .experiments import (
+    OfflineStudy,
+    TestbedStudy,
+    model_zoo,
+    run_offline_study,
+    run_testbed_study,
+)
+from .microburst import Microburst, detect_microbursts, occupancy_series
+from .figures import (
+    confusion_matrix_figure,
+    prediction_scatter_figure,
+    timeline_figure,
+)
+from .report import (
+    exp_fig1,
+    exp_fig2,
+    exp_fig3,
+    exp_fig4,
+    exp_fig5,
+    exp_fig6,
+    exp_fig7,
+    exp_table1,
+    exp_table2,
+    exp_table3,
+    exp_table4,
+    exp_table5,
+    exp_table6,
+)
+from .tables import render_table
+
+__all__ = [
+    "OfflineStudy",
+    "TestbedStudy",
+    "model_zoo",
+    "run_offline_study",
+    "run_testbed_study",
+    "confusion_matrix_figure",
+    "prediction_scatter_figure",
+    "timeline_figure",
+    "render_table",
+    "Microburst",
+    "detect_microbursts",
+    "occupancy_series",
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "exp_table4",
+    "exp_table5",
+    "exp_table6",
+    "exp_fig1",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_fig7",
+]

@@ -1,0 +1,138 @@
+"""ASCII renderings of the paper's figures.
+
+Each helper turns experiment output into a terminal-friendly plot:
+
+* :func:`confusion_matrix_figure` — Figs 3 and 4 (2×2 confusion matrices
+  with counts and percentages).
+* :func:`timeline_figure` — Fig 5 (true labels vs predictions over the
+  campaign timeline for INT and sFlow, with episode markers).
+* :func:`prediction_scatter_figure` — Figs 7a/7b (per-update decisions
+  along the replay, showing where misclassifications cluster).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix_figure",
+    "timeline_figure",
+    "prediction_scatter_figure",
+]
+
+
+def confusion_matrix_figure(cm: np.ndarray, title: str) -> str:
+    """Render a 2×2 confusion matrix (rows true, columns predicted)."""
+    cm = np.asarray(cm)
+    if cm.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got {cm.shape}")
+    total = cm.sum()
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'':12s}  {'pred Normal':>14s}  {'pred Attack':>14s}")
+    for i, name in enumerate(("true Normal", "true Attack")):
+        cells = []
+        for j in range(2):
+            pct = 100.0 * cm[i, j] / total if total else 0.0
+            cells.append(f"{cm[i, j]:>8d} ({pct:4.1f}%)")
+        lines.append(f"{name:12s}  {cells[0]:>14s}  {cells[1]:>14s}")
+    return "\n".join(lines)
+
+
+def _bucketize(
+    ts: np.ndarray,
+    values: np.ndarray,
+    t0: int,
+    t1: int,
+    bins: int,
+    threshold: float = 0.05,
+):
+    """Pool 0/1 values into time bins.
+
+    A bin reads 1 when more than ``threshold`` of its rows are 1 — a
+    plain any() would light every bin from a handful of scattered false
+    positives once bins hold thousands of packets.
+    """
+    out = np.full(bins, -1, dtype=np.int64)  # -1 = no data
+    if ts.size == 0:
+        return out
+    idx = ((ts - t0) * bins // max(t1 - t0, 1)).astype(np.int64)
+    idx = np.clip(idx, 0, bins - 1)
+    ones = np.bincount(idx, weights=np.asarray(values, dtype=np.float64), minlength=bins)
+    counts = np.bincount(idx, minlength=bins)
+    has = counts > 0
+    out[has] = (ones[has] / counts[has] > threshold).astype(np.int64)
+    return out
+
+
+def _strip(buckets: np.ndarray, one: str = "#", zero: str = ".", gap: str = " ") -> str:
+    return "".join(one if b == 1 else zero if b == 0 else gap for b in buckets)
+
+
+def timeline_figure(
+    title: str,
+    t0: int,
+    t1: int,
+    series: Sequence[Tuple[str, np.ndarray, np.ndarray]],
+    episodes: Sequence[Tuple[str, int, int]] = (),
+    width: int = 100,
+) -> str:
+    """Fig 5-style strip chart.
+
+    Parameters
+    ----------
+    t0, t1 : int
+        Time axis bounds (ns).
+    series : sequence of (label, ts, values)
+        Each series is max-pooled into ``width`` bins; ``#`` marks bins
+        containing a 1 (attack), ``.`` bins containing only 0s, and
+        spaces bins with no data (e.g. sFlow silence).
+    episodes : sequence of (name, start_ns, end_ns)
+        Ground-truth attack windows, drawn as a header strip of ``|``.
+    """
+    lines = [title, "=" * len(title)]
+    if episodes:
+        ep = np.full(width, -1, dtype=np.int64)
+        for _name, s, e in episodes:
+            lo = int((s - t0) * width // max(t1 - t0, 1))
+            hi = int((e - t0) * width // max(t1 - t0, 1))
+            ep[max(lo, 0) : min(hi + 1, width)] = 1
+        lines.append(f"{'episodes':>18s} |" + _strip(ep, one="|", zero=" ") + "|")
+    for label, ts, values in series:
+        buckets = _bucketize(np.asarray(ts), np.asarray(values), t0, t1, width)
+        lines.append(f"{label:>18s} |" + _strip(buckets) + "|")
+    lines.append(
+        f"{'':>18s}  '#' attack, '.' normal, ' ' no data; span "
+        f"{(t1 - t0) / 1e9:.1f} s of simulated campaign time"
+    )
+    return "\n".join(lines)
+
+
+def prediction_scatter_figure(
+    title: str,
+    decisions: np.ndarray,
+    true_label: int,
+    width: int = 100,
+    rows: int = 4,
+) -> str:
+    """Fig 7-style view: decisions in replay order, misclassifications
+    marked ``x``, correct decisions ``·`` — banded over several rows so
+    clustering at the start is visible."""
+    decisions = np.asarray(decisions)
+    n = decisions.size
+    lines = [title, "=" * len(title)]
+    if n == 0:
+        lines.append("(no decisions)")
+        return "\n".join(lines)
+    wrong = decisions != true_label
+    per_row = max(1, int(np.ceil(n / rows)))
+    for r in range(0, n, per_row):
+        chunk = wrong[r : r + per_row]
+        # compress each row to `width` columns by max-pooling errors
+        cols = np.array_split(chunk, min(width, chunk.size))
+        strip = "".join("x" if c.any() else "·" for c in cols)
+        lines.append(f"  [{r:>6d}..] {strip}")
+    mis = int(wrong.sum())
+    lines.append(f"  misclassified {mis}/{n} ({100.0 * mis / n:.2f}%); 'x' = error")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Microburst detection from per-packet telemetry.
+
+Before turning INT on DDoS, AmLight used it to detect *microbursts* —
+sub-second queue-buildup events invisible to SNMP-rate counters (the
+paper's reference [8], NOMS'23).  Since our telemetry reports carry the
+same queue-occupancy signal, the detector ports directly:
+
+1. bucket the capture into fixed windows,
+2. take each window's peak occupancy,
+3. a microburst is a maximal run of windows whose peak exceeds the
+   threshold, lasting no longer than ``max_duration_ns`` (longer events
+   are sustained congestion, not bursts).
+
+Everything is vectorized over the structured record array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+__all__ = ["Microburst", "detect_microbursts", "occupancy_series"]
+
+
+@dataclass(frozen=True)
+class Microburst:
+    """One detected burst event."""
+
+    start_ns: int
+    end_ns: int
+    peak_occupancy: int
+    packets: int
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+def occupancy_series(records: np.ndarray, window_ns: int):
+    """Per-window peak queue occupancy and packet counts.
+
+    Returns ``(window_starts, peaks, counts)`` covering the capture span.
+    """
+    if window_ns <= 0:
+        raise ValueError(f"window must be positive: {window_ns}")
+    if records.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    ts = records["ts_report"].astype(np.int64)
+    occ = records["queue_occupancy"].astype(np.int64)
+    t0 = int(ts.min())
+    idx = (ts - t0) // window_ns
+    n_bins = int(idx.max()) + 1
+    peaks = np.zeros(n_bins, dtype=np.int64)
+    np.maximum.at(peaks, idx, occ)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.int64)
+    starts = t0 + np.arange(n_bins, dtype=np.int64) * window_ns
+    return starts, peaks, counts
+
+
+def detect_microbursts(
+    records: np.ndarray,
+    threshold: int = 8,
+    window_ns: int = 1_000_000,
+    max_duration_ns: int = 100_000_000,
+) -> List[Microburst]:
+    """Find microburst events in an INT capture.
+
+    Parameters
+    ----------
+    records : REPORT_DTYPE array
+        Telemetry capture (needs ``ts_report`` and ``queue_occupancy``).
+    threshold : int
+        Queue depth (packets) that counts as bursting.
+    window_ns : int
+        Aggregation window (default 1 ms — the sub-second granularity
+        SNMP cannot see).
+    max_duration_ns : int
+        Runs longer than this are sustained congestion and are excluded.
+
+    Returns
+    -------
+    list of Microburst, in time order.
+    """
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1: {threshold}")
+    starts, peaks, counts = occupancy_series(records, window_ns)
+    if starts.size == 0:
+        return []
+    hot = peaks >= threshold
+    if not hot.any():
+        return []
+    # maximal runs of hot windows
+    edges = np.diff(hot.astype(np.int8))
+    run_starts = np.flatnonzero(edges == 1) + 1
+    run_ends = np.flatnonzero(edges == -1) + 1
+    if hot[0]:
+        run_starts = np.r_[0, run_starts]
+    if hot[-1]:
+        run_ends = np.r_[run_ends, hot.size]
+    out: List[Microburst] = []
+    for a, b in zip(run_starts, run_ends):
+        duration = int((b - a) * window_ns)
+        if duration > max_duration_ns:
+            continue  # sustained congestion, not a microburst
+        out.append(
+            Microburst(
+                start_ns=int(starts[a]),
+                end_ns=int(starts[a]) + duration,
+                peak_occupancy=int(peaks[a:b].max()),
+                packets=int(counts[a:b].sum()),
+            )
+        )
+    return out

@@ -1,0 +1,37 @@
+"""Plain-text table rendering in the paper's layouts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["render_table", "fmt"]
+
+
+def fmt(value, digits: int = 4) -> str:
+    """Format a cell: floats to fixed digits, everything else via str."""
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    note: str = "",
+) -> str:
+    """Monospace table with a title bar, suitable for bench output."""
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title)]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if note:
+        out.append(f"Note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,13 @@
+"""Classical non-ML baselines to compare the paper's approach against.
+
+The paper compares data sources (INT vs sFlow) but keeps the detector
+family fixed (supervised ML).  A reproduction worth adopting should also
+show what the classic alternative does on the same telemetry:
+:mod:`~repro.baselines.entropy` implements the standard volumetric
+detector — windowed Shannon-entropy anomaly scoring over header fields —
+which needs no training data at all.
+"""
+
+from .entropy import EntropyDetector, entropy_series, shannon_entropy
+
+__all__ = ["EntropyDetector", "entropy_series", "shannon_entropy"]

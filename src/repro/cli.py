@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tables``   regenerate any/all of the paper's tables (I-VI)
+``figures``  regenerate any/all of the paper's figures (1-7)
+``dataset``  build a campaign profile and print its composition
+``schedule`` print the Table I episode schedule and its sim mapping
+
+Examples
+--------
+    python -m repro tables 3 4            # Tables III and IV
+    python -m repro figures               # all figures
+    python -m repro dataset --profile tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the AmLight INT DDoS-detection paper's "
+        "tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("tables", help="regenerate paper tables")
+    t.add_argument("numbers", nargs="*", type=int,
+                   help="table numbers 1-6 (default: all)")
+    t.add_argument("--profile", default="small",
+                   choices=("tiny", "small", "full"))
+    t.add_argument("--seed", type=int, default=0)
+
+    f = sub.add_parser("figures", help="regenerate paper figures")
+    f.add_argument("numbers", nargs="*", type=int,
+                   help="figure numbers 1-7 (default: all)")
+    f.add_argument("--profile", default="small",
+                   choices=("tiny", "small", "full"))
+    f.add_argument("--seed", type=int, default=0)
+
+    d = sub.add_parser("dataset", help="build a campaign and summarize it")
+    d.add_argument("--profile", default="tiny",
+                   choices=("tiny", "small", "full"))
+
+    sub.add_parser("schedule", help="print the Table I schedule")
+
+    r = sub.add_parser(
+        "report", help="write every table and figure to a directory"
+    )
+    r.add_argument("--out", default="results", help="output directory")
+    r.add_argument("--profile", default="small",
+                   choices=("tiny", "small", "full"))
+    r.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_tables(args) -> int:
+    from repro.analysis import report
+
+    table_fns = {
+        1: lambda: report.exp_table1(args.profile),
+        2: report.exp_table2,
+        3: lambda: report.exp_table3(args.profile, args.seed),
+        4: lambda: report.exp_table4(args.profile, args.seed),
+        5: lambda: report.exp_table5(args.profile, args.seed),
+        6: lambda: report.exp_table6(args.profile, args.seed),
+    }
+    numbers = args.numbers or sorted(table_fns)
+    for n in numbers:
+        if n not in table_fns:
+            print(f"error: no Table {n} (valid: 1-6)", file=sys.stderr)
+            return 2
+        print(table_fns[n]())
+        print()
+    return 0
+
+
+def _run_figures(args) -> int:
+    from repro.analysis import report
+
+    figure_fns = {
+        1: report.exp_fig1,
+        2: lambda: report.exp_fig2(args.profile),
+        3: lambda: report.exp_fig3(args.profile, args.seed),
+        4: lambda: report.exp_fig4(args.profile, args.seed),
+        5: lambda: report.exp_fig5(args.profile, args.seed),
+        6: report.exp_fig6,
+        7: lambda: report.exp_fig7(args.profile, args.seed),
+    }
+    numbers = args.numbers or sorted(figure_fns)
+    for n in numbers:
+        if n not in figure_fns:
+            print(f"error: no Fig {n} (valid: 1-7)", file=sys.stderr)
+            return 2
+        print(figure_fns[n]())
+        print()
+    return 0
+
+
+def _run_dataset(args) -> int:
+    from repro.datasets import cached_dataset
+    from repro.traffic import AttackType
+
+    ds = cached_dataset(args.profile)
+    print(f"profile '{args.profile}': {len(ds.trace)} packets, "
+          f"{ds.trace.duration_ns / 1e9:.1f} s simulated")
+    for atype, count in sorted(ds.trace.counts_by_type().items()):
+        print(f"  {atype.display:>10s}: {count}")
+    print(f"INT reports: {len(ds.int_records)}; "
+          f"sFlow samples: {len(ds.sflow_records)} "
+          f"(1:{ds.config.sflow_rate})")
+    return 0
+
+
+def _run_schedule(_args) -> int:
+    from repro.analysis.report import exp_table1
+
+    print(exp_table1())
+    return 0
+
+
+def _run_report(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import report
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "table1.txt": lambda: report.exp_table1(args.profile),
+        "table2.txt": report.exp_table2,
+        "table3.txt": lambda: report.exp_table3(args.profile, args.seed),
+        "table4.txt": lambda: report.exp_table4(args.profile, args.seed),
+        "table5.txt": lambda: report.exp_table5(args.profile, args.seed),
+        "table6.txt": lambda: report.exp_table6(args.profile, args.seed),
+        "fig1.txt": report.exp_fig1,
+        "fig2.txt": lambda: report.exp_fig2(args.profile),
+        "fig3.txt": lambda: report.exp_fig3(args.profile, args.seed),
+        "fig4.txt": lambda: report.exp_fig4(args.profile, args.seed),
+        "fig5.txt": lambda: report.exp_fig5(args.profile, args.seed),
+        "fig6.txt": report.exp_fig6,
+        "fig7.txt": lambda: report.exp_fig7(args.profile, args.seed),
+    }
+    for name, fn in artifacts.items():
+        text = fn()
+        (out / name).write_text(text + "\n")
+        print(f"wrote {out / name}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": _run_tables,
+        "figures": _run_figures,
+        "dataset": _run_dataset,
+        "schedule": _run_schedule,
+        "report": _run_report,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:  # e.g. `python -m repro tables | head`
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

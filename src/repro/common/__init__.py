@@ -1,0 +1,6 @@
+"""Shared low-level utilities (buffers, RNG helpers)."""
+
+from .buffers import GrowableRecordBuffer
+from .rng import as_generator
+
+__all__ = ["GrowableRecordBuffer", "as_generator"]

@@ -1,0 +1,102 @@
+"""Growable structured-array record buffers.
+
+Telemetry collectors ingest one record per packet.  Appending dicts to a
+Python list and converting at the end costs ~100 bytes of object overhead
+per field per record; at AmLight rates (the paper quotes 80 M packets and
+30 GB of INT data per minute) that is untenable.  Instead we append into a
+preallocated NumPy structured array that doubles capacity when full —
+amortized O(1) appends, contiguous storage, and a zero-copy view on
+export.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GrowableRecordBuffer"]
+
+
+class GrowableRecordBuffer:
+    """Amortized-O(1) append buffer over a NumPy structured dtype.
+
+    Parameters
+    ----------
+    dtype : numpy.dtype
+        Structured dtype of one record.
+    initial_capacity : int
+        Starting allocation in records.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> buf = GrowableRecordBuffer(np.dtype([("a", "i8"), ("b", "f8")]))
+    >>> buf.append(a=1, b=2.5)
+    >>> buf.view()["a"].tolist()
+    [1]
+    """
+
+    def __init__(self, dtype: np.dtype, initial_capacity: int = 1024) -> None:
+        if initial_capacity < 1:
+            raise ValueError(f"initial_capacity must be >= 1: {initial_capacity}")
+        self.dtype = np.dtype(dtype)
+        self._data = np.zeros(initial_capacity, dtype=self.dtype)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return self._data.shape[0]
+
+    def _grow(self, minimum: int) -> None:
+        new_cap = max(self.capacity * 2, minimum)
+        new = np.zeros(new_cap, dtype=self.dtype)
+        new[: self._size] = self._data[: self._size]
+        self._data = new
+
+    def append(self, **fields) -> None:
+        """Append one record given as keyword arguments (one per field)."""
+        if self._size >= self.capacity:
+            self._grow(self._size + 1)
+        row = self._data[self._size]
+        for name, value in fields.items():
+            row[name] = value
+        self._size += 1
+
+    def append_row(self, values: tuple) -> None:
+        """Append one record given as a tuple in dtype field order.
+
+        Faster than :meth:`append` in hot paths — no keyword dict is
+        built and NumPy assigns the whole row at once.
+        """
+        if self._size >= self.capacity:
+            self._grow(self._size + 1)
+        self._data[self._size] = values
+        self._size += 1
+
+    def extend(self, records: np.ndarray) -> None:
+        """Append a block of records of the same dtype."""
+        records = np.asarray(records, dtype=self.dtype)
+        need = self._size + records.shape[0]
+        if need > self.capacity:
+            self._grow(need)
+        self._data[self._size : need] = records
+        self._size = need
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the filled region.
+
+        The view aliases internal storage: it is invalidated by the next
+        append that triggers a reallocation.  Call :meth:`compact` for an
+        owning copy.
+        """
+        return self._data[: self._size]
+
+    def compact(self) -> np.ndarray:
+        """Owning copy of the filled region (safe to keep)."""
+        return self._data[: self._size].copy()
+
+    def clear(self) -> None:
+        """Reset to empty without releasing storage."""
+        self._size = 0

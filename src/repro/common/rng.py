@@ -1,0 +1,28 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in the library accepts either an integer seed,
+``None`` (fresh entropy), or an existing :class:`numpy.random.Generator`.
+Funneling through :func:`as_generator` keeps experiment scripts exactly
+reproducible while letting tests share one generator across components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["as_generator"]
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing a ``Generator`` returns it unchanged (shared stream);
+    an ``int`` builds a fresh PCG64 stream; ``None`` draws OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

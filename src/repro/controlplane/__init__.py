@@ -1,0 +1,14 @@
+"""Control-plane integration: alerts for operators.
+
+The paper's mechanism "will retrieve INT data ... analyze it ... and
+send the information to the control plane" (abstract).  This package is
+that last hop: per-flow detector decisions are aggregated into
+episode-level :class:`~repro.controlplane.alerts.Alert` objects — one
+alert per attacked service, opened when evidence crosses a threshold,
+updated while the attack persists, closed after quiet time — and fanned
+out to notification sinks.
+"""
+
+from .alerts import Alert, AlertManager, AlertSeverity, AlertSink, LogSink
+
+__all__ = ["Alert", "AlertManager", "AlertSeverity", "AlertSink", "LogSink"]

@@ -1,0 +1,73 @@
+"""Decision logic of the live mechanism (paper §IV-C4).
+
+Two layers, both reproduced exactly:
+
+1. **Model vote** — per update, the MLP/RF/GNB votes collapse to one
+   aggregated label by majority ("if two or more of the predictions are
+   1, then it is classified as an attack flow").
+2. **Sliding window** — aggregated labels are not acted on immediately:
+   "we wait for three predictions.  If two or more of the last three
+   predictions are 1, then it is classified as an attack flow."  The
+   window is per flow and slides, so every update after the third yields
+   a decision.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ml.voting import majority_vote
+
+__all__ = ["SlidingDecision", "aggregate_votes"]
+
+
+def aggregate_votes(votes: np.ndarray) -> int:
+    """Collapse one update's per-model votes to a single 0/1 label."""
+    return int(majority_vote(np.asarray(votes)[None, :])[0])
+
+
+class SlidingDecision:
+    """Per-flow last-N majority decision window.
+
+    Parameters
+    ----------
+    window : int
+        Number of recent aggregated predictions considered (paper: 3).
+    emit_partial : bool
+        If True, emit a majority decision even before the window fills
+        (used by the window-size ablation); the paper's mechanism waits.
+    """
+
+    def __init__(self, window: int = 3, emit_partial: bool = False) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.window = int(window)
+        self.emit_partial = bool(emit_partial)
+        self._history: Dict[tuple, deque] = {}
+        self.decisions_emitted = 0
+        self.waiting = 0
+
+    def push(self, key: tuple, label: int) -> Optional[int]:
+        """Record one aggregated prediction; return the flow decision or
+        ``None`` while the window is still filling."""
+        hist = self._history.get(key)
+        if hist is None:
+            hist = deque(maxlen=self.window)
+            self._history[key] = hist
+        hist.append(int(label))
+        if len(hist) < self.window and not self.emit_partial:
+            self.waiting += 1
+            return None
+        self.decisions_emitted += 1
+        ones = sum(hist)
+        return 1 if 2 * ones >= len(hist) else 0
+
+    def forget(self, key: tuple) -> None:
+        """Drop a flow's history (eviction hook)."""
+        self._history.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,60 @@
+"""Prediction-latency bookkeeping (Table VI columns 3–4).
+
+The paper reports average and maximum prediction time per flow type —
+and, for benign flows, the 99th percentile instead of the maximum (the
+Table VI footnote).  :class:`LatencyTracker` accumulates latencies per
+category and reproduces exactly those summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["LatencyTracker"]
+
+
+class LatencyTracker:
+    """Per-category latency accumulator."""
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[int]] = {}
+
+    def record(self, category: str, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency: {latency_ns}")
+        self._samples.setdefault(category, []).append(int(latency_ns))
+
+    def categories(self) -> List[str]:
+        return list(self._samples.keys())
+
+    def count(self, category: str) -> int:
+        return len(self._samples.get(category, ()))
+
+    def summary(self, category: str, percentile_max: float | None = None) -> dict:
+        """Mean / max (or percentile) in seconds, as Table VI reports.
+
+        Parameters
+        ----------
+        category : str
+        percentile_max : float, optional
+            Report this percentile instead of the true maximum (the
+            paper uses the 99th for benign flows).
+        """
+        samples = self._samples.get(category)
+        if not samples:
+            raise KeyError(f"no latency samples for category {category!r}")
+        arr = np.asarray(samples, dtype=np.float64) * 1e-9
+        top = (
+            float(np.percentile(arr, percentile_max))
+            if percentile_max is not None
+            else float(arr.max())
+        )
+        return {
+            "count": int(arr.size),
+            "avg_s": float(arr.mean()),
+            "max_s": top,
+            "p50_s": float(np.percentile(arr, 50)),
+            "p99_s": float(np.percentile(arr, 99)),
+        }

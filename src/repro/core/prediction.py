@@ -1,0 +1,74 @@
+"""Prediction module (Fig 2, module 4).
+
+Loads the pre-trained models and the scaler coefficients at
+initialization (§III-4), then serves per-update predictions: standardize
+the incoming feature vector with the *training-time* scaler and run every
+panel model on it.  The module never refits anything online — exactly the
+paper's design, where training happens offline on replayed captures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.ml.scaler import StandardScaler
+
+__all__ = ["PredictionModule"]
+
+
+class PredictionModule:
+    """Scaler + pre-trained model panel.
+
+    Parameters
+    ----------
+    scaler : StandardScaler
+        Fitted on the training capture.
+    models : dict[str, classifier]
+        Fitted panel, e.g. ``{"mlp": ..., "rf": ..., "gnb": ...}``
+        (the testbed panel of §IV-C3).
+    feature_names : sequence of str
+        Schema order the feature vectors arrive in; kept for sanity
+        checking against the scaler dimensionality.
+    """
+
+    def __init__(
+        self,
+        scaler: StandardScaler,
+        models: Dict[str, object],
+        feature_names: Sequence[str],
+    ) -> None:
+        if not models:
+            raise ValueError("need at least one model")
+        if scaler.n_features_ is None:
+            raise ValueError("scaler must be fitted")
+        if scaler.n_features_ != len(feature_names):
+            raise ValueError(
+                f"scaler has {scaler.n_features_} features, schema has "
+                f"{len(feature_names)}"
+            )
+        self.scaler = scaler
+        self.models = dict(models)
+        self.feature_names = list(feature_names)
+        self.predictions_served = 0
+
+    @property
+    def model_names(self) -> List[str]:
+        return list(self.models.keys())
+
+    def predict_one(self, features: np.ndarray) -> np.ndarray:
+        """Per-model 0/1 votes for a single feature vector (step ⑤→⑥)."""
+        x = self.scaler.transform(np.asarray(features, dtype=np.float64))[None, :]
+        votes = np.empty(len(self.models), dtype=np.int64)
+        for i, model in enumerate(self.models.values()):
+            votes[i] = int(model.predict(x)[0])
+        self.predictions_served += 1
+        return votes
+
+    def predict_batch(self, X: np.ndarray) -> np.ndarray:
+        """Per-model votes for a batch; shape (n_samples, n_models)."""
+        Xs = self.scaler.transform(np.asarray(X, dtype=np.float64))
+        cols = [np.asarray(m.predict(Xs), dtype=np.int64) for m in self.models.values()]
+        self.predictions_served += X.shape[0]
+        return np.column_stack(cols)

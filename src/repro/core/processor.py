@@ -1,0 +1,112 @@
+"""Data Processor module (Fig 2, module 2).
+
+Receives packet-level INT data from the collection module (step ②),
+maintains the per-flow records in the flow table, and registers each
+update with the database (step ③).  On the return path it receives the
+per-model predictions from the CentralServer (step ⑦), aggregates them
+into one label, pushes the label through the per-flow sliding decision
+window, and stores the result with its prediction latency (step ⑧).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.features.flow_record import FlowRecord
+
+from .database import FlowDatabase, PredictionEntry
+from .ensemble import SlidingDecision, aggregate_votes
+
+__all__ = ["DataProcessor"]
+
+
+class DataProcessor:
+    """Feature maintenance + prediction aggregation.
+
+    Parameters
+    ----------
+    database : FlowDatabase
+        Shared store (owns the flow table).
+    feature_names : sequence of str
+        Schema order for feature vectors sent to prediction.
+    decision_window : int
+        Size of the last-N sliding window (paper: 3).
+    emit_partial : bool
+        Forwarded to :class:`SlidingDecision` (ablation hook).
+    clock : callable() -> int, optional
+        Wall-clock source in ns; defaults to
+        :func:`time.perf_counter_ns`.  Injectable for deterministic
+        tests.
+    """
+
+    def __init__(
+        self,
+        database: FlowDatabase,
+        feature_names: Sequence[str],
+        decision_window: int = 3,
+        emit_partial: bool = False,
+        clock=None,
+    ) -> None:
+        self.db = database
+        self.feature_names = list(feature_names)
+        self.decision = SlidingDecision(decision_window, emit_partial=emit_partial)
+        self.clock = clock if clock is not None else time.perf_counter_ns
+        self.packets_processed = 0
+
+    # ------------------------------------------------------------------
+    # step ② — packet data in
+    # ------------------------------------------------------------------
+    def ingest_packet(
+        self,
+        key: tuple,
+        ts_sim_ns: int,
+        ingress_ts32: int,
+        length: float,
+        protocol: int,
+        queue_occupancy: float = 0.0,
+        hop_latency_ns: float = 0.0,
+    ) -> FlowRecord:
+        """Fold one packet into its flow record and register the update."""
+        wall = self.clock()
+        rec = self.db.flows.update(
+            key, ts_sim_ns, ingress_ts32, length, protocol,
+            queue_occupancy, hop_latency_ns,
+        )
+        self.db.register_update(key, ts_sim_ns, wall)
+        self.packets_processed += 1
+        return rec
+
+    def features_for(self, key: tuple) -> Optional[np.ndarray]:
+        """Current feature vector of a flow (None if evicted)."""
+        rec = self.db.flows.get(key)
+        if rec is None:
+            return None
+        return rec.feature_vector(self.feature_names)
+
+    # ------------------------------------------------------------------
+    # steps ⑦/⑧ — predictions back
+    # ------------------------------------------------------------------
+    def receive_predictions(
+        self,
+        key: tuple,
+        ts_sim_ns: int,
+        wall_registered_ns: int,
+        votes: np.ndarray,
+    ) -> PredictionEntry:
+        """Aggregate model votes, apply the sliding window, store."""
+        label = aggregate_votes(votes)
+        final = self.decision.push(key, label)
+        entry = PredictionEntry(
+            key=key,
+            ts_registered_ns=ts_sim_ns,
+            wall_registered_ns=wall_registered_ns,
+            wall_predicted_ns=self.clock(),
+            label=label,
+            votes=tuple(int(v) for v in votes),
+            final_decision=final,
+        )
+        self.db.store_prediction(entry)
+        return entry

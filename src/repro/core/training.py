@@ -1,0 +1,108 @@
+"""Offline pre-training pipeline (§IV-C2/C3).
+
+The testbed mechanism relies on models trained offline from a replayed
+capture: extract per-packet flow features, fit the scaler, fit the model
+panel on standardized features.  :class:`TrainedBundle` packages
+everything the Prediction module needs at startup (models + scaler
+coefficients + feature schema) and can be pickled to disk, which is the
+moral equivalent of the paper's "uploads the pre-trained ML models and
+the coefficients of scaler transformation".
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.features.extract import extract_features
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.ml.naive_bayes import GaussianNB
+from repro.ml.scaler import StandardScaler
+
+__all__ = ["TrainedBundle", "default_panel", "pretrain", "pretrain_from_records"]
+
+
+@dataclass
+class TrainedBundle:
+    """Everything the live Prediction module loads at initialization."""
+
+    scaler: StandardScaler
+    models: Dict[str, object]
+    feature_names: List[str]
+
+    def save(self, path: str | Path) -> None:
+        """Pickle to disk (models are plain NumPy-backed objects)."""
+        with open(path, "wb") as fh:
+            pickle.dump(
+                {
+                    "scaler": self.scaler.coefficients(),
+                    "models": self.models,
+                    "feature_names": self.feature_names,
+                },
+                fh,
+            )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainedBundle":
+        with open(path, "rb") as fh:
+            blob = pickle.load(fh)
+        return cls(
+            scaler=StandardScaler.from_coefficients(blob["scaler"]),
+            models=blob["models"],
+            feature_names=blob["feature_names"],
+        )
+
+
+def default_panel(seed: int = 0) -> Dict[str, Callable[[], object]]:
+    """The testbed panel of §IV-C3: MLP(64,32,16), RF, GNB.
+
+    KNN is deliberately absent — the paper drops it for its slow
+    prediction times.
+    """
+    return {
+        "mlp": lambda: MLPClassifier((64, 32, 16), max_epochs=60, seed=seed),
+        "rf": lambda: RandomForestClassifier(
+            n_estimators=25, max_depth=14, max_samples=20000, seed=seed
+        ),
+        "gnb": lambda: GaussianNB(),
+    }
+
+
+def pretrain(
+    X: np.ndarray,
+    y: np.ndarray,
+    feature_names: Sequence[str],
+    panel: Optional[Dict[str, Callable[[], object]]] = None,
+    seed: int = 0,
+) -> TrainedBundle:
+    """Fit scaler + panel on an extracted feature matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    if X.shape[1] != len(feature_names):
+        raise ValueError(
+            f"X has {X.shape[1]} columns but schema lists {len(feature_names)}"
+        )
+    factories = panel if panel is not None else default_panel(seed)
+    scaler = StandardScaler().fit(X)
+    Xs = scaler.transform(X)
+    models: Dict[str, object] = {}
+    for name, factory in factories.items():
+        models[name] = factory().fit(Xs, y)
+    return TrainedBundle(scaler=scaler, models=models, feature_names=list(feature_names))
+
+
+def pretrain_from_records(
+    records: np.ndarray,
+    labels: np.ndarray,
+    source: str = "int",
+    panel: Optional[Dict[str, Callable[[], object]]] = None,
+    seed: int = 0,
+) -> TrainedBundle:
+    """Extract features from collector records, then :func:`pretrain`."""
+    fm = extract_features(records, source=source)
+    return pretrain(fm.X, labels, fm.names, panel=panel, seed=seed)

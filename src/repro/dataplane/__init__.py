@@ -1,0 +1,43 @@
+"""Programmable data-plane simulator.
+
+Discrete-event model of P4-style switches: event engine
+(:mod:`~repro.dataplane.events`), packets (:mod:`~repro.dataplane.packet`),
+rate-limited egress queues with occupancy tracking
+(:mod:`~repro.dataplane.queueing`), links, switches with pluggable
+ingress/egress hooks, and the paper's topologies
+(:mod:`~repro.dataplane.topology`).
+"""
+
+from .events import Event, EventQueue
+from .link import Link
+from .packet import FiveTuple, Packet, Protocol, TCPFlags, ip, ip_str
+from .queueing import EgressQueue, QueueStats
+from .routing import LpmTable
+from .simclock import SimClock, ms, ns, seconds, us
+from .switch import Switch
+from .topology import Host, Topology, int_path_topology, testbed_topology
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Link",
+    "FiveTuple",
+    "Packet",
+    "Protocol",
+    "TCPFlags",
+    "ip",
+    "ip_str",
+    "EgressQueue",
+    "QueueStats",
+    "LpmTable",
+    "SimClock",
+    "ns",
+    "us",
+    "ms",
+    "seconds",
+    "Switch",
+    "Host",
+    "Topology",
+    "int_path_topology",
+    "testbed_topology",
+]

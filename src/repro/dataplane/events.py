@@ -1,0 +1,142 @@
+"""Discrete-event engine for the data-plane simulator.
+
+A minimal, fast binary-heap scheduler.  Events are ``(time, seq, callback,
+payload)`` tuples; ``seq`` is a monotonically increasing tiebreaker so
+events scheduled at the same instant fire in FIFO order and the heap never
+has to compare callbacks (which are not orderable).
+
+The engine is deliberately free of any networking knowledge — switches,
+links and hosts schedule plain callables.  This keeps the hot loop tight:
+one ``heappop``, one clock advance, one call.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .simclock import SimClock
+
+__all__ = ["EventQueue", "Event"]
+
+
+class Event:
+    """Handle to a scheduled event; supports O(1) cancellation.
+
+    Cancellation marks the entry dead instead of removing it from the heap
+    (lazy deletion); the run loop skips dead entries when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "payload", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable, payload: Any):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event dead; it will be skipped when its time comes."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """Binary-heap discrete event scheduler bound to a :class:`SimClock`.
+
+    Parameters
+    ----------
+    clock : SimClock, optional
+        Shared simulation clock.  A fresh one is created if omitted.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._processed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far (cancelled pops excluded)."""
+        return self._processed
+
+    def schedule(self, t_ns: int, callback: Callable, payload: Any = None) -> Event:
+        """Schedule ``callback(payload)`` at absolute time ``t_ns``.
+
+        Raises
+        ------
+        ValueError
+            If ``t_ns`` lies in the simulated past.
+        """
+        if t_ns < self.clock.now:
+            raise ValueError(
+                f"cannot schedule into the past: now={self.clock.now}, t={t_ns}"
+            )
+        ev = Event(int(t_ns), self._seq, callback, payload)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(self, delay_ns: int, callback: Callable, payload: Any = None) -> Event:
+        """Schedule relative to the current time (``delay_ns >= 0``)."""
+        if delay_ns < 0:
+            raise ValueError(f"negative delay: {delay_ns}")
+        return self.schedule(self.clock.now + int(delay_ns), callback, payload)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the queue is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the next live event.  Returns ``False`` when drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time)
+            ev.callback(ev.payload)
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, the horizon, or an event cap.
+
+        Parameters
+        ----------
+        until_ns : int, optional
+            Stop *before* executing any event scheduled after this time.
+            The clock is left at the last executed event (or unchanged).
+        max_events : int, optional
+            Execute at most this many events (guards runaway models).
+
+        Returns
+        -------
+        int
+            Number of events executed by this call.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            t = self.peek_time()
+            if t is None:
+                break
+            if until_ns is not None and t > until_ns:
+                break
+            self.step()
+            executed += 1
+        return executed

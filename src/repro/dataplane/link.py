@@ -1,0 +1,87 @@
+"""Point-to-point links with propagation delay, loss, and jitter.
+
+A :class:`Link` connects an egress port of one node to an ingress handler
+of another.  Serialization is already accounted for by the egress queue,
+so a link adds propagation delay — optionally jittered — and can drop a
+configured fraction of packets (failure injection for robustness tests:
+what happens to the detector when telemetry-bearing packets vanish or
+arrive reordered is a deployment question the paper's §V raises).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.rng import as_generator
+
+from .events import EventQueue
+from .packet import Packet
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Unidirectional link.
+
+    Parameters
+    ----------
+    events : EventQueue
+        Shared scheduler.
+    delay_ns : int
+        One-way propagation delay.
+    deliver : callable(Packet)
+        Invoked at the far end after the (possibly jittered) delay.
+    name : str
+        Human-readable label used in topology dumps.
+    loss_rate : float
+        Probability a packet is silently dropped in flight.
+    jitter_ns : int
+        Uniform extra delay in ``[0, jitter_ns]`` per packet.  Jitter can
+        reorder packets (a later send may overtake an earlier one) —
+        intentional, as real paths do this too.
+    seed : int | numpy.random.Generator | None
+        Randomness for loss/jitter; unused when both are disabled.
+    """
+
+    def __init__(
+        self,
+        events: EventQueue,
+        delay_ns: int,
+        deliver: Callable[[Packet], None],
+        name: str = "link",
+        loss_rate: float = 0.0,
+        jitter_ns: int = 0,
+        seed=None,
+    ) -> None:
+        if delay_ns < 0:
+            raise ValueError(f"propagation delay cannot be negative: {delay_ns}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
+        if jitter_ns < 0:
+            raise ValueError(f"jitter cannot be negative: {jitter_ns}")
+        self.events = events
+        self.delay_ns = int(delay_ns)
+        self.deliver = deliver
+        self.name = name
+        self.loss_rate = float(loss_rate)
+        self.jitter_ns = int(jitter_ns)
+        self._rng = as_generator(seed) if (loss_rate or jitter_ns) else None
+        self.packets_carried = 0
+        self.packets_lost = 0
+
+    def send(self, pkt: Packet) -> None:
+        """Launch a packet down the wire."""
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.packets_lost += 1
+            return
+        self.packets_carried += 1
+        delay = self.delay_ns
+        if self.jitter_ns:
+            delay += int(self._rng.integers(0, self.jitter_ns + 1))
+        self.events.schedule_in(delay, self._arrive, pkt)
+
+    def _arrive(self, pkt: Packet) -> None:
+        self.deliver(pkt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Link({self.name}, delay={self.delay_ns} ns)"

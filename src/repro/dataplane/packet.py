@@ -1,0 +1,195 @@
+"""Packet model for the data-plane simulator.
+
+A :class:`Packet` carries exactly the header fields the AmLight detection
+pipeline consumes — the IPv4 five-tuple, protocol, total length, and TCP
+flags — plus mutable in-flight state (current INT stack, hop count).  IP
+addresses are stored as ``uint32`` integers and ports as ``uint16`` ints,
+which keeps flow-key hashing cheap and lets collectors export traffic as
+structured NumPy arrays without string parsing.
+
+The module also provides :func:`ip` / :func:`ip_str` conversions and the
+:data:`TCPFlags` bit constants used by the attack generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "Protocol",
+    "TCPFlags",
+    "Packet",
+    "FiveTuple",
+    "ip",
+    "ip_str",
+]
+
+
+class Protocol(IntEnum):
+    """IP protocol numbers used by the traffic models."""
+
+    TCP = 6
+    UDP = 17
+    ICMP = 1
+
+
+class TCPFlags(IntEnum):
+    """TCP flag bits (subset relevant to handshake and attack traffic)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+    SYNACK = 0x12  # SYN | ACK — server handshake response
+    PSHACK = 0x18  # PSH | ACK — data segment
+
+
+FiveTuple = Tuple[int, int, int, int, int]
+"""Flow key: (src_ip, dst_ip, src_port, dst_port, protocol)."""
+
+
+def ip(dotted: str) -> int:
+    """Parse dotted-quad notation into a uint32 integer address.
+
+    >>> ip("10.0.0.1")
+    167772161
+    """
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad address: {dotted!r}")
+    value = 0
+    for p in parts:
+        octet = int(p)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_str(addr: int) -> str:
+    """Render a uint32 address as dotted-quad notation.
+
+    >>> ip_str(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= addr <= 0xFFFFFFFF:
+        raise ValueError(f"address out of uint32 range: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+# Minimum Ethernet frame; headers below this are padded on the wire.
+MIN_FRAME_BYTES = 64
+# What a capture reports for a minimal frame: 60 bytes (the 64-byte
+# minimum minus the 4-byte FCS, which taps and telemetry never see).
+MIN_CAPTURED_BYTES = 60
+# IPv4 + TCP header bytes without options (used as default SYN size).
+TCP_HEADER_BYTES = 40
+UDP_HEADER_BYTES = 28
+
+
+@dataclass
+class Packet:
+    """A simulated packet.
+
+    Attributes
+    ----------
+    src_ip, dst_ip : int
+        IPv4 addresses as uint32 integers (see :func:`ip`).
+    src_port, dst_port : int
+        L4 ports.
+    protocol : int
+        IP protocol number (:class:`Protocol`).
+    length : int
+        Total packet length in bytes (headers + payload); this is the
+        "Packet length" feature of Table II and drives serialization time
+        in the queue model.
+    tcp_flags : int
+        OR of :class:`TCPFlags` bits; 0 for non-TCP packets.
+    ts_send : int
+        Nanosecond time the source host emitted the packet.
+    flow_seq : int
+        Index of this packet within its flow (0-based), set by generators.
+    int_stack : list
+        Per-hop INT metadata accumulated in flight (managed by
+        :mod:`repro.int_telemetry.roles`); ``None`` until an INT source
+        switch initiates telemetry.
+    int_instruction : int
+        INT instruction bitmap inserted by the source switch; 0 when the
+        packet carries no INT header.
+    hops : int
+        Number of switches traversed so far.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    length: int
+    tcp_flags: int = 0
+    ts_send: int = 0
+    flow_seq: int = 0
+    int_stack: Optional[List] = field(default=None, repr=False)
+    int_instruction: int = 0
+    hops: int = 0
+    # Transient per-hop state: ingress timestamp at the switch currently
+    # holding the packet.  Written by Switch.receive, read at egress when
+    # the INT hop metadata is assembled.
+    ts_ingress: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"packet length must be positive: {self.length}")
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("port out of uint16 range")
+
+    @property
+    def five_tuple(self) -> FiveTuple:
+        """Flow key used by the Data Processor module (paper §III-2)."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+    @property
+    def captured_length(self) -> int:
+        """Length as telemetry observes it: wire-padded to the Ethernet
+        minimum (sans FCS).  A 40-byte crafted SYN and a 54-byte pure
+        ACK both report 60 here — the measurement reality that keeps
+        packet size from being an artificially clean attack separator.
+        """
+        return max(self.length, MIN_CAPTURED_BYTES)
+
+    @property
+    def carries_int(self) -> bool:
+        """Whether an INT header is currently embedded in the packet."""
+        return self.int_stack is not None
+
+    @property
+    def wire_length(self) -> int:
+        """Bytes actually serialized on the wire, including INT overhead.
+
+        Each hop metadata record is 16 bytes in our INT-MD layout (see
+        :mod:`repro.int_telemetry.metadata`); the shim+header add 12 more.
+        This is the payload-ratio cost of INT the paper's Section II-A2
+        mentions.
+        """
+        if self.int_stack is None:
+            return max(self.length, MIN_FRAME_BYTES)
+        overhead = 12 + 16 * len(self.int_stack)
+        return max(self.length + overhead, MIN_FRAME_BYTES)
+
+    def clone_headers(self) -> "Packet":
+        """Copy header fields into a fresh packet (no INT state carried)."""
+        return Packet(
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            protocol=self.protocol,
+            length=self.length,
+            tcp_flags=self.tcp_flags,
+            ts_send=self.ts_send,
+            flow_seq=self.flow_seq,
+        )

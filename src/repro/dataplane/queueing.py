@@ -1,0 +1,144 @@
+"""Egress queue model with occupancy tracking.
+
+The INT feature the paper leans on (Table II, Table V) is *queue
+occupancy*: "queue depth when the packet is removed from the queue".  We
+model each switch egress port as a single FIFO drained at the port line
+rate.  Serialization time is ``wire_length * 8 / rate_bps``, so a SYN
+flood of small packets at high rate builds depth while ordinary web
+traffic keeps the queue nearly empty — exactly the qualitative contrast
+the detector's queue features rely on.
+
+The queue is event-driven: it schedules its own service-completion events
+on the shared :class:`~repro.dataplane.events.EventQueue` and reports each
+departing packet to a downstream callback together with the residual queue
+depth observed at dequeue time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .events import EventQueue
+from .packet import Packet
+
+__all__ = ["EgressQueue", "QueueStats"]
+
+
+class QueueStats:
+    """Counters maintained by an :class:`EgressQueue`.
+
+    Attributes
+    ----------
+    enqueued, transmitted, dropped : int
+        Packet counters.
+    bytes_transmitted : int
+        Wire bytes sent (includes INT overhead).
+    max_depth : int
+        High-water mark of queue depth (packets), sampled at enqueue.
+    """
+
+    __slots__ = ("enqueued", "transmitted", "dropped", "bytes_transmitted", "max_depth")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.transmitted = 0
+        self.dropped = 0
+        self.bytes_transmitted = 0
+        self.max_depth = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "enqueued": self.enqueued,
+            "transmitted": self.transmitted,
+            "dropped": self.dropped,
+            "bytes_transmitted": self.bytes_transmitted,
+            "max_depth": self.max_depth,
+        }
+
+
+class EgressQueue:
+    """Tail-drop FIFO drained at a fixed line rate.
+
+    Parameters
+    ----------
+    events : EventQueue
+        Shared scheduler; service completions are posted here.
+    rate_bps : float
+        Port line rate in bits per second.
+    capacity_pkts : int
+        Maximum packets held (including the one in service).  Arrivals
+        beyond capacity are tail-dropped.
+    on_transmit : callable(Packet, int, int)
+        Invoked as ``on_transmit(pkt, depart_ns, depth_after)`` when a
+        packet finishes serialization.  ``depth_after`` is the number of
+        packets still queued at that instant — the INT "queue occupancy"
+        value.
+    """
+
+    def __init__(
+        self,
+        events: EventQueue,
+        rate_bps: float,
+        capacity_pkts: int = 1024,
+        on_transmit: Optional[Callable[[Packet, int, int], None]] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive: {rate_bps}")
+        if capacity_pkts < 1:
+            raise ValueError(f"capacity_pkts must be >= 1: {capacity_pkts}")
+        self.events = events
+        self.rate_bps = float(rate_bps)
+        self.capacity_pkts = int(capacity_pkts)
+        self.on_transmit = on_transmit
+        self.stats = QueueStats()
+        self._fifo: deque[Packet] = deque()
+        self._busy = False
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth in packets (including packet in service)."""
+        return len(self._fifo)
+
+    def serialization_ns(self, pkt: Packet) -> int:
+        """Time to push ``pkt`` onto the wire at the port rate."""
+        return max(1, int(round(pkt.wire_length * 8 * 1e9 / self.rate_bps)))
+
+    def enqueue(self, pkt: Packet) -> bool:
+        """Offer a packet to the queue.
+
+        Returns
+        -------
+        bool
+            ``True`` if accepted, ``False`` if tail-dropped.
+        """
+        if len(self._fifo) >= self.capacity_pkts:
+            self.stats.dropped += 1
+            return False
+        self._fifo.append(pkt)
+        self.stats.enqueued += 1
+        if len(self._fifo) > self.stats.max_depth:
+            self.stats.max_depth = len(self._fifo)
+        if not self._busy:
+            self._start_service()
+        return True
+
+    def _start_service(self) -> None:
+        pkt = self._fifo[0]
+        self._busy = True
+        self.events.schedule_in(self.serialization_ns(pkt), self._complete_service)
+
+    def _complete_service(self, _payload=None) -> None:
+        pkt = self._fifo.popleft()
+        depth_after = len(self._fifo)
+        self.stats.transmitted += 1
+        self.stats.bytes_transmitted += pkt.wire_length
+        if self.on_transmit is not None:
+            self.on_transmit(pkt, self.events.clock.now, depth_after)
+        if self._fifo:
+            self._start_service()
+        else:
+            self._busy = False

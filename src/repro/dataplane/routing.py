@@ -1,0 +1,80 @@
+"""Longest-prefix-match routing table.
+
+The paper's testbed needs only exact host routes, but a production
+AmLight-style deployment forwards on prefixes.  :class:`LpmTable` is a
+mask-bucketed LPM implementation: one hash table per prefix length,
+probed from /32 down — at most 33 dictionary lookups per miss, O(1)
+memory per route, and no trie bookkeeping.  It plugs into
+:class:`~repro.dataplane.switch.Switch` beside the exact-match table
+(exact wins, then LPM, then the default route).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["LpmTable"]
+
+
+def _mask(bits: int) -> int:
+    if not 0 <= bits <= 32:
+        raise ValueError(f"prefix length out of range: {bits}")
+    return 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+
+
+class LpmTable:
+    """IPv4 longest-prefix-match table mapping prefixes to values."""
+
+    def __init__(self) -> None:
+        # prefix length -> {masked_base: value}
+        self._buckets: Dict[int, Dict[int, object]] = {}
+        self._lengths_desc: List[int] = []
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def add(self, base_ip: int, prefix_len: int, value) -> None:
+        """Insert (or replace) a route for ``base_ip/prefix_len``."""
+        m = _mask(prefix_len)
+        bucket = self._buckets.get(prefix_len)
+        if bucket is None:
+            bucket = {}
+            self._buckets[prefix_len] = bucket
+            self._lengths_desc = sorted(self._buckets, reverse=True)
+        key = base_ip & m
+        if key not in bucket:
+            self._n += 1
+        bucket[key] = value
+
+    def remove(self, base_ip: int, prefix_len: int) -> bool:
+        """Delete a route; returns whether it existed."""
+        m = _mask(prefix_len)
+        bucket = self._buckets.get(prefix_len)
+        if bucket is None:
+            return False
+        removed = bucket.pop(base_ip & m, None) is not None
+        if removed:
+            self._n -= 1
+            if not bucket:
+                del self._buckets[prefix_len]
+                self._lengths_desc = sorted(self._buckets, reverse=True)
+        return removed
+
+    def lookup(self, ip: int) -> Optional[object]:
+        """Value of the longest matching prefix, or None."""
+        for bits in self._lengths_desc:
+            hit = self._buckets[bits].get(ip & _mask(bits))
+            if hit is not None:
+                return hit
+        return None
+
+    def lookup_prefix(self, ip: int) -> Optional[Tuple[int, int, object]]:
+        """As :meth:`lookup` but returns ``(base, prefix_len, value)``."""
+        for bits in self._lengths_desc:
+            m = _mask(bits)
+            key = ip & m
+            hit = self._buckets[bits].get(key)
+            if hit is not None:
+                return (key, bits, hit)
+        return None

@@ -1,0 +1,180 @@
+"""Programmable switch model.
+
+A :class:`Switch` is a minimal abstraction of a P4 pipeline: packets enter
+through :meth:`receive`, run a chain of *ingress hooks* (where sFlow
+sampling and INT source/sink decisions live), are matched against a
+forwarding table, queued on the egress port, and finally run a chain of
+*egress hooks* at dequeue time (where INT hop metadata — which needs the
+egress timestamp and the queue occupancy observed at dequeue — is
+assembled).
+
+Hooks are plain callables, so the telemetry stacks in
+:mod:`repro.int_telemetry` and :mod:`repro.sflow` attach to a switch
+without the switch knowing anything about them — the same separation a P4
+program enjoys from the fixed-function forwarding logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .events import EventQueue
+from .link import Link
+from .packet import Packet
+from .queueing import EgressQueue
+
+__all__ = ["Switch", "Port", "IngressHook", "EgressHook"]
+
+#: Ingress hook signature: ``hook(switch, pkt, in_port) -> bool``.
+#: Returning ``False`` drops the packet (e.g. an ACL); telemetry hooks
+#: always return ``True``.
+IngressHook = Callable[["Switch", Packet, int], bool]
+
+#: Egress hook signature:
+#: ``hook(switch, pkt, out_port, egress_ns, queue_depth) -> None``.
+EgressHook = Callable[["Switch", Packet, int, int, int], None]
+
+
+class Port:
+    """An egress port: a rate-limited queue feeding a link."""
+
+    __slots__ = ("number", "queue", "link")
+
+    def __init__(self, number: int, queue: EgressQueue, link: Link) -> None:
+        self.number = number
+        self.queue = queue
+        self.link = link
+
+
+class Switch:
+    """An INT-capable forwarding element.
+
+    Parameters
+    ----------
+    name : str
+        Label used in topology dumps and telemetry reports.
+    switch_id : int
+        Numeric identifier embedded in INT hop metadata.
+    events : EventQueue
+        Shared discrete-event scheduler.
+    """
+
+    def __init__(self, name: str, switch_id: int, events: EventQueue) -> None:
+        from .routing import LpmTable
+
+        self.name = name
+        self.switch_id = int(switch_id)
+        self.events = events
+        self.ports: Dict[int, Port] = {}
+        self.forwarding: Dict[int, int] = {}  # dst_ip -> out_port (exact)
+        self.lpm = LpmTable()  # prefix routes (consulted after exact)
+        self.default_port: Optional[int] = None
+        self.ingress_hooks: List[IngressHook] = []
+        self.egress_hooks: List[EgressHook] = []
+        self.received = 0
+        self.forwarded = 0
+        self.dropped_no_route = 0
+        self.dropped_acl = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def add_port(
+        self,
+        number: int,
+        rate_bps: float,
+        delay_ns: int,
+        deliver: Callable[[Packet], None],
+        capacity_pkts: int = 1024,
+        link_name: Optional[str] = None,
+    ) -> Port:
+        """Attach an egress port with its queue and outgoing link."""
+        if number in self.ports:
+            raise ValueError(f"{self.name}: port {number} already exists")
+        link = Link(
+            self.events,
+            delay_ns,
+            deliver,
+            name=link_name or f"{self.name}:p{number}",
+        )
+        queue = EgressQueue(
+            self.events,
+            rate_bps,
+            capacity_pkts=capacity_pkts,
+            on_transmit=lambda pkt, t, depth, _n=number: self._on_transmit(
+                pkt, _n, t, depth
+            ),
+        )
+        port = Port(number, queue, link)
+        self.ports[number] = port
+        return port
+
+    def add_route(self, dst_ip: int, out_port: int) -> None:
+        """Install an exact-match forwarding entry."""
+        if out_port not in self.ports:
+            raise ValueError(f"{self.name}: unknown port {out_port}")
+        self.forwarding[dst_ip] = out_port
+
+    def add_prefix_route(self, base_ip: int, prefix_len: int, out_port: int) -> None:
+        """Install a longest-prefix-match entry (checked after exact)."""
+        if out_port not in self.ports:
+            raise ValueError(f"{self.name}: unknown port {out_port}")
+        self.lpm.add(base_ip, prefix_len, out_port)
+
+    def set_default_route(self, out_port: int) -> None:
+        """Install the table-miss action (send to ``out_port``)."""
+        if out_port not in self.ports:
+            raise ValueError(f"{self.name}: unknown port {out_port}")
+        self.default_port = out_port
+
+    def add_ingress_hook(self, hook: IngressHook) -> None:
+        self.ingress_hooks.append(hook)
+
+    def add_egress_hook(self, hook: EgressHook) -> None:
+        self.egress_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, in_port: int = 0) -> None:
+        """Ingress pipeline: hooks → route lookup → egress queue."""
+        self.received += 1
+        pkt.ts_ingress = self.events.clock.now
+        pkt.hops += 1
+        for hook in self.ingress_hooks:
+            if not hook(self, pkt, in_port):
+                self.dropped_acl += 1
+                return
+        out_port = self.forwarding.get(pkt.dst_ip)
+        if out_port is None and len(self.lpm):
+            out_port = self.lpm.lookup(pkt.dst_ip)
+        if out_port is None:
+            out_port = self.default_port
+        if out_port is None:
+            self.dropped_no_route += 1
+            return
+        self.ports[out_port].queue.enqueue(pkt)
+
+    def _on_transmit(self, pkt: Packet, out_port: int, egress_ns: int, depth: int) -> None:
+        """Egress pipeline at dequeue: hooks (INT metadata) → wire."""
+        for hook in self.egress_hooks:
+            hook(self, pkt, out_port, egress_ns, depth)
+        self.forwarded += 1
+        self.ports[out_port].link.send(pkt)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Aggregate per-switch counters for reporting and tests."""
+        return {
+            "name": self.name,
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "dropped_no_route": self.dropped_no_route,
+            "dropped_acl": self.dropped_acl,
+            "ports": {n: p.queue.stats.as_dict() for n, p in self.ports.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Switch({self.name}, id={self.switch_id}, ports={sorted(self.ports)})"

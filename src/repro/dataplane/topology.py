@@ -1,0 +1,261 @@
+"""Hosts and topology builders.
+
+Two canonical topologies mirror the paper's figures:
+
+* :func:`int_path_topology` — Fig 1: a line of three switches acting as
+  INT source, transit and sink between two hosts, with the sink exporting
+  telemetry reports to a collector.
+* :func:`testbed_topology` — Fig 6: the physical testbed, one
+  Edgecore-style switch with the source and target agents on ports 1/2, a
+  loop through ports 3/4 (one end acting as INT source, the other as
+  sink), and the collector tap on port 5.
+
+A :class:`Topology` owns the shared event queue and exposes the pieces
+(telemetry stacks attach to switches afterwards).  The underlying graph is
+mirrored into :mod:`networkx` for introspection and rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .events import EventQueue
+from .link import Link
+from .packet import Packet, ip
+from .simclock import SimClock, us
+from .switch import Switch
+
+__all__ = ["Host", "Topology", "int_path_topology", "testbed_topology"]
+
+# Default port rate used by topologies: 100 Gbps, matching the AmLight
+# testbed NICs/switch; override per-port if an experiment needs a
+# constrained bottleneck.
+DEFAULT_RATE_BPS = 100e9
+DEFAULT_LINK_DELAY_NS = us(1)
+
+
+class Host:
+    """An end host: sends scheduled packets, counts what it receives."""
+
+    def __init__(self, name: str, ip_addr: int, events: EventQueue) -> None:
+        self.name = name
+        self.ip = ip_addr
+        self.events = events
+        self.uplink: Optional[Link] = None
+        self.received: int = 0
+        self.rx_callback: Optional[Callable[[Packet, int], None]] = None
+
+    def attach(self, uplink: Link) -> None:
+        """Connect the host NIC to its access link toward the switch."""
+        self.uplink = uplink
+
+    def send_at(self, t_ns: int, pkt: Packet) -> None:
+        """Schedule ``pkt`` to leave this host at absolute time ``t_ns``."""
+        if self.uplink is None:
+            raise RuntimeError(f"host {self.name} has no uplink")
+        pkt.ts_send = int(t_ns)
+        self.events.schedule(t_ns, self._emit, pkt)
+
+    def _emit(self, pkt: Packet) -> None:
+        self.uplink.send(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        """Terminal delivery; invoked by the access link from the switch."""
+        self.received += 1
+        if self.rx_callback is not None:
+            self.rx_callback(pkt, self.events.clock.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Host({self.name})"
+
+
+class Topology:
+    """Container wiring hosts, switches and links over one event queue."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self.clock = SimClock()
+        self.events = EventQueue(self.clock)
+        self.hosts: Dict[str, Host] = {}
+        self.switches: Dict[str, Switch] = {}
+        self.graph = nx.DiGraph(name=name)
+        self._next_switch_id = 1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str, ip_addr: str | int) -> Host:
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate node name: {name}")
+        addr = ip(ip_addr) if isinstance(ip_addr, str) else int(ip_addr)
+        host = Host(name, addr, self.events)
+        self.hosts[name] = host
+        self.graph.add_node(name, kind="host", ip=addr)
+        return host
+
+    def add_switch(self, name: str, switch_id: Optional[int] = None) -> Switch:
+        if name in self.hosts or name in self.switches:
+            raise ValueError(f"duplicate node name: {name}")
+        if switch_id is None:
+            switch_id = self._next_switch_id
+        self._next_switch_id = max(self._next_switch_id, switch_id) + 1
+        sw = Switch(name, switch_id, self.events)
+        self.switches[name] = sw
+        self.graph.add_node(name, kind="switch", switch_id=switch_id)
+        return sw
+
+    def connect_host_to_switch(
+        self,
+        host: Host,
+        switch: Switch,
+        switch_port: int,
+        rate_bps: float = DEFAULT_RATE_BPS,
+        delay_ns: int = DEFAULT_LINK_DELAY_NS,
+        capacity_pkts: int = 1024,
+    ) -> None:
+        """Create the host↔switch link pair (host NIC has no queue)."""
+        uplink = Link(
+            self.events,
+            delay_ns,
+            lambda pkt, _sw=switch, _p=switch_port: _sw.receive(pkt, _p),
+            name=f"{host.name}->{switch.name}",
+        )
+        host.attach(uplink)
+        switch.add_port(
+            switch_port,
+            rate_bps,
+            delay_ns,
+            host.receive,
+            capacity_pkts=capacity_pkts,
+            link_name=f"{switch.name}->{host.name}",
+        )
+        self.graph.add_edge(host.name, switch.name, port=switch_port)
+        self.graph.add_edge(switch.name, host.name, port=switch_port)
+
+    def connect_switches(
+        self,
+        a: Switch,
+        b: Switch,
+        port_a: int,
+        port_b: int,
+        rate_bps: float = DEFAULT_RATE_BPS,
+        delay_ns: int = DEFAULT_LINK_DELAY_NS,
+        capacity_pkts: int = 1024,
+    ) -> None:
+        """Create a bidirectional switch-to-switch connection."""
+        a.add_port(
+            port_a,
+            rate_bps,
+            delay_ns,
+            lambda pkt, _sw=b, _p=port_b: _sw.receive(pkt, _p),
+            capacity_pkts=capacity_pkts,
+            link_name=f"{a.name}->{b.name}",
+        )
+        b.add_port(
+            port_b,
+            rate_bps,
+            delay_ns,
+            lambda pkt, _sw=a, _p=port_a: _sw.receive(pkt, _p),
+            capacity_pkts=capacity_pkts,
+            link_name=f"{b.name}->{a.name}",
+        )
+        self.graph.add_edge(a.name, b.name, port=port_a)
+        self.graph.add_edge(b.name, a.name, port=port_b)
+
+    # ------------------------------------------------------------------
+    # execution / introspection
+    # ------------------------------------------------------------------
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue; returns the number of events executed."""
+        return self.events.run(until_ns=until_ns, max_events=max_events)
+
+    def describe(self) -> str:
+        """ASCII rendering of nodes and edges (used by figure benches)."""
+        lines = [f"topology: {self.name}"]
+        for name, sw in sorted(self.switches.items()):
+            lines.append(f"  switch {name} (id={sw.switch_id})")
+            for pn in sorted(sw.ports):
+                lines.append(f"    port {pn} -> {sw.ports[pn].link.name.split('->')[-1]}")
+        for name, h in sorted(self.hosts.items()):
+            peer = h.uplink.name.split("->")[-1] if h.uplink else "(detached)"
+            lines.append(f"  host {name} -> {peer}")
+        return "\n".join(lines)
+
+
+def int_path_topology(
+    rate_bps: float = DEFAULT_RATE_BPS,
+    delay_ns: int = DEFAULT_LINK_DELAY_NS,
+    capacity_pkts: int = 1024,
+) -> Topology:
+    """Fig 1 topology: host — source — transit — sink — host.
+
+    INT roles are *not* attached here; callers wire
+    :class:`repro.int_telemetry.roles.IntSource` etc. onto the returned
+    switches so tests can exercise role combinations independently.
+    """
+    topo = Topology(name="int-path")
+    client = topo.add_host("client", "10.0.0.1")
+    server = topo.add_host("server", "10.0.0.2")
+    s1 = topo.add_switch("source_sw", 1)
+    s2 = topo.add_switch("transit_sw", 2)
+    s3 = topo.add_switch("sink_sw", 3)
+
+    topo.connect_host_to_switch(client, s1, 1, rate_bps, delay_ns, capacity_pkts)
+    topo.connect_switches(s1, s2, 2, 1, rate_bps, delay_ns, capacity_pkts)
+    topo.connect_switches(s2, s3, 2, 1, rate_bps, delay_ns, capacity_pkts)
+    topo.connect_host_to_switch(server, s3, 2, rate_bps, delay_ns, capacity_pkts)
+
+    # client -> server rides ports (1->2, 1->2, 1->2); reverse path mirrors.
+    s1.add_route(server.ip, 2)
+    s1.add_route(client.ip, 1)
+    s2.add_route(server.ip, 2)
+    s2.add_route(client.ip, 1)
+    s3.add_route(server.ip, 2)
+    s3.add_route(client.ip, 1)
+    return topo
+
+
+def testbed_topology(
+    rate_bps: float = DEFAULT_RATE_BPS,
+    delay_ns: int = DEFAULT_LINK_DELAY_NS,
+    capacity_pkts: int = 1024,
+) -> Topology:
+    """Fig 6 topology: source/target agents on one INT-enabled switch.
+
+    Ports 1 and 2 face the source and target agents.  Ports 3 and 4 are
+    looped back externally so every packet traverses the switch pipeline
+    twice (once as INT source, once as INT sink), exactly as the paper's
+    testbed forces packets "from ports 1 and 2, but also traverse ports 3
+    and 4".  Port 5 is the collector tap.
+
+    To keep the model single-switch (as the physical testbed is), the
+    loopback is represented by two logical switch instances sharing
+    switch_id — "wedge_a" (first pass: ports 1/2/3) and "wedge_b" (second
+    pass: ports 4/5 + host-facing delivery).  Together they are one
+    Wedge DCS800 with ports 1-5.
+    """
+    topo = Topology(name="int-testbed")
+    source = topo.add_host("source_agent", "192.168.1.1")
+    target = topo.add_host("target_agent", "192.168.1.2")
+    collector_host = topo.add_host("collector", "192.168.1.5")
+
+    pass1 = topo.add_switch("wedge_a", 100)
+    pass2 = topo.add_switch("wedge_b", 100)
+
+    # Agent-facing ports on the first pass.
+    topo.connect_host_to_switch(source, pass1, 1, rate_bps, delay_ns, capacity_pkts)
+    topo.connect_host_to_switch(target, pass2, 2, rate_bps, delay_ns, capacity_pkts)
+    # External loopback: pass1 port 3 -> pass2 port 4 (and back).
+    topo.connect_switches(pass1, pass2, 3, 4, rate_bps, delay_ns, capacity_pkts)
+    # Collector tap on port 5 of the second pass.
+    topo.connect_host_to_switch(collector_host, pass2, 5, rate_bps, delay_ns, capacity_pkts)
+
+    # Everything entering pass1 loops out port 3; pass2 delivers locally.
+    pass1.set_default_route(3)
+    pass1.add_route(source.ip, 1)
+    pass2.add_route(target.ip, 2)
+    pass2.add_route(collector_host.ip, 5)
+    pass2.add_route(source.ip, 4)
+    return topo

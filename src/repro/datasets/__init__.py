@@ -1,0 +1,29 @@
+"""Dataset synthesis: the AmLight campaign and testbed replays."""
+
+from .amlight import (
+    SERVER_IP,
+    SERVER_PORT,
+    AmLightDataset,
+    CampaignConfig,
+    build_campaign_trace,
+    build_dataset,
+    cached_dataset,
+    capture_testbed,
+    label_records,
+    monitored_topology,
+    testbed_flow_traces,
+)
+
+__all__ = [
+    "SERVER_IP",
+    "SERVER_PORT",
+    "AmLightDataset",
+    "CampaignConfig",
+    "build_campaign_trace",
+    "build_dataset",
+    "cached_dataset",
+    "capture_testbed",
+    "label_records",
+    "monitored_topology",
+    "testbed_flow_traces",
+]

@@ -1,0 +1,37 @@
+"""Feature engineering: the Data Processor's computations (paper §III-2).
+
+Streaming per-flow statistics (:mod:`~repro.features.welford`,
+:mod:`~repro.features.flow_record`, :mod:`~repro.features.flow_table`)
+for the online pipeline, a vectorized bulk extractor
+(:mod:`~repro.features.extract`) for offline training, and the Table II
+feature schema (:mod:`~repro.features.schema`).
+"""
+
+from .extract import FeatureMatrix, extract_features
+from .flow_record import FlowRecord
+from .io import from_npz, to_csv, to_npz
+from .flow_table import FlowTable
+from .keys import canonical_flow_key, canonical_key_arrays
+from .schema import FEATURES, Feature, feature_names, table2_rows
+from .temporal import TEMPORAL_FEATURES, add_temporal_features, temporal_feature_names
+from .welford import Welford
+
+__all__ = [
+    "FeatureMatrix",
+    "extract_features",
+    "FlowRecord",
+    "to_csv",
+    "to_npz",
+    "from_npz",
+    "FlowTable",
+    "Feature",
+    "FEATURES",
+    "feature_names",
+    "table2_rows",
+    "canonical_flow_key",
+    "canonical_key_arrays",
+    "TEMPORAL_FEATURES",
+    "add_temporal_features",
+    "temporal_feature_names",
+    "Welford",
+]

@@ -1,0 +1,172 @@
+"""Per-flow state record (the Data Processor's unit of storage).
+
+Implements the update semantics of paper §III-2 exactly:
+
+* first packet of a Flow ID → create a record with packet-level values
+  from that packet and flow-level values at their defaults ("mostly 0
+  at initiation");
+* subsequent packets → update all flow-level aggregates, *replace* all
+  packet-level values with the newest packet's.
+
+Inter-arrival times are computed from consecutive (wrapped 32-bit) INT
+ingress timestamps with wrap-aware differencing by default; the naive
+mode reproduces the error discussed in paper §V and feeds the timestamp
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.int_telemetry.timestamps import delta32_signed, naive_delta32
+
+from .welford import Welford
+
+__all__ = ["FlowRecord"]
+
+_NS = 1e-9
+
+
+class FlowRecord:
+    """Running state for one five-tuple flow.
+
+    Parameters
+    ----------
+    key : tuple
+        The five-tuple Flow ID.
+    wrap_aware : bool
+        Use modular 32-bit differencing for inter-arrival times.  With
+        ``False`` a timestamp wrap between packets produces a (clamped)
+        wrong gap — the paper's Section V failure mode.
+    """
+
+    __slots__ = (
+        "key",
+        "wrap_aware",
+        "created_ns",
+        "updated_ns",
+        "protocol",
+        "packet_size",
+        "inter_arrival_s",
+        "queue_occupancy",
+        "hop_latency_s",
+        "n_packets",
+        "total_bytes",
+        "duration_s",
+        "_last_ts32",
+        "size_stats",
+        "iat_stats",
+        "occ_stats",
+        "updates",
+    )
+
+    def __init__(self, key: tuple, wrap_aware: bool = True) -> None:
+        self.key = key
+        self.wrap_aware = bool(wrap_aware)
+        self.created_ns = 0
+        self.updated_ns = 0
+        # packet-level (replaced on every packet)
+        self.protocol = 0
+        self.packet_size = 0.0
+        self.inter_arrival_s = 0.0
+        self.queue_occupancy = 0.0
+        self.hop_latency_s = 0.0
+        # flow-level (aggregated)
+        self.n_packets = 0
+        self.total_bytes = 0.0
+        self.duration_s = 0.0
+        self._last_ts32: int | None = None
+        self.size_stats = Welford()
+        self.iat_stats = Welford()
+        self.occ_stats = Welford()
+        self.updates = 0
+
+    def update(
+        self,
+        now_ns: int,
+        ingress_ts32: int,
+        length: float,
+        protocol: int,
+        queue_occupancy: float = 0.0,
+        hop_latency_ns: float = 0.0,
+    ) -> None:
+        """Fold one packet into the record.
+
+        Parameters
+        ----------
+        now_ns : int
+            Registration wall-clock time (drives prediction latency).
+        ingress_ts32 : int
+            Wrapped 32-bit INT ingress timestamp (or the collector clock
+            folded to 32 bits for sFlow-sourced updates).
+        length, protocol, queue_occupancy, hop_latency_ns :
+            Latest packet's header/metadata values.
+        """
+        if self.n_packets == 0:
+            self.created_ns = now_ns
+            gap_s = 0.0
+        else:
+            if self.wrap_aware:
+                # Signed nearest-representative difference: corrects
+                # wraps and turns slight cross-observation-point
+                # reordering into a clamped zero instead of ~4.29 s.
+                gap_ns = max(0, int(delta32_signed(ingress_ts32, self._last_ts32)))
+            else:
+                gap_ns = max(0, int(naive_delta32(ingress_ts32, self._last_ts32)))
+            gap_s = gap_ns * _NS
+            self.iat_stats.push(gap_s)
+            self.duration_s += gap_s
+
+        self._last_ts32 = int(ingress_ts32)
+        self.updated_ns = now_ns
+
+        # packet-level replacement
+        self.protocol = int(protocol)
+        self.packet_size = float(length)
+        self.inter_arrival_s = gap_s
+        self.queue_occupancy = float(queue_occupancy)
+        self.hop_latency_s = float(hop_latency_ns) * _NS
+
+        # flow-level aggregation
+        self.n_packets += 1
+        self.total_bytes += float(length)
+        self.size_stats.push(float(length))
+        self.occ_stats.push(float(queue_occupancy))
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def is_new(self) -> bool:
+        """True until the record has been updated at least once beyond
+        creation — the CentralServer skips these (§III-3)."""
+        return self.n_packets <= 1
+
+    def feature_vector(self, names: Sequence[str]) -> np.ndarray:
+        """Features in schema order for the Prediction module."""
+        dur = self.duration_s
+        pps = self.n_packets / dur if dur > 0 else 0.0
+        bps = self.total_bytes / dur if dur > 0 else 0.0
+        lookup = {
+            "protocol": float(self.protocol),
+            "packet_size": self.packet_size,
+            "packet_size_cum": self.total_bytes,
+            "packet_size_avg": self.size_stats.mean,
+            "packet_size_std": self.size_stats.std,
+            "inter_arrival": self.inter_arrival_s,
+            "inter_arrival_cum": dur,
+            "inter_arrival_avg": self.iat_stats.mean,
+            "inter_arrival_std": self.iat_stats.std,
+            "queue_occupancy": self.queue_occupancy,
+            "queue_occupancy_avg": self.occ_stats.mean,
+            "queue_occupancy_std": self.occ_stats.std,
+            "n_packets": float(self.n_packets),
+            "packets_per_second": pps,
+            "bytes_per_second": bps,
+            "hop_latency": self.hop_latency_s,
+        }
+        try:
+            return np.array([lookup[n] for n in names], dtype=np.float64)
+        except KeyError as exc:  # pragma: no cover - schema misuse
+            raise KeyError(f"unknown feature name: {exc}") from exc

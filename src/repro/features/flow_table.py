@@ -1,0 +1,100 @@
+"""Flow table: the Data Processor's keyed store of flow records.
+
+Keeps exactly one :class:`~repro.features.flow_record.FlowRecord` per
+five-tuple (the paper's deliberate storage optimization: "we only keep
+one record for each flow at a given time").  Supports idle-flow eviction
+so a long-running deployment — or a SYN flood, where every spoofed packet
+creates a new flow — cannot grow the table without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+from .flow_record import FlowRecord
+
+__all__ = ["FlowTable"]
+
+
+class FlowTable:
+    """Ordered mapping of five-tuple → :class:`FlowRecord`.
+
+    Parameters
+    ----------
+    max_flows : int, optional
+        Hard cap on resident flows; exceeding it evicts the least
+        recently updated flow (SYN-flood pressure relief).
+    idle_timeout_ns : int, optional
+        Flows not updated for this long are evicted by
+        :meth:`expire_idle`.
+    wrap_aware : bool
+        Passed through to new records (timestamp ablation hook).
+    """
+
+    def __init__(
+        self,
+        max_flows: Optional[int] = None,
+        idle_timeout_ns: Optional[int] = None,
+        wrap_aware: bool = True,
+    ) -> None:
+        if max_flows is not None and max_flows < 1:
+            raise ValueError(f"max_flows must be >= 1: {max_flows}")
+        self._flows: "OrderedDict[tuple, FlowRecord]" = OrderedDict()
+        self.max_flows = max_flows
+        self.idle_timeout_ns = idle_timeout_ns
+        self.wrap_aware = bool(wrap_aware)
+        self.created = 0
+        self.evicted = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._flows
+
+    def get(self, key: tuple) -> Optional[FlowRecord]:
+        return self._flows.get(key)
+
+    def update(
+        self,
+        key: tuple,
+        now_ns: int,
+        ingress_ts32: int,
+        length: float,
+        protocol: int,
+        queue_occupancy: float = 0.0,
+        hop_latency_ns: float = 0.0,
+    ) -> FlowRecord:
+        """Route one packet's data into its flow record (creating it if
+        this is a brand-new Flow ID), and return the record."""
+        rec = self._flows.get(key)
+        if rec is None:
+            rec = FlowRecord(key, wrap_aware=self.wrap_aware)
+            self._flows[key] = rec
+            self.created += 1
+            if self.max_flows is not None and len(self._flows) > self.max_flows:
+                self._flows.popitem(last=False)
+                self.evicted += 1
+        else:
+            self._flows.move_to_end(key)
+        rec.update(now_ns, ingress_ts32, length, protocol, queue_occupancy, hop_latency_ns)
+        return rec
+
+    def expire_idle(self, now_ns: int) -> int:
+        """Evict flows idle longer than ``idle_timeout_ns``; returns count."""
+        if self.idle_timeout_ns is None:
+            return 0
+        cutoff = now_ns - self.idle_timeout_ns
+        stale = [k for k, rec in self._flows.items() if rec.updated_ns < cutoff]
+        for k in stale:
+            del self._flows[k]
+        self.expired += len(stale)
+        return len(stale)
+
+    def items(self) -> Iterator[Tuple[tuple, FlowRecord]]:
+        return iter(self._flows.items())
+
+    def records(self) -> Iterator[FlowRecord]:
+        return iter(self._flows.values())

@@ -1,0 +1,95 @@
+"""Feature-matrix interchange: CSV and NPZ export/import.
+
+Downstream users will want to take the extracted features into their own
+tooling (pandas, scikit-learn, a notebook).  CSV is the lingua franca;
+NPZ round-trips losslessly including the flow bookkeeping columns.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from .extract import FeatureMatrix
+
+__all__ = ["to_csv", "to_npz", "from_npz"]
+
+
+def to_csv(
+    fm: FeatureMatrix,
+    path,
+    labels: Optional[np.ndarray] = None,
+    include_bookkeeping: bool = True,
+) -> Path:
+    """Write the feature matrix as a headed CSV.
+
+    Parameters
+    ----------
+    fm : FeatureMatrix
+    path : destination file.
+    labels : optional ground-truth column (appended as ``label``).
+    include_bookkeeping : bool
+        Also emit ``flow_index`` / ``packet_index`` / ``is_first``.
+    """
+    path = Path(path)
+    if labels is not None and len(labels) != len(fm):
+        raise ValueError("labels must align with the feature matrix")
+    header = list(fm.names)
+    if include_bookkeeping:
+        header += ["flow_index", "packet_index", "is_first"]
+    if labels is not None:
+        header.append("label")
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for i in range(len(fm)):
+            row = [repr(float(v)) for v in fm.X[i]]
+            if include_bookkeeping:
+                row += [int(fm.flow_index[i]), int(fm.packet_index[i]),
+                        int(fm.is_first[i])]
+            if labels is not None:
+                row.append(int(labels[i]))
+            writer.writerow(row)
+    return path
+
+
+def to_npz(fm: FeatureMatrix, path, labels: Optional[np.ndarray] = None) -> Path:
+    """Lossless NPZ export of a feature matrix (+optional labels)."""
+    path = Path(path)
+    payload = dict(
+        X=fm.X,
+        names=np.asarray(fm.names),
+        flow_index=fm.flow_index,
+        packet_index=fm.packet_index,
+        is_first=fm.is_first,
+        n_flows=np.int64(fm.n_flows),
+    )
+    if labels is not None:
+        if len(labels) != len(fm):
+            raise ValueError("labels must align with the feature matrix")
+        payload["labels"] = np.asarray(labels)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def from_npz(path):
+    """Load a feature matrix written by :func:`to_npz`.
+
+    Returns
+    -------
+    (FeatureMatrix, labels or None)
+    """
+    with np.load(path, allow_pickle=False) as blob:
+        fm = FeatureMatrix(
+            X=blob["X"],
+            names=[str(n) for n in blob["names"]],
+            flow_index=blob["flow_index"],
+            packet_index=blob["packet_index"],
+            is_first=blob["is_first"],
+            n_flows=int(blob["n_flows"]),
+        )
+        labels = blob["labels"] if "labels" in blob else None
+    return fm, labels

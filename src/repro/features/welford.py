@@ -1,0 +1,70 @@
+"""Streaming mean/variance (Welford's algorithm).
+
+The online Data Processor must maintain per-flow averages and standard
+deviations (Table II's *avg* / *std* feature variants) one packet at a
+time without storing packet history.  Welford's update is the numerically
+stable way to do that — naive sum/sum-of-squares accumulation loses
+precision exactly in the regime the detector cares about (long flows with
+small inter-arrival variance).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Welford"]
+
+
+class Welford:
+    """Single-variable streaming moments.
+
+    Attributes
+    ----------
+    n : int
+        Observations so far.
+    mean : float
+        Running mean (0.0 when empty).
+    """
+
+    __slots__ = ("n", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, x: float) -> None:
+        """Fold one observation into the moments."""
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (x - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two observations)."""
+        if self.n < 2:
+            return 0.0
+        return self._m2 / self.n
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(max(self.variance, 0.0))
+
+    def merge(self, other: "Welford") -> "Welford":
+        """Combine two streams (parallel-merge form of the update)."""
+        if other.n == 0:
+            return self
+        if self.n == 0:
+            self.n, self.mean, self._m2 = other.n, other.mean, other._m2
+            return self
+        n = self.n + other.n
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.n / n
+        m2 = self._m2 + other._m2 + delta * delta * self.n * other.n / n
+        self.n, self.mean, self._m2 = n, mean, m2
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Welford(n={self.n}, mean={self.mean:.6g}, std={self.std:.6g})"

@@ -1,0 +1,50 @@
+"""In-band Network Telemetry (INT) stack.
+
+Implements the INT-MD style telemetry path of Fig 1: instruction bitmaps,
+per-hop metadata with wrapped 32-bit nanosecond timestamps, shim/header
+byte codecs, the source/transit/sink switch roles, telemetry reports and
+the collector.
+"""
+
+from .collector import IntCollector
+from .header import IntHeader, decode_stack, encode_stack
+from .instructions import AMLIGHT_INSTRUCTION, IntInstruction, instruction_fields
+from .metadata import HOP_METADATA_BYTES, HopMetadata
+from .pint import PintSource, PintTransit, overhead_report
+from .report import REPORT_DTYPE, TelemetryReport
+from .roles import IntSink, IntSource, IntTransit, attach_int_path
+from .timestamps import (
+    WRAP_PERIOD_NS,
+    WRAP_PERIOD_S,
+    delta32,
+    naive_delta32,
+    unwrap32,
+    wrap32,
+)
+
+__all__ = [
+    "IntCollector",
+    "IntHeader",
+    "encode_stack",
+    "decode_stack",
+    "IntInstruction",
+    "AMLIGHT_INSTRUCTION",
+    "instruction_fields",
+    "HopMetadata",
+    "HOP_METADATA_BYTES",
+    "PintSource",
+    "PintTransit",
+    "overhead_report",
+    "TelemetryReport",
+    "REPORT_DTYPE",
+    "IntSource",
+    "IntTransit",
+    "IntSink",
+    "attach_int_path",
+    "WRAP_PERIOD_NS",
+    "WRAP_PERIOD_S",
+    "wrap32",
+    "delta32",
+    "naive_delta32",
+    "unwrap32",
+]

@@ -1,0 +1,73 @@
+"""INT collector.
+
+The collector is the off-switch endpoint of Fig 1: it receives one
+telemetry report per packet from the sink switch and accumulates them in
+a structured-array buffer.  The INT Data Collection module of the
+automated mechanism (paper §III-1) reads from here, either in bulk
+(offline training) or as a live stream of callbacks (online detection).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.common.buffers import GrowableRecordBuffer
+
+from .report import REPORT_DTYPE, TelemetryReport, report_to_row
+
+__all__ = ["IntCollector"]
+
+
+class IntCollector:
+    """Accumulates telemetry reports; optionally streams them onward.
+
+    Parameters
+    ----------
+    keep_stacks : bool
+        Retain the full per-hop metadata objects alongside the flat rows
+        (needed by a few tests and the Fig 1 walkthrough; costs memory,
+        off by default).
+    subscriber : callable(TelemetryReport), optional
+        Live tap invoked synchronously on every ingested report — this is
+        how the online detection pipeline consumes INT without waiting
+        for the run to finish.
+    """
+
+    def __init__(
+        self,
+        keep_stacks: bool = False,
+        subscriber: Optional[Callable[[TelemetryReport], None]] = None,
+    ) -> None:
+        self._buffer = GrowableRecordBuffer(REPORT_DTYPE, initial_capacity=4096)
+        self.keep_stacks = keep_stacks
+        self.stacks: List[tuple] = []
+        self.subscriber = subscriber
+        self.reports_ingested = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def ingest(self, report: TelemetryReport) -> None:
+        """Receive one report from a sink switch."""
+        self._buffer.append_row(report_to_row(report))
+        if self.keep_stacks:
+            self.stacks.append(report.hop_stack)
+        self.reports_ingested += 1
+        if self.subscriber is not None:
+            self.subscriber(report)
+
+    def to_records(self) -> np.ndarray:
+        """Owning structured array of everything collected so far."""
+        return self._buffer.compact()
+
+    def view(self) -> np.ndarray:
+        """Zero-copy view (invalidated by the next buffer growth)."""
+        return self._buffer.view()
+
+    def clear(self) -> None:
+        """Drop everything collected (storage retained)."""
+        self._buffer.clear()
+        self.stacks.clear()
+        self.reports_ingested = 0

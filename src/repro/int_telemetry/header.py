@@ -1,0 +1,110 @@
+"""INT shim + header encode/decode.
+
+A compact INT-MD style header: a 4-byte shim (type, reserved, length) and
+an 8-byte header (version, hop count, remaining hop capacity, instruction
+bitmap).  The full on-wire telemetry block is
+``shim + header + hop_count * HopMetadata``.
+
+The simulator carries metadata as Python objects for speed (the byte
+codec exists so the wire format is real and round-trip tested — the same
+split bmv2-based INT implementations use between their control plane and
+their packet templates).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .instructions import IntInstruction
+from .metadata import HOP_METADATA_BYTES, HopMetadata
+
+__all__ = ["IntHeader", "INT_SHIM_BYTES", "INT_HEADER_BYTES", "encode_stack", "decode_stack"]
+
+_SHIM = struct.Struct("!BBH")  # type, reserved, total length (bytes)
+_HDR = struct.Struct("!BBHI")  # version, hop_count, remaining_hops, instruction
+
+INT_SHIM_BYTES = _SHIM.size
+INT_HEADER_BYTES = _HDR.size
+
+#: Shim "type" value identifying an INT-MD block (arbitrary but fixed).
+INT_SHIM_TYPE = 0x1
+
+
+@dataclass(frozen=True)
+class IntHeader:
+    """INT header state carried between hops.
+
+    Attributes
+    ----------
+    version : int
+        Header version (we emit 2, as in INT spec 2.x).
+    hop_count : int
+        Number of hop metadata records currently stacked.
+    remaining_hops : int
+        How many more hops may append before the stack is full.
+    instruction : IntInstruction
+        Bitmap of requested metadata fields.
+    """
+
+    version: int
+    hop_count: int
+    remaining_hops: int
+    instruction: IntInstruction
+
+    def encode(self) -> bytes:
+        return _HDR.pack(
+            self.version & 0xFF,
+            self.hop_count & 0xFF,
+            self.remaining_hops & 0xFFFF,
+            int(self.instruction) & 0xFFFFFFFF,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IntHeader":
+        if len(data) != INT_HEADER_BYTES:
+            raise ValueError(f"INT header must be {INT_HEADER_BYTES} bytes")
+        version, hop_count, remaining, instruction = _HDR.unpack(data)
+        return cls(version, hop_count, remaining, IntInstruction(instruction))
+
+
+def encode_stack(header: IntHeader, stack: List[HopMetadata]) -> bytes:
+    """Serialize shim + header + hop records to the on-wire byte block."""
+    if header.hop_count != len(stack):
+        raise ValueError(
+            f"header hop_count {header.hop_count} != stack length {len(stack)}"
+        )
+    body = header.encode() + b"".join(h.encode() for h in stack)
+    total = _SHIM.size + len(body)
+    return _SHIM.pack(INT_SHIM_TYPE, 0, total) + body
+
+
+def decode_stack(data: bytes) -> Tuple[IntHeader, List[HopMetadata]]:
+    """Parse a telemetry block produced by :func:`encode_stack`.
+
+    Raises
+    ------
+    ValueError
+        On a bad shim type, truncated block, or length mismatch.
+    """
+    if len(data) < _SHIM.size + INT_HEADER_BYTES:
+        raise ValueError("telemetry block truncated")
+    shim_type, _res, total = _SHIM.unpack(data[: _SHIM.size])
+    if shim_type != INT_SHIM_TYPE:
+        raise ValueError(f"unexpected shim type {shim_type:#x}")
+    if total != len(data):
+        raise ValueError(f"shim length {total} != block length {len(data)}")
+    off = _SHIM.size
+    header = IntHeader.decode(data[off : off + INT_HEADER_BYTES])
+    off += INT_HEADER_BYTES
+    expected = header.hop_count * HOP_METADATA_BYTES
+    if len(data) - off != expected:
+        raise ValueError(
+            f"hop stack size {len(data) - off} != hop_count*{HOP_METADATA_BYTES}"
+        )
+    stack = [
+        HopMetadata.decode(data[off + i * HOP_METADATA_BYTES : off + (i + 1) * HOP_METADATA_BYTES])
+        for i in range(header.hop_count)
+    ]
+    return header, stack

@@ -1,0 +1,51 @@
+"""INT instruction bitmap.
+
+The INT source switch writes an *instruction bitmap* into the INT header
+telling downstream hops which metadata fields to append (INT-MD
+specification §4.5).  We implement the subset the AmLight deployment
+collects (paper §III-1): switch id, ingress timestamp, egress timestamp,
+queue occupancy, and hop latency.
+"""
+
+from __future__ import annotations
+
+from enum import IntFlag
+
+__all__ = ["IntInstruction", "AMLIGHT_INSTRUCTION", "instruction_fields"]
+
+
+class IntInstruction(IntFlag):
+    """Bit positions of the INT-MD instruction bitmap (subset)."""
+
+    NONE = 0
+    SWITCH_ID = 1 << 0
+    INGRESS_TSTAMP = 1 << 1
+    EGRESS_TSTAMP = 1 << 2
+    QUEUE_OCCUPANCY = 1 << 3
+    HOP_LATENCY = 1 << 4
+
+    ALL = SWITCH_ID | INGRESS_TSTAMP | EGRESS_TSTAMP | QUEUE_OCCUPANCY | HOP_LATENCY
+
+
+#: The instruction set AmLight's deployment requests: everything in
+#: Table II's INT column (hop latency is collected but later dropped from
+#: the feature set because its scale differed across flow types).
+AMLIGHT_INSTRUCTION = IntInstruction.ALL
+
+_FIELD_ORDER = (
+    (IntInstruction.SWITCH_ID, "switch_id"),
+    (IntInstruction.INGRESS_TSTAMP, "ingress_ts"),
+    (IntInstruction.EGRESS_TSTAMP, "egress_ts"),
+    (IntInstruction.QUEUE_OCCUPANCY, "queue_occupancy"),
+    (IntInstruction.HOP_LATENCY, "hop_latency"),
+)
+
+
+def instruction_fields(bitmap: IntInstruction | int) -> tuple[str, ...]:
+    """Ordered metadata field names selected by an instruction bitmap.
+
+    Field order is fixed by the bitmap's bit order, mirroring how a real
+    INT transit hop serializes metadata words.
+    """
+    bitmap = IntInstruction(bitmap)
+    return tuple(name for bit, name in _FIELD_ORDER if bitmap & bit)

@@ -1,0 +1,87 @@
+"""Per-hop INT metadata records.
+
+One :class:`HopMetadata` is appended to the packet's INT stack by every
+INT-capable switch the packet traverses (source, transit, and sink all
+contribute their own hop record).  Timestamps are stored *wrapped* to 32
+bits, as on the wire — consumers must use
+:func:`repro.int_telemetry.timestamps.delta32` to difference them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .timestamps import delta32, wrap32
+
+__all__ = ["HopMetadata", "HOP_METADATA_BYTES"]
+
+# switch_id:u32 | ingress_ts:u32 | egress_ts:u32 | queue_occupancy:u16 | pad:u16
+_STRUCT = struct.Struct("!IIIHH")
+
+#: Serialized size of one hop record (bytes) — drives INT wire overhead.
+HOP_METADATA_BYTES = _STRUCT.size
+
+
+@dataclass(frozen=True)
+class HopMetadata:
+    """Telemetry appended by one switch hop.
+
+    Attributes
+    ----------
+    switch_id : int
+        Identifier of the reporting switch.
+    ingress_ts : int
+        Wrapped 32-bit nanosecond timestamp when the packet entered the
+        switch.
+    egress_ts : int
+        Wrapped 32-bit nanosecond timestamp when the packet left the
+        egress queue.
+    queue_occupancy : int
+        Queue depth (packets) observed when this packet was dequeued —
+        the paper's "queue depth when the packet is removed from the
+        queue".
+    """
+
+    switch_id: int
+    ingress_ts: int
+    egress_ts: int
+    queue_occupancy: int
+
+    @classmethod
+    def capture(
+        cls, switch_id: int, ingress_ns: int, egress_ns: int, queue_depth: int
+    ) -> "HopMetadata":
+        """Build a record from absolute simulator times (wraps to 32 bits)."""
+        return cls(
+            switch_id=int(switch_id),
+            ingress_ts=int(wrap32(ingress_ns)),
+            egress_ts=int(wrap32(egress_ns)),
+            queue_occupancy=int(queue_depth),
+        )
+
+    @property
+    def hop_latency_ns(self) -> int:
+        """Wrap-aware time spent inside the switch (queueing + pipeline)."""
+        return int(delta32(self.egress_ts, self.ingress_ts))
+
+    def encode(self) -> bytes:
+        """Serialize to the on-wire 16-byte layout."""
+        occ = min(self.queue_occupancy, 0xFFFF)
+        return _STRUCT.pack(
+            self.switch_id & 0xFFFFFFFF,
+            self.ingress_ts & 0xFFFFFFFF,
+            self.egress_ts & 0xFFFFFFFF,
+            occ,
+            0,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "HopMetadata":
+        """Parse one hop record from its 16-byte wire form."""
+        if len(data) != HOP_METADATA_BYTES:
+            raise ValueError(
+                f"hop metadata must be {HOP_METADATA_BYTES} bytes, got {len(data)}"
+            )
+        switch_id, ingress_ts, egress_ts, occ, _pad = _STRUCT.unpack(data)
+        return cls(switch_id, ingress_ts, egress_ts, occ)

@@ -1,0 +1,151 @@
+"""Probabilistic / sampled INT (the paper's future-work direction).
+
+Section V cites PINT [30] and spatial sampling [31] as the route to
+taming INT's volume before a production rollout.  This module implements
+both reduction axes over the existing role machinery:
+
+* :class:`PintSource` — *temporal* sampling: initiate INT only on a
+  Bernoulli fraction of packets.  Telemetry volume scales with the
+  fraction; unsampled packets carry zero overhead.  Unlike sFlow the
+  samples still carry in-band queue/timing metadata.
+* :class:`PintTransit` — *per-hop* probabilistic metadata: every INT
+  packet keeps its header, but each hop appends its record only with
+  probability ``hop_probability`` (each record still names its switch,
+  so the collector can aggregate per-hop statistics across packets —
+  PINT's core idea of amortizing telemetry over the flow).
+
+:func:`overhead_report` quantifies the wire overhead a capture paid, so
+the accuracy-vs-overhead tradeoff is measurable (see
+``benchmarks/bench_ablation_pint.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.rng import as_generator
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import Switch
+
+from .instructions import AMLIGHT_INSTRUCTION, IntInstruction
+from .metadata import HOP_METADATA_BYTES, HopMetadata
+from .roles import DEFAULT_MAX_HOPS
+
+__all__ = ["PintSource", "PintTransit", "overhead_report"]
+
+#: Shim + header bytes paid by any packet carrying INT at all.
+INT_BASE_OVERHEAD = 12
+
+
+class PintSource:
+    """Temporal INT sampling: monitor a Bernoulli fraction of packets.
+
+    Parameters
+    ----------
+    packet_fraction : float
+        Probability that a packet is selected for telemetry (1.0 is
+        classic full INT).
+    instruction : IntInstruction
+        Metadata bitmap for selected packets.
+    seed : int | numpy.random.Generator | None
+    """
+
+    def __init__(
+        self,
+        packet_fraction: float = 1.0,
+        instruction: IntInstruction = AMLIGHT_INSTRUCTION,
+        seed=None,
+    ) -> None:
+        if not 0.0 < packet_fraction <= 1.0:
+            raise ValueError(f"packet_fraction must be in (0, 1]: {packet_fraction}")
+        self.packet_fraction = float(packet_fraction)
+        self.instruction = instruction
+        self._rng = as_generator(seed)
+        self.observed = 0
+        self.initiated = 0
+
+    def attach(self, switch: Switch) -> None:
+        switch.add_ingress_hook(self.on_ingress)
+
+    def on_ingress(self, switch: Switch, pkt: Packet, in_port: int) -> bool:
+        self.observed += 1
+        if pkt.int_stack is None and (
+            self.packet_fraction >= 1.0
+            or self._rng.random() < self.packet_fraction
+        ):
+            pkt.int_stack = []
+            pkt.int_instruction = int(self.instruction)
+            self.initiated += 1
+        return True
+
+
+class PintTransit:
+    """Per-hop probabilistic metadata insertion (PINT-style).
+
+    Each hop of an INT packet appends its record with probability
+    ``hop_probability``; expected per-packet overhead drops from
+    ``hops × 16`` bytes to ``hops × p × 16``.
+    """
+
+    def __init__(
+        self,
+        hop_probability: float = 1.0,
+        max_hops: int = DEFAULT_MAX_HOPS,
+        seed=None,
+    ) -> None:
+        if not 0.0 < hop_probability <= 1.0:
+            raise ValueError(f"hop_probability must be in (0, 1]: {hop_probability}")
+        self.hop_probability = float(hop_probability)
+        self.max_hops = int(max_hops)
+        self._rng = as_generator(seed)
+        self.offered = 0
+        self.appended = 0
+
+    def attach(self, switch: Switch) -> None:
+        switch.add_egress_hook(self.on_egress)
+
+    def on_egress(
+        self, switch: Switch, pkt: Packet, out_port: int, egress_ns: int, depth: int
+    ) -> None:
+        if pkt.int_stack is None:
+            return
+        self.offered += 1
+        if len(pkt.int_stack) >= self.max_hops:
+            return
+        if self.hop_probability < 1.0 and self._rng.random() >= self.hop_probability:
+            return
+        pkt.int_stack.append(
+            HopMetadata.capture(switch.switch_id, pkt.ts_ingress, egress_ns, depth)
+        )
+        self.appended += 1
+
+
+def overhead_report(records: np.ndarray, total_packets: int) -> dict:
+    """Wire-overhead accounting for a telemetry capture.
+
+    Parameters
+    ----------
+    records : REPORT_DTYPE array
+        What the collector received.
+    total_packets : int
+        Packets that crossed the monitored path (sampled or not).
+
+    Returns
+    -------
+    dict with ``monitored_fraction``, ``metadata_bytes``,
+    ``mean_bytes_per_packet`` (averaged over *all* packets — the number
+    that matters for link budgeting), and ``mean_hops_recorded``.
+    """
+    if total_packets < 1:
+        raise ValueError("total_packets must be >= 1")
+    n = int(records.shape[0])
+    hops = records["hops"].astype(np.int64) if n else np.zeros(0, dtype=np.int64)
+    metadata_bytes = int(hops.sum()) * HOP_METADATA_BYTES + n * INT_BASE_OVERHEAD
+    return {
+        "monitored_fraction": n / total_packets,
+        "metadata_bytes": metadata_bytes,
+        "mean_bytes_per_packet": metadata_bytes / total_packets,
+        "mean_hops_recorded": float(hops.mean()) if n else 0.0,
+    }

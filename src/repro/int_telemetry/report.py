@@ -1,0 +1,103 @@
+"""Telemetry report records exported by the INT sink.
+
+When the sink switch strips the INT stack it emits one
+:class:`TelemetryReport` per packet toward the collector.  The report
+combines the packet's flow identifiers (the five-tuple plus flags and
+length, read from the IP/L4 headers — paper §III-1) with the per-hop
+metadata accumulated in flight.
+
+:data:`REPORT_DTYPE` defines the flat structured layout the collector
+stores: one row per packet with the fields the Data Processor consumes.
+Per-hop detail is summarized into scalars the way the paper's pipeline
+uses them — ingress/egress timestamps (the monitored edge of the path),
+maximum queue occupancy along the path, and total wrap-aware hop latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .metadata import HopMetadata
+from .timestamps import delta32
+
+__all__ = ["TelemetryReport", "REPORT_DTYPE", "report_to_row"]
+
+#: Flat per-packet record layout used by :class:`~repro.int_telemetry.collector.IntCollector`.
+REPORT_DTYPE = np.dtype(
+    [
+        ("ts_report", np.int64),  # absolute collector-arrival time (ns)
+        ("src_ip", np.uint32),
+        ("dst_ip", np.uint32),
+        ("src_port", np.uint16),
+        ("dst_port", np.uint16),
+        ("protocol", np.uint8),
+        ("tcp_flags", np.uint8),
+        ("length", np.uint32),
+        ("ingress_ts", np.uint32),  # wrapped 32-bit, first hop
+        ("egress_ts", np.uint32),  # wrapped 32-bit, last hop
+        ("queue_occupancy", np.uint16),  # max along the path
+        ("hop_latency", np.int64),  # total wrap-aware in-switch time (ns)
+        ("hops", np.uint8),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class TelemetryReport:
+    """One packet's telemetry as assembled by the INT sink."""
+
+    ts_report: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    tcp_flags: int
+    length: int
+    hop_stack: tuple
+
+    @property
+    def ingress_ts(self) -> int:
+        """Wrapped ingress timestamp at the first INT hop."""
+        return self.hop_stack[0].ingress_ts
+
+    @property
+    def egress_ts(self) -> int:
+        """Wrapped egress timestamp at the last INT hop."""
+        return self.hop_stack[-1].egress_ts
+
+    @property
+    def queue_occupancy(self) -> int:
+        """Maximum queue depth observed along the path."""
+        return max(h.queue_occupancy for h in self.hop_stack)
+
+    @property
+    def hop_latency_ns(self) -> int:
+        """Total wrap-aware time spent inside switches."""
+        return sum(int(delta32(h.egress_ts, h.ingress_ts)) for h in self.hop_stack)
+
+    @property
+    def hops(self) -> int:
+        return len(self.hop_stack)
+
+
+def report_to_row(report: TelemetryReport) -> tuple:
+    """Flatten a report into a tuple matching :data:`REPORT_DTYPE` order."""
+    return (
+        report.ts_report,
+        report.src_ip,
+        report.dst_ip,
+        report.src_port,
+        report.dst_port,
+        report.protocol,
+        report.tcp_flags,
+        report.length,
+        report.ingress_ts,
+        report.egress_ts,
+        min(report.queue_occupancy, 0xFFFF),
+        report.hop_latency_ns,
+        report.hops,
+    )

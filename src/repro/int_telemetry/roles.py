@@ -1,0 +1,196 @@
+"""INT switch roles: source, transit, sink.
+
+Roles attach to :class:`~repro.dataplane.switch.Switch` instances as
+pipeline hooks (the same way a P4 program layers INT over forwarding):
+
+* :class:`IntSource` — ingress hook.  Decides (via an optional watchlist
+  predicate) whether a packet is monitored; if so, initializes an empty
+  INT stack and writes the instruction bitmap.  Its own hop metadata is
+  added at egress like every other hop.
+* :class:`IntTransit` — egress hook.  Appends this switch's hop metadata
+  to packets already carrying INT.
+* :class:`IntSink` — egress hook that runs *after* the transit hook on
+  the sink switch: it strips the accumulated stack, builds a
+  :class:`~repro.int_telemetry.report.TelemetryReport`, forwards it to
+  the collector, and restores the packet to its original size so the
+  destination host never sees telemetry bytes (Fig 1).
+
+A single switch may carry all three roles (the Fig 6 testbed collapses
+source and sink onto one physical Wedge switch).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import Switch
+
+from .collector import IntCollector
+from .instructions import AMLIGHT_INSTRUCTION, IntInstruction
+from .metadata import HopMetadata
+from .report import TelemetryReport
+
+__all__ = ["IntSource", "IntTransit", "IntSink", "attach_int_path"]
+
+#: Maximum hop records a packet may carry (INT remaining-hop budget).
+DEFAULT_MAX_HOPS = 8
+
+
+class IntSource:
+    """Ingress-side INT initiation.
+
+    Parameters
+    ----------
+    instruction : IntInstruction
+        Metadata bitmap to request from downstream hops.
+    watchlist : callable(Packet) -> bool, optional
+        Predicate selecting monitored packets; default monitors all
+        traffic (as AmLight's deployment does for the studied subnet).
+    max_hops : int
+        Remaining-hop budget written into the INT header.
+    """
+
+    def __init__(
+        self,
+        instruction: IntInstruction = AMLIGHT_INSTRUCTION,
+        watchlist: Optional[Callable[[Packet], bool]] = None,
+        max_hops: int = DEFAULT_MAX_HOPS,
+    ) -> None:
+        self.instruction = instruction
+        self.watchlist = watchlist
+        self.max_hops = int(max_hops)
+        self.initiated = 0
+
+    def attach(self, switch: Switch) -> None:
+        switch.add_ingress_hook(self.on_ingress)
+
+    def on_ingress(self, switch: Switch, pkt: Packet, in_port: int) -> bool:
+        if pkt.int_stack is None and (self.watchlist is None or self.watchlist(pkt)):
+            pkt.int_stack = []
+            pkt.int_instruction = int(self.instruction)
+            self.initiated += 1
+        return True
+
+
+class IntTransit:
+    """Egress-side hop metadata insertion (every INT hop does this)."""
+
+    def __init__(self, max_hops: int = DEFAULT_MAX_HOPS) -> None:
+        self.max_hops = int(max_hops)
+        self.appended = 0
+        self.budget_exhausted = 0
+
+    def attach(self, switch: Switch) -> None:
+        switch.add_egress_hook(self.on_egress)
+
+    def on_egress(
+        self, switch: Switch, pkt: Packet, out_port: int, egress_ns: int, depth: int
+    ) -> None:
+        if pkt.int_stack is None:
+            return
+        if len(pkt.int_stack) >= self.max_hops:
+            self.budget_exhausted += 1
+            return
+        pkt.int_stack.append(
+            HopMetadata.capture(switch.switch_id, pkt.ts_ingress, egress_ns, depth)
+        )
+        self.appended += 1
+
+
+class IntSink:
+    """Strip the INT stack at the network edge and report to the collector.
+
+    Must be attached *after* the sink switch's own :class:`IntTransit`
+    hook so the sink's hop metadata is included in the report (the paper's
+    sink both records and extracts).
+
+    Parameters
+    ----------
+    collector : IntCollector
+        Destination for telemetry reports.
+    export_delay_ns : int
+        Modeled delay between dequeue at the sink and report arrival at
+        the collector (mirrors the port-5 tap in Fig 6).
+    sink_ports : set of int, optional
+        Restrict extraction to packets leaving through these ports (e.g.
+        only host-facing ports); default extracts on every egress.
+    """
+
+    def __init__(
+        self,
+        collector: IntCollector,
+        export_delay_ns: int = 0,
+        sink_ports: Optional[set] = None,
+    ) -> None:
+        self.collector = collector
+        self.export_delay_ns = int(export_delay_ns)
+        self.sink_ports = sink_ports
+        self.extracted = 0
+
+    def attach(self, switch: Switch) -> None:
+        switch.add_egress_hook(self.on_egress)
+
+    def on_egress(
+        self, switch: Switch, pkt: Packet, out_port: int, egress_ns: int, depth: int
+    ) -> None:
+        if pkt.int_stack is None or not pkt.int_stack:
+            return
+        if self.sink_ports is not None and out_port not in self.sink_ports:
+            return
+        report = TelemetryReport(
+            ts_report=egress_ns + self.export_delay_ns,
+            src_ip=pkt.src_ip,
+            dst_ip=pkt.dst_ip,
+            src_port=pkt.src_port,
+            dst_port=pkt.dst_port,
+            protocol=pkt.protocol,
+            tcp_flags=pkt.tcp_flags,
+            length=pkt.length,
+            hop_stack=tuple(pkt.int_stack),
+        )
+        # Strip telemetry so the destination host receives a clean packet.
+        pkt.int_stack = None
+        pkt.int_instruction = 0
+        self.extracted += 1
+        self.collector.ingest(report)
+
+
+def attach_int_path(
+    source_sw: Switch,
+    transit_sws: list[Switch],
+    sink_sw: Switch,
+    collector: IntCollector,
+    instruction: IntInstruction = AMLIGHT_INSTRUCTION,
+    watchlist: Optional[Callable[[Packet], bool]] = None,
+    sink_ports: Optional[set] = None,
+) -> dict:
+    """Wire the Fig 1 role assignment onto an existing switch path.
+
+    Every switch (source, transit, sink) gets a transit hook so it
+    contributes hop metadata; the first switch additionally initiates INT
+    and the last one extracts and reports.
+
+    Returns
+    -------
+    dict
+        The role objects, keyed ``{"source", "transits", "sink"}`` for
+        later inspection of counters.
+    """
+    src_role = IntSource(instruction=instruction, watchlist=watchlist)
+    src_role.attach(source_sw)
+    roles = {"source": src_role, "transits": [], "sink": None}
+
+    seen: set[int] = set()
+    for sw in [source_sw, *transit_sws, sink_sw]:
+        if id(sw) in seen:  # single-switch testbeds collapse roles
+            continue
+        seen.add(id(sw))
+        tr = IntTransit()
+        tr.attach(sw)
+        roles["transits"].append(tr)
+
+    sink_role = IntSink(collector, sink_ports=sink_ports)
+    sink_role.attach(sink_sw)
+    roles["sink"] = sink_role
+    return roles

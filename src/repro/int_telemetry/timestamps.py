@@ -1,0 +1,169 @@
+"""32-bit nanosecond timestamp handling for INT metadata.
+
+INT-MD hop metadata carries ingress/egress timestamps as 32-bit unsigned
+nanosecond counters.  A 32-bit counter wraps every ``2**32 ns ≈ 4.295 s``,
+which the AmLight paper (Section V) identifies as a practical limitation:
+inter-arrival times computed as naive differences of consecutive
+timestamps are wrong whenever a wrap falls between two packets.
+
+This module provides the canonical conversions used across the telemetry
+stack:
+
+* :func:`wrap32` — fold an absolute nanosecond time onto the 32-bit counter.
+* :func:`delta32` — wrap-aware difference between two 32-bit stamps, valid
+  whenever the true gap is below one wrap period.
+* :func:`unwrap32` — reconstruct a monotone absolute timeline from a
+  sequence of wrapped stamps (the fix the paper's production deployment
+  would need).
+
+All functions accept scalars or NumPy arrays and are fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "WRAP_PERIOD_NS",
+    "WRAP_PERIOD_S",
+    "wrap32",
+    "delta32",
+    "delta32_signed",
+    "unwrap32",
+    "naive_delta32",
+]
+
+#: Number of distinct values of the 32-bit counter (wrap modulus), in ns.
+WRAP_PERIOD_NS: int = 2**32
+
+#: Wrap period expressed in seconds (~4.295 s), as quoted in the paper.
+WRAP_PERIOD_S: float = WRAP_PERIOD_NS / 1e9
+
+
+def wrap32(t_ns):
+    """Fold absolute nanosecond timestamps onto the 32-bit INT counter.
+
+    Parameters
+    ----------
+    t_ns : int or array_like of int
+        Absolute timestamps in nanoseconds (may exceed 32 bits).
+
+    Returns
+    -------
+    numpy.uint32 or numpy.ndarray of uint32
+        ``t_ns mod 2**32`` — what an INT-enabled switch would actually
+        write into the hop metadata.
+    """
+    arr = np.asarray(t_ns, dtype=np.int64)
+    wrapped = np.mod(arr, WRAP_PERIOD_NS).astype(np.uint32)
+    if np.isscalar(t_ns) or arr.ndim == 0:
+        return np.uint32(wrapped)
+    return wrapped
+
+
+def naive_delta32(later, earlier):
+    """Difference of two wrapped stamps *without* wrap correction.
+
+    This reproduces the error mode described in the paper: a signed
+    subtraction of two ``uint32`` stamps interpreted as plain integers.
+    When a wrap occurs between ``earlier`` and ``later`` the result is
+    negative (off by exactly one wrap period).  Exposed so the timestamp
+    ablation benchmark can inject the faulty behaviour.
+
+    Returns
+    -------
+    numpy.int64 or numpy.ndarray of int64
+    """
+    a = np.asarray(later, dtype=np.int64)
+    b = np.asarray(earlier, dtype=np.int64)
+    out = a - b
+    if np.isscalar(later) and np.isscalar(earlier):
+        return np.int64(out)
+    return out
+
+
+def delta32(later, earlier):
+    """Wrap-aware difference between two 32-bit nanosecond stamps.
+
+    Assumes the true elapsed time is non-negative and strictly less than
+    one wrap period (``~4.295 s``).  Under that assumption the modular
+    difference ``(later - earlier) mod 2**32`` recovers the exact gap.
+
+    Parameters
+    ----------
+    later, earlier : int or array_like of int
+        Wrapped 32-bit timestamps (values outside ``[0, 2**32)`` are
+        folded first).
+
+    Returns
+    -------
+    numpy.int64 or numpy.ndarray of int64
+        Elapsed nanoseconds in ``[0, 2**32)``.
+    """
+    a = np.asarray(later, dtype=np.int64)
+    b = np.asarray(earlier, dtype=np.int64)
+    out = np.mod(a - b, WRAP_PERIOD_NS)
+    if np.isscalar(later) and np.isscalar(earlier):
+        return np.int64(out)
+    return out
+
+
+def delta32_signed(later, earlier):
+    """Wrap-aware *signed* difference between two 32-bit stamps.
+
+    Interprets the modular difference in ``[-2**31, 2**31)`` — the
+    nearest representative — so slight reordering between two stamps
+    yields a small negative number instead of a near-full-wrap positive
+    one.  This is the correct differencing when the two stamps may come
+    from different observation points (e.g. the two edge switches of a
+    bidirectional flow), where queueing and export skew can reorder
+    records by microseconds.
+
+    Returns
+    -------
+    numpy.int64 or numpy.ndarray of int64
+        Signed gap in ``[-2**31, 2**31)`` nanoseconds.
+    """
+    a = np.asarray(later, dtype=np.int64)
+    b = np.asarray(earlier, dtype=np.int64)
+    half = WRAP_PERIOD_NS // 2
+    out = np.mod(a - b + half, WRAP_PERIOD_NS) - half
+    if np.isscalar(later) and np.isscalar(earlier):
+        return np.int64(out)
+    return out
+
+
+def unwrap32(stamps):
+    """Reconstruct a monotone absolute timeline from wrapped stamps.
+
+    Given a sequence of 32-bit stamps taken from a monotonically
+    non-decreasing clock where consecutive samples are less than one wrap
+    period apart, return absolute nanosecond times starting at
+    ``stamps[0]``.
+
+    Parameters
+    ----------
+    stamps : array_like of int
+        Wrapped timestamps in observation order.
+
+    Returns
+    -------
+    numpy.ndarray of int64
+        Monotone non-decreasing absolute timestamps.
+
+    Raises
+    ------
+    ValueError
+        If ``stamps`` is empty.
+    """
+    arr = np.asarray(stamps, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("unwrap32 requires at least one timestamp")
+    arr = np.mod(arr, WRAP_PERIOD_NS)
+    gaps = np.mod(np.diff(arr), WRAP_PERIOD_NS)
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    if gaps.size:
+        np.cumsum(gaps, out=out[1:])
+        out[1:] += arr[0]
+    return out

@@ -1,0 +1,29 @@
+"""DDoS mitigation: the paper's declared next step, built out.
+
+The paper stops at detection ("we do not address mitigation", §III fn.2)
+and cites ONOS Flood Defender [17] and the P4/5G IDS of [20] as the
+blueprint for closing the loop.  This package implements that loop over
+our data plane: flagged flows are traced back to their sources
+(:mod:`~repro.mitigation.traceback`), turned into drop/rate-limit rules
+(:mod:`~repro.mitigation.rules`), and enforced as switch ACL hooks
+(:mod:`~repro.mitigation.enforcement`); the
+:class:`~repro.mitigation.engine.MitigationEngine` drives the whole
+pipeline from live detector output.
+"""
+
+from .enforcement import AclTable, attach_acl
+from .engine import MitigationEngine, MitigationPolicy
+from .rules import FlowRule, RuleAction, RuleGenerator
+from .traceback import AttackSource, SourceTracker
+
+__all__ = [
+    "AclTable",
+    "attach_acl",
+    "MitigationEngine",
+    "MitigationPolicy",
+    "FlowRule",
+    "RuleAction",
+    "RuleGenerator",
+    "AttackSource",
+    "SourceTracker",
+]

@@ -1,0 +1,104 @@
+"""Rule enforcement at the switch.
+
+:class:`AclTable` installs as an ingress hook (the mechanism the
+data-plane already exposes for telemetry) and drops or rate-limits
+packets that match active rules — the equivalent of pushing flow rules
+to the switch via the controller in [17]/[20].
+
+Rate limiting uses a token bucket per rule: sustained rates above
+``rate_pps`` are shed while short bursts inside the bucket pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import Switch
+
+from .rules import FlowRule, RuleAction
+
+__all__ = ["AclTable", "attach_acl"]
+
+
+@dataclass
+class _Bucket:
+    tokens: float
+    last_ns: int
+
+
+class AclTable:
+    """Ordered rule table with drop / token-bucket rate-limit actions.
+
+    Rules are evaluated in insertion order; the first match decides.
+    Expired rules are pruned lazily on lookup.
+    """
+
+    def __init__(self, burst: float = 20.0) -> None:
+        if burst <= 0:
+            raise ValueError(f"burst must be positive: {burst}")
+        self.rules: List[FlowRule] = []
+        self.burst = float(burst)
+        self._buckets: Dict[int, _Bucket] = {}
+        self.dropped = 0
+        self.rate_limited = 0
+        self.passed = 0
+        self.installed = 0
+
+    def install(self, rule: FlowRule) -> None:
+        self.rules.append(rule)
+        self.installed += 1
+
+    def active_rules(self, now_ns: int) -> List[FlowRule]:
+        live = [r for r in self.rules if not r.expired(now_ns)]
+        if len(live) != len(self.rules):
+            keep_ids = {id(r) for r in live}
+            self._buckets = {
+                k: v for k, v in self._buckets.items() if k in keep_ids
+            }
+            self.rules = live
+        return self.rules
+
+    def _allow_rate(self, rule: FlowRule, now_ns: int) -> bool:
+        b = self._buckets.get(id(rule))
+        if b is None:
+            b = _Bucket(tokens=self.burst, last_ns=now_ns)
+            self._buckets[id(rule)] = b
+        b.tokens = min(
+            self.burst, b.tokens + (now_ns - b.last_ns) * 1e-9 * rule.rate_pps
+        )
+        b.last_ns = now_ns
+        if b.tokens >= 1.0:
+            b.tokens -= 1.0
+            return True
+        return False
+
+    def check(self, pkt: Packet, now_ns: int) -> bool:
+        """True if the packet may proceed; False to drop it."""
+        for rule in self.active_rules(now_ns):
+            if not rule.matches(pkt):
+                continue
+            if rule.action is RuleAction.DROP:
+                self.dropped += 1
+                return False
+            if not self._allow_rate(rule, now_ns):
+                self.rate_limited += 1
+                return False
+            break  # first matching rule decides; limited-but-allowed passes
+        self.passed += 1
+        return True
+
+
+def attach_acl(switch: Switch, table: Optional[AclTable] = None) -> AclTable:
+    """Install an ACL as the switch's *first* ingress hook.
+
+    Mitigation must run before telemetry sampling so dropped packets do
+    not keep feeding the detector (matching hardware, where the ACL
+    stage precedes the INT/monitoring stages).
+    """
+    acl = table if table is not None else AclTable()
+    switch.ingress_hooks.insert(
+        0, lambda sw, pkt, port: acl.check(pkt, sw.events.clock.now)
+    )
+    return acl

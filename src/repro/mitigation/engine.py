@@ -1,0 +1,130 @@
+"""The mitigation engine: detector decisions → installed rules.
+
+Subscribes to the detection mechanism's output (each
+:class:`~repro.core.database.PredictionEntry` with a positive final
+decision), feeds the source tracker, and escalates per policy:
+
+1. every flagged flow gets an exact-match drop rule immediately;
+2. a source accumulating ``host_flow_threshold`` flagged flows earns a
+   host-level drop (scan / SlowLoris response);
+3. a service flagged from ``spoof_source_threshold`` distinct sources is
+   treated as a spoofed flood and earns a prefix-scoped rate limit —
+   per-source rules are pointless against random spoofing.
+
+The engine is deliberately decoupled from any switch: it emits rules
+into one or more :class:`~repro.mitigation.enforcement.AclTable` sinks,
+so the same engine drives a single-switch testbed or every edge of a
+topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.database import PredictionEntry
+
+from .enforcement import AclTable
+from .rules import FlowRule, RuleGenerator
+from .traceback import SourceTracker
+
+__all__ = ["MitigationPolicy", "MitigationEngine"]
+
+
+@dataclass
+class MitigationPolicy:
+    """Escalation thresholds and rule parameters."""
+
+    host_flow_threshold: int = 5
+    spoof_source_threshold: int = 50
+    rule_ttl_ns: int = 60_000_000_000
+    flood_rate_pps: float = 100.0
+    per_flow_rules: bool = True
+    spoof_prefix_len: int = 8
+
+
+class MitigationEngine:
+    """Closes the detect→mitigate loop the paper leaves to future work."""
+
+    def __init__(
+        self,
+        tables: Iterable[AclTable],
+        policy: Optional[MitigationPolicy] = None,
+    ) -> None:
+        self.tables = list(tables)
+        if not self.tables:
+            raise ValueError("need at least one ACL table to install into")
+        self.policy = policy if policy is not None else MitigationPolicy()
+        self.tracker = SourceTracker(prefix_len=self.policy.spoof_prefix_len)
+        self.generator = RuleGenerator(
+            host_flow_threshold=self.policy.host_flow_threshold,
+            spoof_source_threshold=self.policy.spoof_source_threshold,
+            rule_ttl_ns=self.policy.rule_ttl_ns,
+            flood_rate_pps=self.policy.flood_rate_pps,
+        )
+        self.rules_emitted: List[FlowRule] = []
+        self._host_ruled: set = set()
+        self._service_ruled: set = set()
+
+    # ------------------------------------------------------------------
+    def _install(self, rule: FlowRule) -> None:
+        for table in self.tables:
+            table.install(rule)
+        self.rules_emitted.append(rule)
+
+    def on_decision(self, entry: PredictionEntry) -> List[FlowRule]:
+        """Consume one detector output; returns rules installed for it."""
+        if entry.final_decision != 1:
+            return []
+        now = entry.ts_registered_ns
+        key = entry.key
+        installed: List[FlowRule] = []
+
+        source = self.tracker.flag(key, now)
+
+        if self.policy.per_flow_rules:
+            rule = self.generator.flow_rule(key, now)
+            self._install(rule)
+            installed.append(rule)
+
+        if (
+            source.n_flows >= self.policy.host_flow_threshold
+            and source.src_ip not in self._host_ruled
+        ):
+            rule = self.generator.host_rule(source.src_ip, now, source.n_flows)
+            self._install(rule)
+            self._host_ruled.add(source.src_ip)
+            installed.append(rule)
+
+        for service, prefix, n_src in self.tracker.flooded_services(
+            self.policy.spoof_source_threshold
+        ):
+            if service in self._service_ruled:
+                continue
+            dst, dport, proto = service
+            rule = self.generator.flood_rule(dst, dport, proto, prefix, now, n_src)
+            self._install(rule)
+            self._service_ruled.add(service)
+            installed.append(rule)
+        return installed
+
+    def attach_to(self, detector) -> None:
+        """Hook into an AutomatedDDoSDetector: every stored prediction
+        flows through :meth:`on_decision`."""
+        db = detector.db
+        original = db.store_prediction
+
+        def wrapped(entry: PredictionEntry) -> None:
+            original(entry)
+            self.on_decision(entry)
+
+        db.store_prediction = wrapped
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "rules_emitted": len(self.rules_emitted),
+            "hosts_blocked": len(self._host_ruled),
+            "services_rate_limited": len(self._service_ruled),
+            "flows_flagged": self.tracker.flows_flagged,
+        }

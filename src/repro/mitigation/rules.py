@@ -1,0 +1,151 @@
+"""Flow-rule generation (the Flood Defender pattern [17]).
+
+A :class:`FlowRule` matches on any subset of the five-tuple (wildcards
+allowed) plus an optional source prefix, and carries an action (drop or
+rate-limit) with an expiry.  The :class:`RuleGenerator` converts traced
+attack sources into rules, choosing match granularity by evidence:
+
+* a single offending flow → exact five-tuple drop;
+* many flows from one host → source-host drop (scan/SlowLoris pattern);
+* many spoofed sources inside one prefix toward one destination port →
+  destination-port rate limit scoped to the prefix (flood pattern —
+  dropping by source is useless when sources are random).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Optional, Tuple
+
+from repro.dataplane.packet import Packet
+
+__all__ = ["RuleAction", "FlowRule", "RuleGenerator"]
+
+
+class RuleAction(Enum):
+    """What an ACL match does to a packet."""
+
+    DROP = "drop"
+    RATE_LIMIT = "rate_limit"
+
+
+def _prefix_mask(bits: int) -> int:
+    if not 0 <= bits <= 32:
+        raise ValueError(f"prefix length out of range: {bits}")
+    return 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """An ACL entry.  ``None`` fields are wildcards.
+
+    Attributes
+    ----------
+    src_ip, src_prefix_len : match source against a prefix.
+    dst_ip : exact destination match.
+    src_port, dst_port, protocol : exact L4 matches.
+    action : drop or rate-limit.
+    rate_pps : packets/second allowed when rate-limiting.
+    expires_ns : absolute simulation expiry (None = permanent).
+    reason : human-readable provenance (attack type + evidence).
+    """
+
+    src_ip: Optional[int] = None
+    src_prefix_len: int = 32
+    dst_ip: Optional[int] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    protocol: Optional[int] = None
+    action: RuleAction = RuleAction.DROP
+    rate_pps: float = 0.0
+    expires_ns: Optional[int] = None
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        _prefix_mask(self.src_prefix_len)  # validates
+        if self.action is RuleAction.RATE_LIMIT and self.rate_pps <= 0:
+            raise ValueError("rate limit rules need rate_pps > 0")
+
+    def matches(self, pkt: Packet) -> bool:
+        """Does this rule apply to ``pkt``?"""
+        if self.src_ip is not None:
+            mask = _prefix_mask(self.src_prefix_len)
+            if (pkt.src_ip & mask) != (self.src_ip & mask):
+                return False
+        if self.dst_ip is not None and pkt.dst_ip != self.dst_ip:
+            return False
+        if self.src_port is not None and pkt.src_port != self.src_port:
+            return False
+        if self.dst_port is not None and pkt.dst_port != self.dst_port:
+            return False
+        if self.protocol is not None and pkt.protocol != self.protocol:
+            return False
+        return True
+
+    def expired(self, now_ns: int) -> bool:
+        return self.expires_ns is not None and now_ns >= self.expires_ns
+
+
+class RuleGenerator:
+    """Evidence-driven rule synthesis.
+
+    Parameters
+    ----------
+    host_flow_threshold : int
+        Flagged flows from one source host before escalating from
+        per-flow rules to a host-level drop.
+    spoof_source_threshold : int
+        Distinct flagged sources toward one (dst, port) before treating
+        the event as a spoofed flood and emitting a rate limit.
+    rule_ttl_ns : int
+        Lifetime of generated rules.
+    flood_rate_pps : float
+        Allowance for flood rate-limit rules.
+    """
+
+    def __init__(
+        self,
+        host_flow_threshold: int = 5,
+        spoof_source_threshold: int = 50,
+        rule_ttl_ns: int = 60_000_000_000,
+        flood_rate_pps: float = 100.0,
+    ) -> None:
+        if host_flow_threshold < 1 or spoof_source_threshold < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.host_flow_threshold = int(host_flow_threshold)
+        self.spoof_source_threshold = int(spoof_source_threshold)
+        self.rule_ttl_ns = int(rule_ttl_ns)
+        self.flood_rate_pps = float(flood_rate_pps)
+
+    def flow_rule(self, key: tuple, now_ns: int, reason: str = "") -> FlowRule:
+        """Exact five-tuple drop for one flagged flow."""
+        src, dst, sport, dport, proto = key
+        return FlowRule(
+            src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+            protocol=proto, action=RuleAction.DROP,
+            expires_ns=now_ns + self.rule_ttl_ns,
+            reason=reason or "flagged flow",
+        )
+
+    def host_rule(self, src_ip: int, now_ns: int, n_flows: int) -> FlowRule:
+        """Source-host drop once one host accumulates many flagged flows."""
+        return FlowRule(
+            src_ip=src_ip, src_prefix_len=32, action=RuleAction.DROP,
+            expires_ns=now_ns + self.rule_ttl_ns,
+            reason=f"host with {n_flows} flagged flows",
+        )
+
+    def flood_rule(
+        self, dst_ip: int, dst_port: int, protocol: int,
+        prefix: Tuple[int, int], now_ns: int, n_sources: int,
+    ) -> FlowRule:
+        """Prefix-scoped rate limit for a spoofed-source flood."""
+        base, bits = prefix
+        return FlowRule(
+            src_ip=base, src_prefix_len=bits, dst_ip=dst_ip,
+            dst_port=dst_port, protocol=protocol,
+            action=RuleAction.RATE_LIMIT, rate_pps=self.flood_rate_pps,
+            expires_ns=now_ns + self.rule_ttl_ns,
+            reason=f"spoofed flood from {n_sources} sources",
+        )

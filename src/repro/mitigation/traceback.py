@@ -1,0 +1,94 @@
+"""Attack-source traceback.
+
+Aggregates flagged flow keys into per-source evidence (the "mitigation
+module traces the origin of the attack" step of [17]).  Two aggregation
+levels:
+
+* per source host — catches scans and SlowLoris, where one real host
+  owns many flagged flows;
+* per source prefix toward one (dst, port, proto) — catches spoofed
+  floods, where every flagged flow has a different (fake) source but
+  they share a destination service and usually a spoofing range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = ["AttackSource", "SourceTracker"]
+
+
+@dataclass
+class AttackSource:
+    """Evidence accumulated against one source host."""
+
+    src_ip: int
+    flagged_flows: Set[tuple] = field(default_factory=set)
+    first_seen_ns: int = 0
+    last_seen_ns: int = 0
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flagged_flows)
+
+
+class SourceTracker:
+    """Accumulates flagged flows and surfaces actionable aggregates."""
+
+    def __init__(self, prefix_len: int = 8) -> None:
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {prefix_len}")
+        self.prefix_len = int(prefix_len)
+        self.sources: Dict[int, AttackSource] = {}
+        # (dst, dport, proto) -> set of flagged source ips
+        self._services: Dict[Tuple[int, int, int], Set[int]] = {}
+        self.flows_flagged = 0
+
+    def _prefix_of(self, ip: int) -> int:
+        shift = 32 - self.prefix_len
+        return (ip >> shift) << shift if shift < 32 else 0
+
+    def flag(self, key: tuple, now_ns: int) -> AttackSource:
+        """Record one flagged flow; returns the source's evidence."""
+        src, dst, sport, dport, proto = key
+        entry = self.sources.get(src)
+        if entry is None:
+            entry = AttackSource(src_ip=src, first_seen_ns=now_ns)
+            self.sources[src] = entry
+        if key not in entry.flagged_flows:
+            entry.flagged_flows.add(key)
+            self.flows_flagged += 1
+        entry.last_seen_ns = now_ns
+        self._services.setdefault((dst, dport, proto), set()).add(src)
+        return entry
+
+    def heavy_sources(self, min_flows: int) -> List[AttackSource]:
+        """Hosts with at least ``min_flows`` flagged flows."""
+        return [s for s in self.sources.values() if s.n_flows >= min_flows]
+
+    def flooded_services(
+        self, min_sources: int
+    ) -> List[Tuple[Tuple[int, int, int], Tuple[int, int], int]]:
+        """Services hit from many distinct sources (spoofed floods).
+
+        Returns ``[(service, (prefix_base, prefix_len), n_sources)]``
+        where the prefix is the covering ``prefix_len`` block of the
+        modal spoofing range.
+        """
+        out = []
+        for service, srcs in self._services.items():
+            if len(srcs) < min_sources:
+                continue
+            # modal prefix block among the sources
+            buckets: Dict[int, int] = {}
+            for ip in srcs:
+                p = self._prefix_of(ip)
+                buckets[p] = buckets.get(p, 0) + 1
+            base = max(buckets, key=buckets.get)
+            out.append((service, (base, self.prefix_len), len(srcs)))
+        return out
+
+    def forget_service(self, service: Tuple[int, int, int]) -> None:
+        """Clear a service's evidence once it has been mitigated."""
+        self._services.pop(service, None)

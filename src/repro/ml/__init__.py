@@ -1,0 +1,69 @@
+"""From-scratch machine-learning library.
+
+Implements (on NumPy/SciPy only) the model set and tooling the paper
+uses via scikit-learn: :class:`RandomForestClassifier`,
+:class:`GaussianNB`, :class:`KNeighborsClassifier`,
+:class:`MLPClassifier`, :class:`StandardScaler`, the §IV-A metric suite,
+train/test splitting, permutation importances (Table V) and ensemble
+voting (§IV-C4).
+"""
+
+from .base import ClassifierMixin
+from .cross_validation import cross_val_score, kfold_indices
+from .drift import DriftMonitor, population_stability_index
+from .curves import (
+    average_precision,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+from .forest import RandomForestClassifier
+from .importance import permutation_importance, top_k_features
+from .knn import KNeighborsClassifier
+from .metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from .mlp import MLPClassifier
+from .model_selection import train_test_split
+from .naive_bayes import GaussianNB
+from .scaler import StandardScaler
+from .tree import DecisionTreeClassifier
+from .tree_export import decision_path, export_dot, export_text
+from .voting import VotingClassifier, majority_vote
+
+__all__ = [
+    "ClassifierMixin",
+    "cross_val_score",
+    "kfold_indices",
+    "roc_curve",
+    "roc_auc_score",
+    "precision_recall_curve",
+    "average_precision",
+    "DriftMonitor",
+    "population_stability_index",
+    "export_text",
+    "export_dot",
+    "decision_path",
+    "RandomForestClassifier",
+    "DecisionTreeClassifier",
+    "GaussianNB",
+    "KNeighborsClassifier",
+    "MLPClassifier",
+    "StandardScaler",
+    "train_test_split",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+    "permutation_importance",
+    "top_k_features",
+    "majority_vote",
+    "VotingClassifier",
+]

@@ -1,0 +1,90 @@
+"""Shared estimator plumbing.
+
+All classifiers follow the familiar ``fit(X, y) / predict(X) /
+predict_proba(X)`` protocol with a fitted ``classes_`` attribute.
+:class:`ClassifierMixin` centralizes input validation and label
+encoding so the individual algorithms only see dense float matrices and
+integer-coded targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ClassifierMixin", "check_Xy", "check_X"]
+
+
+def check_X(X) -> np.ndarray:
+    """Coerce features to a C-contiguous float64 2-D matrix."""
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X[None, :]
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {X.shape}")
+    if not np.isfinite(X).all():
+        raise ValueError("features contain NaN or infinity")
+    return X
+
+
+def check_Xy(X, y) -> tuple:
+    X = check_X(X)
+    y = np.asarray(y).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"length mismatch: X {X.shape[0]} vs y {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit on empty data")
+    return X, y
+
+
+class ClassifierMixin:
+    """Label-encoding base for classifiers.
+
+    Subclasses implement ``_fit(X, y_encoded)`` and
+    ``_predict_proba(X)``; this mixin handles class discovery, encoding,
+    argmax prediction and fitted-state checks.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X, y) -> "ClassifierMixin":
+        X, y = check_Xy(X, y)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        self.n_features_ = X.shape[1]
+        self._fit(X, y_enc.astype(np.int64))
+        return self
+
+    def _check_predict_input(self, X) -> np.ndarray:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(f"{type(self).__name__} is not fitted")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"feature count mismatch: fitted {self.n_features_}, got {X.shape[1]}"
+            )
+        return X
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities, columns ordered as ``classes_``."""
+        X = self._check_predict_input(X)
+        proba = self._predict_proba(X)
+        return proba
+
+    def predict(self, X) -> np.ndarray:
+        """Most probable class for each row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on the given data."""
+        from .metrics import accuracy_score
+
+        return accuracy_score(np.asarray(y).ravel(), self.predict(X))
+
+    # subclass hooks -----------------------------------------------------
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,71 @@
+"""K-fold cross-validation.
+
+Complements the paper's single 90:10 split with variance estimates —
+useful because several of our reproduced metrics live on small sFlow
+test sets where a single split is noisy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.common.rng import as_generator
+
+from .metrics import accuracy_score
+from .scaler import StandardScaler
+
+__all__ = ["kfold_indices", "cross_val_score"]
+
+
+def kfold_indices(n: int, k: int = 5, shuffle: bool = True, seed=None):
+    """Yield ``(train_idx, test_idx)`` pairs for k folds."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2: {k}")
+    if n < k:
+        raise ValueError(f"cannot split {n} samples into {k} folds")
+    idx = np.arange(n)
+    if shuffle:
+        idx = as_generator(seed).permutation(n)
+    folds = np.array_split(idx, k)
+    for i in range(k):
+        test = folds[i]
+        train = np.concatenate([folds[j] for j in range(k) if j != i])
+        yield train, test
+
+
+def cross_val_score(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int = 5,
+    scorer: Optional[Callable] = None,
+    standardize: bool = True,
+    seed=None,
+) -> np.ndarray:
+    """Per-fold scores for a freshly constructed model each fold.
+
+    Parameters
+    ----------
+    model_factory : callable() -> classifier
+        Called once per fold (models must not leak state across folds).
+    standardize : bool
+        Fit a StandardScaler on each fold's training split (the paper's
+        preprocessing), applied to both splits.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel()
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("length mismatch")
+    score = scorer if scorer is not None else accuracy_score
+    out: List[float] = []
+    for train, test in kfold_indices(X.shape[0], k=k, seed=seed):
+        Xtr, Xte = X[train], X[test]
+        if standardize:
+            sc = StandardScaler().fit(Xtr)
+            Xtr, Xte = sc.transform(Xtr), sc.transform(Xte)
+        model = model_factory()
+        model.fit(Xtr, y[train])
+        out.append(float(score(y[test], model.predict(Xte))))
+    return np.asarray(out)

@@ -1,0 +1,81 @@
+"""Threshold curves: ROC / AUC and precision-recall.
+
+The paper reports fixed-threshold metrics only; curve analysis is the
+standard next step when tuning an anomaly detector's alarm threshold
+(false alarms being the §II-C concern with anomaly-based IDS).  All
+functions consume the positive-class score column from
+``predict_proba`` and are fully vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc_score", "precision_recall_curve", "average_precision"]
+
+
+def _validate(y_true, scores):
+    y_true = np.asarray(y_true).ravel().astype(np.int64)
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have the same length")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("y_true must be binary 0/1")
+    if y_true.min() == y_true.max():
+        raise ValueError("need both classes present")
+    return y_true, scores
+
+
+def roc_curve(y_true, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False-positive rate, true-positive rate, thresholds.
+
+    Thresholds descend over the distinct score values; the curve starts
+    at (0, 0) with threshold +inf and ends at (1, 1).
+    """
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(scores, kind="stable")[::-1]
+    y = y_true[order]
+    s = scores[order]
+    # indices where the score strictly drops = candidate thresholds
+    distinct = np.flatnonzero(np.diff(s) != 0)
+    idx = np.r_[distinct, y.size - 1]
+    tps = np.cumsum(y)[idx]
+    fps = (idx + 1) - tps
+    P = y_true.sum()
+    N = y_true.size - P
+    tpr = np.r_[0.0, tps / P]
+    fpr = np.r_[0.0, fps / N]
+    thresholds = np.r_[np.inf, s[idx]]
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true, scores) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.sum(np.diff(fpr) * (tpr[1:] + tpr[:-1]) * 0.5))
+
+
+def precision_recall_curve(y_true, scores) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision, recall, thresholds (recall ascending)."""
+    y_true, scores = _validate(y_true, scores)
+    order = np.argsort(scores, kind="stable")[::-1]
+    y = y_true[order]
+    s = scores[order]
+    distinct = np.flatnonzero(np.diff(s) != 0)
+    idx = np.r_[distinct, y.size - 1]
+    tps = np.cumsum(y)[idx]
+    predicted = idx + 1
+    precision = tps / predicted
+    recall = tps / y_true.sum()
+    return precision, recall, s[idx]
+
+
+def average_precision(y_true, scores) -> float:
+    """Area under the PR curve via the step-wise AP definition."""
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    recall = np.r_[0.0, recall]
+    return float(np.sum(np.diff(recall) * precision))

@@ -1,0 +1,131 @@
+"""Classification metrics (paper §IV-A).
+
+Implements exactly the metric set the paper evaluates with — accuracy,
+recall, precision, F1-score and the 2×2 confusion matrix — using the TP /
+TN / FP / FN formulas quoted in Section IV-A.  Layout of the confusion
+matrix matches scikit-learn's convention (rows = true class, columns =
+predicted class), so ``cm[1, 1]`` is TP for the positive (attack) class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "classification_report",
+]
+
+
+def _validate(y_true, y_pred):
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int = 2) -> np.ndarray:
+    """Counts matrix ``cm[i, j]`` = samples with true ``i`` predicted ``j``.
+
+    Labels must already be integer-coded in ``[0, n_classes)``.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    y_true = y_true.astype(np.int64)
+    y_pred = y_pred.astype(np.int64)
+    if (y_true < 0).any() or (y_true >= n_classes).any():
+        raise ValueError("y_true labels out of range")
+    if (y_pred < 0).any() or (y_pred >= n_classes).any():
+        raise ValueError("y_pred labels out of range")
+    idx = y_true * n_classes + y_pred
+    return np.bincount(idx, minlength=n_classes * n_classes).reshape(
+        n_classes, n_classes
+    )
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """(TP + TN) / (TP + TN + FP + FN)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true, y_pred, positive: int = 1, zero_division: float = 0.0) -> float:
+    """TP / (TP + FP); ``zero_division`` returned when nothing is predicted positive."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    pred_pos = y_pred == positive
+    denom = int(pred_pos.sum())
+    if denom == 0:
+        return float(zero_division)
+    tp = int((pred_pos & (y_true == positive)).sum())
+    return tp / denom
+
+
+def recall_score(y_true, y_pred, positive: int = 1, zero_division: float = 0.0) -> float:
+    """TP / (TP + FN); ``zero_division`` returned when no true positives exist."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    true_pos = y_true == positive
+    denom = int(true_pos.sum())
+    if denom == 0:
+        return float(zero_division)
+    tp = int((true_pos & (y_pred == positive)).sum())
+    return tp / denom
+
+
+def f1_score(y_true, y_pred, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall.
+
+    Matches the paper's Table IV edge case: with zero precision and zero
+    recall the harmonic mean is defined as 0; the 0.5 the paper reports
+    for the all-negative sFlow NN row is the *accuracy-flavored* F1 of a
+    degenerate averaging — we additionally expose
+    :func:`classification_report` whose ``f1_macro`` reproduces that 0.5.
+    """
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def classification_report(y_true, y_pred, positive: int = 1) -> Dict[str, float]:
+    """All four paper metrics at once, plus macro-F1 and the raw counts.
+
+    Returns
+    -------
+    dict
+        Keys: ``accuracy``, ``recall``, ``precision``, ``f1``,
+        ``f1_macro``, ``tp``, ``tn``, ``fp``, ``fn``.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    pos_t = y_true == positive
+    pos_p = y_pred == positive
+    tp = int((pos_t & pos_p).sum())
+    tn = int((~pos_t & ~pos_p).sum())
+    fp = int((~pos_t & pos_p).sum())
+    fn = int((pos_t & ~pos_p).sum())
+    # F1 of the negative class, for the macro average
+    p_neg = tn / (tn + fn) if (tn + fn) else 0.0
+    r_neg = tn / (tn + fp) if (tn + fp) else 0.0
+    f1_neg = 2 * p_neg * r_neg / (p_neg + r_neg) if (p_neg + r_neg) else 0.0
+    f1_pos = f1_score(y_true, y_pred, positive)
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred, positive),
+        "precision": precision_score(y_true, y_pred, positive),
+        "f1": f1_pos,
+        "f1_macro": 0.5 * (f1_pos + f1_neg),
+        "tp": tp,
+        "tn": tn,
+        "fp": fp,
+        "fn": fn,
+    }

@@ -1,0 +1,74 @@
+"""Train/test splitting.
+
+The paper trains with a 90:10 random split (Table III) and with a
+time-based split where June 11 is held out entirely (Table IV, the
+zero-day protocol).  :func:`train_test_split` covers the first;
+time-based splits are plain boolean masks on timestamps and live with
+the experiment code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.rng import as_generator
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.1,
+    stratify: bool = False,
+    seed=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into train/test partitions.
+
+    Parameters
+    ----------
+    X, y : arrays with matching first dimension.
+    test_size : float
+        Fraction assigned to the test set (paper: 0.1).
+    stratify : bool
+        Preserve the class balance of ``y`` in both partitions (useful
+        when attack packets are rare).
+    seed : int | numpy.random.Generator | None
+
+    Returns
+    -------
+    (X_train, X_test, y_train, y_test)
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"length mismatch: X {X.shape[0]} vs y {y.shape[0]}")
+    n = X.shape[0]
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError(f"test_size must be in (0, 1): {test_size}")
+    rng = as_generator(seed)
+
+    if not stratify:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(n * test_size)))
+        test_idx = order[:n_test]
+        train_idx = order[n_test:]
+    else:
+        test_parts = []
+        train_parts = []
+        for cls in np.unique(y):
+            idx = np.flatnonzero(y == cls)
+            idx = rng.permutation(idx)
+            k = max(1, int(round(idx.size * test_size))) if idx.size > 1 else 0
+            test_parts.append(idx[:k])
+            train_parts.append(idx[k:])
+        test_idx = rng.permutation(np.concatenate(test_parts))
+        train_idx = rng.permutation(np.concatenate(train_parts))
+
+    if train_idx.size == 0:
+        raise ValueError("split left the training set empty")
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,88 @@
+"""Feature standardization.
+
+The paper's Prediction module "uploads … the coefficients of scaler
+transformation, which are used to standardize the feature values to unit
+variance" (§III-4).  :class:`StandardScaler` is that transformation:
+per-feature zero mean, unit variance, with the fitted coefficients
+(:attr:`mean_`, :attr:`scale_`) exportable so the online pipeline can
+standardize single records without touching training data again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Per-feature ``(x - mean) / std`` standardization.
+
+    Features with zero variance get ``scale_ = 1`` so they pass through
+    centered (scikit-learn behaviour), avoiding division by zero on
+    constant columns like a single-protocol capture.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2-D matrix, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty matrix")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        self.n_features_ = X.shape[1]
+        return self
+
+    def _check_fitted(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        if single:
+            X = X[None, :]
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"feature count mismatch: fitted {self.n_features_}, got {X.shape[1]}"
+            )
+        return X if not single else X  # shape normalized; caller squeezes
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        single = np.asarray(X).ndim == 1
+        X = self._check_fitted(X)
+        out = (X - self.mean_) / self.scale_
+        return out[0] if single else out
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        single = np.asarray(X).ndim == 1
+        X = self._check_fitted(X)
+        out = X * self.scale_ + self.mean_
+        return out[0] if single else out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def coefficients(self) -> dict:
+        """Exportable fitted coefficients (what the testbed ships to the
+        Prediction module alongside the pre-trained models)."""
+        if self.mean_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return {"mean": self.mean_.copy(), "scale": self.scale_.copy()}
+
+    @classmethod
+    def from_coefficients(cls, coeffs: dict) -> "StandardScaler":
+        """Rebuild a scaler from exported coefficients."""
+        sc = cls()
+        sc.mean_ = np.asarray(coeffs["mean"], dtype=np.float64).copy()
+        sc.scale_ = np.asarray(coeffs["scale"], dtype=np.float64).copy()
+        if sc.mean_.shape != sc.scale_.shape or sc.mean_.ndim != 1:
+            raise ValueError("inconsistent coefficient shapes")
+        sc.n_features_ = sc.mean_.shape[0]
+        return sc

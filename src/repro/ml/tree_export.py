@@ -1,0 +1,119 @@
+"""Decision-tree introspection and export.
+
+Operators deploying an anomaly detector need to see *why* it flags
+traffic (the paper's §V deployment discussion is all about trust in the
+pipeline).  These helpers render a fitted
+:class:`~repro.ml.tree.DecisionTreeClassifier` as indented text or
+Graphviz DOT, with feature names and class distributions at the leaves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .tree import DecisionTreeClassifier
+
+__all__ = ["export_text", "export_dot", "decision_path"]
+
+
+def _check(tree: DecisionTreeClassifier) -> None:
+    if not hasattr(tree, "feature_"):
+        raise RuntimeError("tree is not fitted")
+
+
+def export_text(
+    tree: DecisionTreeClassifier,
+    feature_names: Optional[Sequence[str]] = None,
+    max_depth: Optional[int] = None,
+    digits: int = 4,
+) -> str:
+    """Indented if/else rendering of a fitted tree."""
+    _check(tree)
+    names = feature_names
+
+    def fname(f: int) -> str:
+        return names[f] if names is not None else f"feature[{f}]"
+
+    lines: List[str] = []
+
+    def walk(node: int, depth: int) -> None:
+        indent = "|   " * depth
+        if tree.feature_[node] == -1 or (max_depth is not None and depth >= max_depth):
+            dist = tree.value_[node]
+            cls = tree.classes_[dist.argmax()]
+            lines.append(
+                f"{indent}class: {cls} "
+                f"(p={dist.max():.{digits}f}, n={tree.n_node_samples_[node]})"
+            )
+            return
+        f, thr = int(tree.feature_[node]), float(tree.threshold_[node])
+        lines.append(f"{indent}{fname(f)} <= {thr:.{digits}g}")
+        walk(int(tree.children_left_[node]), depth + 1)
+        lines.append(f"{indent}{fname(f)} >  {thr:.{digits}g}")
+        walk(int(tree.children_right_[node]), depth + 1)
+
+    walk(0, 0)
+    return "\n".join(lines)
+
+
+def export_dot(
+    tree: DecisionTreeClassifier,
+    feature_names: Optional[Sequence[str]] = None,
+    class_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Graphviz DOT source for a fitted tree (``dot -Tpng`` renders it)."""
+    _check(tree)
+
+    def fname(f: int) -> str:
+        return feature_names[f] if feature_names is not None else f"x{f}"
+
+    def cname(c) -> str:
+        if class_names is not None:
+            return str(class_names[list(tree.classes_).index(c)])
+        return str(c)
+
+    lines = ["digraph tree {", '  node [shape=box, fontname="monospace"];']
+    for nid in range(tree.node_count):
+        if tree.feature_[nid] == -1:
+            dist = tree.value_[nid]
+            label = (
+                f"{cname(tree.classes_[dist.argmax()])}\\n"
+                f"p={dist.max():.3f} n={tree.n_node_samples_[nid]}"
+            )
+            lines.append(f'  n{nid} [label="{label}", style=filled];')
+        else:
+            label = f"{fname(int(tree.feature_[nid]))} <= {tree.threshold_[nid]:.4g}"
+            lines.append(f'  n{nid} [label="{label}"];')
+            lines.append(f'  n{nid} -> n{tree.children_left_[nid]} [label="yes"];')
+            lines.append(f'  n{nid} -> n{tree.children_right_[nid]} [label="no"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def decision_path(
+    tree: DecisionTreeClassifier,
+    x,
+    feature_names: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Human-readable list of the tests one sample passes through."""
+    import numpy as np
+
+    _check(tree)
+    x = np.asarray(x, dtype=float).ravel()
+
+    def fname(f: int) -> str:
+        return feature_names[f] if feature_names is not None else f"feature[{f}]"
+
+    out: List[str] = []
+    node = 0
+    while tree.feature_[node] != -1:
+        f, thr = int(tree.feature_[node]), float(tree.threshold_[node])
+        if x[f] <= thr:
+            out.append(f"{fname(f)} = {x[f]:.6g} <= {thr:.6g}")
+            node = int(tree.children_left_[node])
+        else:
+            out.append(f"{fname(f)} = {x[f]:.6g} >  {thr:.6g}")
+            node = int(tree.children_right_[node])
+    dist = tree.value_[node]
+    out.append(f"=> class {tree.classes_[dist.argmax()]} (p={dist.max():.4f})")
+    return out

@@ -1,0 +1,56 @@
+"""Ensemble majority voting.
+
+The paper's live mechanism (§IV-C4) combines MLP, RF and GNB outputs "by
+ensemble voting … if two or more of the predictions are 1, then it is
+classified as an attack flow".  :func:`majority_vote` is that 2-of-3 rule
+generalized to any odd panel; :class:`VotingClassifier` wraps fitted
+models behind the standard predict API for offline use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import check_X
+
+__all__ = ["majority_vote", "VotingClassifier"]
+
+
+def majority_vote(predictions: np.ndarray) -> np.ndarray:
+    """Row-wise majority over a (n_samples, n_models) 0/1 matrix.
+
+    Ties (possible only with an even panel) resolve to 1 — in a security
+    context the conservative tie-break is to flag.
+    """
+    predictions = np.atleast_2d(np.asarray(predictions))
+    if predictions.ndim != 2:
+        raise ValueError(f"expected 2-D prediction matrix: {predictions.shape}")
+    votes = predictions.sum(axis=1)
+    return (votes * 2 >= predictions.shape[1]).astype(np.int64)
+
+
+class VotingClassifier:
+    """Hard-voting ensemble over pre-fitted binary classifiers.
+
+    Parameters
+    ----------
+    models : sequence of fitted classifiers
+        Each must implement ``predict`` returning 0/1 labels.
+    """
+
+    def __init__(self, models: Sequence) -> None:
+        if not models:
+            raise ValueError("need at least one model")
+        self.models = list(models)
+
+    def predict(self, X) -> np.ndarray:
+        X = check_X(X)
+        preds = np.column_stack([m.predict(X) for m in self.models])
+        return majority_vote(preds)
+
+    def predict_each(self, X) -> np.ndarray:
+        """Per-model predictions, one column per panel member."""
+        X = check_X(X)
+        return np.column_stack([m.predict(X) for m in self.models])

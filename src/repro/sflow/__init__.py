@@ -1,0 +1,24 @@
+"""sFlow measurement stack: samplers, agent, datagrams, collector.
+
+Mirrors the paper's industry-standard comparison point: device-level
+statistical sampling (production rate 1:4096) with proxy reporting to a
+central collector (§II-A1).
+"""
+
+from .agent import SFlowAgent
+from .collector import SFlowCollector
+from .counters import COUNTER_DTYPE, CounterPoller
+from .datagram import SAMPLE_DTYPE, FlowSample, SFlowDatagram
+from .sampling import PacketCountSampler, TimeBasedSampler
+
+__all__ = [
+    "SFlowAgent",
+    "SFlowCollector",
+    "CounterPoller",
+    "COUNTER_DTYPE",
+    "FlowSample",
+    "SFlowDatagram",
+    "SAMPLE_DTYPE",
+    "PacketCountSampler",
+    "TimeBasedSampler",
+]

@@ -1,0 +1,124 @@
+"""sFlow agent.
+
+Attaches to a switch as an ingress hook.  Every packet is offered to the
+sampler; selected packets become :class:`~repro.sflow.datagram.FlowSample`
+records, batched into datagrams and shipped to the collector after a
+configurable export delay (the UDP trip the real agent makes).
+
+A datagram is flushed when it reaches ``samples_per_datagram`` or when
+``flush_interval_ns`` elapses since the first queued sample, whichever
+comes first — matching how production agents bound both datagram size and
+staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataplane.packet import Packet
+from repro.dataplane.switch import Switch
+
+from .collector import SFlowCollector
+from .datagram import FlowSample, SFlowDatagram
+from .sampling import PacketCountSampler, TimeBasedSampler
+
+__all__ = ["SFlowAgent"]
+
+
+class SFlowAgent:
+    """Per-switch sFlow agent.
+
+    Parameters
+    ----------
+    agent_id : int
+        Identifier embedded in every sample.
+    collector : SFlowCollector
+        Destination for exported datagrams.
+    sampler : PacketCountSampler | TimeBasedSampler
+        Sampling discipline; defaults to packet-count 1:4096 (the
+        AmLight production rate).
+    samples_per_datagram : int
+        Flush threshold in samples.
+    flush_interval_ns : int
+        Maximum staleness of a queued sample before a forced flush.
+    export_delay_ns : int
+        Modeled network delay from agent to collector.
+    """
+
+    def __init__(
+        self,
+        agent_id: int,
+        collector: SFlowCollector,
+        sampler: Optional[PacketCountSampler | TimeBasedSampler] = None,
+        samples_per_datagram: int = 8,
+        flush_interval_ns: int = 1_000_000_000,
+        export_delay_ns: int = 0,
+    ) -> None:
+        self.agent_id = int(agent_id)
+        self.collector = collector
+        self.sampler = sampler if sampler is not None else PacketCountSampler(4096)
+        self.samples_per_datagram = int(samples_per_datagram)
+        self.flush_interval_ns = int(flush_interval_ns)
+        self.export_delay_ns = int(export_delay_ns)
+        self._pending: list[FlowSample] = []
+        self._pending_since: Optional[int] = None
+        self._sequence = 0
+        self.datagrams_sent = 0
+        self._events = None  # bound at attach time
+
+    def attach(self, switch: Switch) -> None:
+        """Install the sampling hook on ``switch``'s ingress pipeline."""
+        self._events = switch.events
+        switch.add_ingress_hook(self.on_ingress)
+
+    def on_ingress(self, switch: Switch, pkt: Packet, in_port: int) -> bool:
+        now = switch.events.clock.now
+        if isinstance(self.sampler, TimeBasedSampler):
+            selected = self.sampler.offer(now)
+        else:
+            selected = self.sampler.offer(pkt)
+        if selected:
+            self._pending.append(
+                FlowSample(
+                    ts_sample=now,
+                    src_ip=pkt.src_ip,
+                    dst_ip=pkt.dst_ip,
+                    src_port=pkt.src_port,
+                    dst_port=pkt.dst_port,
+                    protocol=pkt.protocol,
+                    tcp_flags=pkt.tcp_flags,
+                    length=pkt.length,
+                    sampling_rate=getattr(self.sampler, "rate", 0)
+                    or getattr(self.sampler, "interval_ns", 0),
+                    sample_pool=self.sampler.sample_pool,
+                    agent_id=self.agent_id,
+                )
+            )
+            if self._pending_since is None:
+                self._pending_since = now
+            if len(self._pending) >= self.samples_per_datagram:
+                self.flush(now)
+        # Staleness flush: piggybacked on traffic (agents also flush on
+        # timers; checking here avoids idle timer events in the heap).
+        if (
+            self._pending
+            and self._pending_since is not None
+            and now - self._pending_since >= self.flush_interval_ns
+        ):
+            self.flush(now)
+        return True
+
+    def flush(self, now_ns: int) -> None:
+        """Export all pending samples as one datagram."""
+        if not self._pending:
+            return
+        dgram = SFlowDatagram(self.agent_id, self._sequence, self._pending)
+        self._sequence += 1
+        self._pending = []
+        self._pending_since = None
+        self.datagrams_sent += 1
+        arrive = now_ns + self.export_delay_ns
+        # The collector is passive storage; stamping the arrival time on
+        # ingest is equivalent to scheduling a delivery event and keeps
+        # the heap free of telemetry chatter.
+        self.collector.ingest_datagram(dgram, arrive)

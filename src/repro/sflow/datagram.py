@@ -1,0 +1,81 @@
+"""sFlow flow samples and datagrams.
+
+An agent wraps each selected packet's headers in a
+:class:`FlowSample` and batches samples into :class:`SFlowDatagram`
+messages toward the collector (real agents pack several samples per UDP
+datagram; we keep the batching because it shapes collector arrival times
+and therefore the inter-arrival features the paper derives from sFlow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["FlowSample", "SFlowDatagram", "SAMPLE_DTYPE"]
+
+#: Flat per-sample record layout used by the sFlow collector.
+SAMPLE_DTYPE = np.dtype(
+    [
+        ("ts_sample", np.int64),  # agent-side sampling time (ns)
+        ("ts_collector", np.int64),  # collector arrival time (ns)
+        ("src_ip", np.uint32),
+        ("dst_ip", np.uint32),
+        ("src_port", np.uint16),
+        ("dst_port", np.uint16),
+        ("protocol", np.uint8),
+        ("tcp_flags", np.uint8),
+        ("length", np.uint32),
+        ("sampling_rate", np.uint32),
+        ("sample_pool", np.uint64),
+        ("agent_id", np.uint32),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class FlowSample:
+    """One sampled packet's header snapshot plus sampling metadata."""
+
+    ts_sample: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    tcp_flags: int
+    length: int
+    sampling_rate: int
+    sample_pool: int
+    agent_id: int
+
+    def to_row(self, ts_collector: int) -> tuple:
+        """Flatten to a :data:`SAMPLE_DTYPE` row at collector arrival."""
+        return (
+            self.ts_sample,
+            ts_collector,
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            self.protocol,
+            self.tcp_flags,
+            self.length,
+            self.sampling_rate,
+            self.sample_pool,
+            self.agent_id,
+        )
+
+
+@dataclass
+class SFlowDatagram:
+    """A batch of flow samples from one agent."""
+
+    agent_id: int
+    sequence: int
+    samples: List[FlowSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,113 @@
+"""sFlow sampling disciplines.
+
+sFlow (RFC 3176) defines statistical packet sampling at the agent.  The
+paper's production deployment uses packet-count sampling at 1:4096; the
+sFlow spec also allows time-based sampling, and the paper's background
+section (§II-A1) describes both, so both are implemented.
+
+Count-based sampling draws the gap to the next sampled packet from a
+geometric-like distribution around the configured rate (as real agents
+do, to avoid phase-locking with periodic traffic); a ``deterministic``
+mode samples exactly every N-th packet for reproducible unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.rng import as_generator
+
+__all__ = ["PacketCountSampler", "TimeBasedSampler"]
+
+
+class PacketCountSampler:
+    """Sample on average 1 of every ``rate`` packets.
+
+    Parameters
+    ----------
+    rate : int
+        Mean sampling interval in packets (AmLight production: 4096).
+    deterministic : bool
+        If True, sample exactly every ``rate``-th packet (counter mode);
+        otherwise draw random skip gaps with mean ``rate`` (spec
+        behaviour, avoids aliasing against periodic flows).
+    seed : int | numpy.random.Generator | None
+        Randomness source for the skip gaps.
+    """
+
+    def __init__(
+        self,
+        rate: int = 4096,
+        deterministic: bool = False,
+        seed=None,
+    ) -> None:
+        if rate < 1:
+            raise ValueError(f"sampling rate must be >= 1: {rate}")
+        self.rate = int(rate)
+        self.deterministic = bool(deterministic)
+        self._rng = as_generator(seed)
+        self.observed = 0
+        self.sampled = 0
+        self._skip = self._draw_skip()
+
+    def _draw_skip(self) -> int:
+        if self.deterministic:
+            return self.rate
+        if self.rate == 1:
+            return 1
+        # Uniform over [1, 2*rate-1] keeps the mean at `rate` and bounds
+        # worst-case gaps, matching common agent implementations.
+        return int(self._rng.integers(1, 2 * self.rate))
+
+    def offer(self, _pkt=None) -> bool:
+        """Observe one packet; return True if it is selected for sampling."""
+        self.observed += 1
+        self._skip -= 1
+        if self._skip <= 0:
+            self.sampled += 1
+            self._skip = self._draw_skip()
+            return True
+        return False
+
+    @property
+    def sample_pool(self) -> int:
+        """Total packets observed since start (sFlow ``sample_pool``)."""
+        return self.observed
+
+
+class TimeBasedSampler:
+    """Sample the first packet seen after each fixed time interval.
+
+    Parameters
+    ----------
+    interval_ns : int
+        Sampling period in nanoseconds.
+    """
+
+    def __init__(self, interval_ns: int) -> None:
+        if interval_ns <= 0:
+            raise ValueError(f"interval must be positive: {interval_ns}")
+        self.interval_ns = int(interval_ns)
+        self._next_sample_at: Optional[int] = None
+        self.observed = 0
+        self.sampled = 0
+
+    def offer(self, now_ns: int) -> bool:
+        """Observe one packet at time ``now_ns``; True if sampled."""
+        self.observed += 1
+        if self._next_sample_at is None:
+            self._next_sample_at = now_ns  # sample the very first packet
+        if now_ns >= self._next_sample_at:
+            self.sampled += 1
+            # Advance in whole intervals so a burst after an idle gap
+            # yields one sample, not a backlog of them.
+            periods = (now_ns - self._next_sample_at) // self.interval_ns + 1
+            self._next_sample_at += periods * self.interval_ns
+            return True
+        return False
+
+    @property
+    def sample_pool(self) -> int:
+        return self.observed

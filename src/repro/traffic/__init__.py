@@ -1,0 +1,44 @@
+"""Traffic generation, attack tooling, schedules, traces, and replay.
+
+Synthesizes the workload side of the reproduction: benign web-server
+traffic (:mod:`~repro.traffic.benign`), the four attack tools of Table I
+(:mod:`~repro.traffic.attacks`), the episode schedule
+(:mod:`~repro.traffic.schedule`), pcap-like traces
+(:mod:`~repro.traffic.trace`), and tcpreplay-style injection
+(:mod:`~repro.traffic.replay`).
+"""
+
+from .amplification import dns_amplification, ntp_amplification
+from .attacks import slowloris, syn_flood, syn_scan, udp_scan
+from .benign import BenignConfig, generate_benign
+from .flows import AddressPool, TraceBuilder, packet_block
+from .pcap import read_pcap, write_pcap
+from .replay import Replayer, replay_counts
+from .schedule import CAMPAIGN_ORIGIN, CampaignSchedule, Episode, table1_schedule
+from .trace import PACKET_DTYPE, AttackType, Trace, merge_traces
+
+__all__ = [
+    "syn_scan",
+    "dns_amplification",
+    "ntp_amplification",
+    "udp_scan",
+    "syn_flood",
+    "slowloris",
+    "BenignConfig",
+    "generate_benign",
+    "AddressPool",
+    "TraceBuilder",
+    "packet_block",
+    "read_pcap",
+    "write_pcap",
+    "Replayer",
+    "replay_counts",
+    "CampaignSchedule",
+    "Episode",
+    "table1_schedule",
+    "CAMPAIGN_ORIGIN",
+    "AttackType",
+    "Trace",
+    "PACKET_DTYPE",
+    "merge_traces",
+]

@@ -1,0 +1,123 @@
+"""Reflection/amplification attack generators (paper §II-B).
+
+The paper's background section names DNS and NTP amplification among the
+prevalent DDoS classes (alongside the SYN flood it demonstrates).  These
+generators synthesize the *reflected* leg as the victim's network sees
+it: the attacker spoofs the victim's address toward open reflectors, so
+what arrives at the monitored edge is a torrent of large UDP responses
+from many reflector addresses, source port 53 (DNS) or 123 (NTP).
+
+Signature properties (and how they differ from Table I's attacks):
+
+* large packets — responses are amplified (DNS ANY answers fragment into
+  MTU-size pieces; NTP ``monlist`` replies are ~468 B × up to 100
+  packets per request), unlike a SYN flood's 40-byte probes;
+* many source addresses (the reflector population), like a spoofed
+  flood — but well-formed UDP from service ports, not TCP SYNs;
+* essentially unidirectional: the victim never asked, and mostly drops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import as_generator
+from repro.dataplane.packet import Protocol
+
+from .attacks import _jittered_times
+from .flows import TraceBuilder, packet_block
+from .trace import AttackType, Trace
+
+__all__ = ["dns_amplification", "ntp_amplification"]
+
+
+def _reflection(
+    victim_ip: int,
+    service_port: int,
+    attack_type: AttackType,
+    start_ns: int,
+    end_ns: int,
+    rate_pps: float,
+    n_reflectors: int,
+    reflector_base_ip: int,
+    sizes: np.ndarray,
+    burst_len,
+    seed,
+) -> Trace:
+    rng = as_generator(seed)
+    if n_reflectors < 1:
+        raise ValueError(f"n_reflectors must be >= 1: {n_reflectors}")
+    # each trigger elicits a burst of response packets from one reflector
+    triggers = _jittered_times(start_ns, end_ns, rate_pps, rng)
+    n = triggers.shape[0]
+    if n == 0:
+        return Trace.empty()
+    reflectors = (
+        reflector_base_ip + rng.integers(0, n_reflectors, size=n)
+    ).astype(np.uint32)
+    victim_ports = rng.integers(1024, 65536, size=n).astype(np.uint16)
+
+    builder = TraceBuilder()
+    bursts = burst_len(rng, n)
+    for i in range(n):
+        k = int(bursts[i])
+        gaps = rng.integers(3_000, 30_000, size=k)
+        t = int(triggers[i]) + np.cumsum(gaps)
+        pkt_sizes = rng.choice(sizes, size=k)
+        builder.add(
+            packet_block(
+                t, int(reflectors[i]), victim_ip,
+                service_port, int(victim_ports[i]),
+                Protocol.UDP, 0, pkt_sizes,
+                label=1, attack_type=attack_type,
+            )
+        )
+    return builder.build()
+
+
+def dns_amplification(
+    victim_ip: int,
+    start_ns: int,
+    end_ns: int,
+    rate_pps: float = 2000.0,
+    n_reflectors: int = 500,
+    reflector_base_ip: int = 0x08080000,  # resolver-ish space
+    seed=None,
+) -> Trace:
+    """Reflected DNS ``ANY``-style responses toward the victim.
+
+    ``rate_pps`` is the *trigger* rate; each trigger yields a 2-4 packet
+    fragmented response of MTU-class sizes (a ~50× byte amplification of
+    the attacker's spoofed ~70-byte query).
+    """
+    return _reflection(
+        victim_ip, 53, AttackType.DNS_AMPLIFICATION, start_ns, end_ns,
+        rate_pps, n_reflectors, reflector_base_ip,
+        sizes=np.array([1500, 1500, 1200, 900]),
+        burst_len=lambda rng, n: rng.integers(2, 5, size=n),
+        seed=seed,
+    )
+
+
+def ntp_amplification(
+    victim_ip: int,
+    start_ns: int,
+    end_ns: int,
+    rate_pps: float = 500.0,
+    n_reflectors: int = 100,
+    reflector_base_ip: int = 0x0A7B0000,
+    seed=None,
+) -> Trace:
+    """Reflected NTP ``monlist`` responses toward the victim.
+
+    Each trigger yields a burst of up to ~100 packets of 468 bytes (the
+    classic 556× amplification); we cap bursts for tractability while
+    keeping the fixed-size many-packet signature.
+    """
+    return _reflection(
+        victim_ip, 123, AttackType.NTP_AMPLIFICATION, start_ns, end_ns,
+        rate_pps, n_reflectors, reflector_base_ip,
+        sizes=np.array([468]),
+        burst_len=lambda rng, n: rng.integers(10, 40, size=n),
+        seed=seed,
+    )

@@ -1,0 +1,328 @@
+"""Attack traffic generators.
+
+Reimplementations (at the header/timing level) of the tools the paper
+used to inject attacks into the AmLight capture (Table I):
+
+* :func:`syn_scan` — ``hping3``/nmap-style TCP SYN port sweep: one small
+  SYN per probed port, RST (closed) or SYN-ACK (open) responses.
+* :func:`udp_scan` — UDP port sweep: small probes, mostly silent targets,
+  occasional ICMP port-unreachable backscatter.
+* :func:`syn_flood` — ``hping3 --flood --rand-source``: high-rate SYNs
+  with spoofed random sources; partial SYN-ACK backscatter until the
+  victim's accept queue saturates.
+* :func:`slowloris` — gkbrk/slowloris: a modest number of long-lived
+  connections each trickling partial HTTP header lines on a keepalive
+  timer.  Low and slow — few packets, tiny payloads, long gaps — which is
+  why sampling-based monitoring misses it (paper Fig 5).
+
+All generators label every emitted packet (probes *and* victim
+responses) with their :class:`~repro.traffic.trace.AttackType`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import as_generator
+from repro.dataplane.packet import Protocol, TCPFlags
+
+from .flows import EPHEMERAL_HI, EPHEMERAL_LO, TraceBuilder, packet_block
+from .trace import AttackType, Trace
+
+__all__ = ["syn_scan", "udp_scan", "syn_flood", "slowloris"]
+
+# hping3/nmap craft minimal headers: 40-byte SYN probes (no TCP
+# options), 40-byte RSTs back.  Real client stacks send 60-74 byte SYNs
+# (MSS/SACK/wscale/timestamps), which is what makes crafted attack
+# packets separable from benign handshakes at the feature level.
+_SYN_LEN = 40
+_RST_LEN = 40
+# The victim's SYN-ACK backscatter comes from a real server stack and
+# carries TCP options (66-74 B) — unlike the attacker's bare 40-byte SYNs.
+
+
+def _jittered_times(start_ns, end_ns, rate_pps, rng) -> np.ndarray:
+    """Exponentially spaced event times at mean rate ``rate_pps``."""
+    if end_ns <= start_ns:
+        raise ValueError("empty attack window")
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive: {rate_pps}")
+    span_s = (end_ns - start_ns) / 1e9
+    n = max(1, rng.poisson(rate_pps * span_s))
+    gaps = rng.exponential(1e9 / rate_pps, size=n)
+    t = start_ns + np.cumsum(gaps)
+    return t[t < end_ns].astype(np.int64)
+
+
+def syn_scan(
+    attacker_ip: int,
+    target_ip: int,
+    start_ns: int,
+    end_ns: int,
+    rate_pps: float = 500.0,
+    port_start: int = 1,
+    open_ports: tuple = (22, 80, 443),
+    filtered_fraction: float = 0.25,
+    retx_gap_ns: int = 2_000_000,
+    seed=None,
+) -> Trace:
+    """TCP SYN port scan from a single attacker host.
+
+    Ports are swept sequentially (wrapping at 65535 back to 1); each
+    probe uses a fresh ephemeral source port, so under the paper's
+    five-tuple flow definition every probe is its own flow.
+
+    Closed ports answer with a RST (a two-packet flow); a
+    ``filtered_fraction`` of ports silently drop the probe, so — as
+    nmap and hping do — the scanner *retransmits* twice, with gaps of
+    roughly ``retx_gap_ns`` and its double.  Retransmission flows (2–3
+    identical tiny SYNs, second-scale spacing at the tool's native
+    timing) are a signature part of real scan traffic.
+    """
+    rng = as_generator(seed)
+    t = _jittered_times(start_ns, end_ns, rate_pps, rng)
+    n = t.shape[0]
+    if n == 0:
+        return Trace.empty()
+    dst_ports = ((port_start - 1 + np.arange(n)) % 65535 + 1).astype(np.uint16)
+    src_ports = rng.integers(EPHEMERAL_LO, EPHEMERAL_HI + 1, size=n).astype(np.uint16)
+
+    builder = TraceBuilder()
+    builder.add(
+        packet_block(
+            t, attacker_ip, target_ip, src_ports, dst_ports,
+            Protocol.TCP, int(TCPFlags.SYN), _SYN_LEN,
+            label=1, attack_type=AttackType.SYN_SCAN,
+        )
+    )
+    filtered = rng.random(n) < filtered_fraction
+    # Responses from non-filtered ports: SYN-ACK (open) or RST (closed).
+    answered = ~filtered
+    if answered.any():
+        m = int(answered.sum())
+        resp_delay = rng.integers(200_000, 800_000, size=m)
+        open_mask = np.isin(
+            dst_ports[answered], np.asarray(open_ports, dtype=np.uint16)
+        )
+        flags = np.where(
+            open_mask, int(TCPFlags.SYNACK), int(TCPFlags.RST | TCPFlags.ACK)
+        )
+        builder.add(
+            packet_block(
+                t[answered] + resp_delay, target_ip, attacker_ip,
+                dst_ports[answered], src_ports[answered],
+                Protocol.TCP, flags.astype(np.uint8), _RST_LEN,
+                label=1, attack_type=AttackType.SYN_SCAN,
+            )
+        )
+    # Retransmissions toward filtered ports: same five-tuple, same SYN.
+    if filtered.any():
+        for k in (1, 2):
+            jitter = rng.uniform(0.8, 1.2, size=int(filtered.sum()))
+            retx_t = (t[filtered] + k * retx_gap_ns * jitter).astype(np.int64)
+            keep = retx_t < end_ns
+            if not keep.any():
+                continue
+            builder.add(
+                packet_block(
+                    retx_t[keep], attacker_ip, target_ip,
+                    src_ports[filtered][keep], dst_ports[filtered][keep],
+                    Protocol.TCP, int(TCPFlags.SYN), _SYN_LEN,
+                    label=1, attack_type=AttackType.SYN_SCAN,
+                )
+            )
+    return builder.build()
+
+
+def udp_scan(
+    attacker_ip: int,
+    target_ip: int,
+    start_ns: int,
+    end_ns: int,
+    rate_pps: float = 300.0,
+    port_start: int = 1,
+    icmp_response_fraction: float = 0.3,
+    retx_gap_ns: int = 2_000_000,
+    seed=None,
+) -> Trace:
+    """UDP port scan: tiny probes, rate-limited ICMP unreachable replies.
+
+    Real hosts rate-limit ICMP errors, so only a fraction of probes are
+    answered; unanswered ports are indistinguishable from open ones, so
+    the scanner (as nmap does) retransmits the probe once after
+    ``retx_gap_ns``.
+    """
+    rng = as_generator(seed)
+    t = _jittered_times(start_ns, end_ns, rate_pps, rng)
+    n = t.shape[0]
+    if n == 0:
+        return Trace.empty()
+    dst_ports = ((port_start - 1 + np.arange(n)) % 65535 + 1).astype(np.uint16)
+    src_ports = rng.integers(EPHEMERAL_LO, EPHEMERAL_HI + 1, size=n).astype(np.uint16)
+    probe_len = rng.integers(28, 44, size=n)  # empty/near-empty UDP probes
+
+    builder = TraceBuilder()
+    builder.add(
+        packet_block(
+            t, attacker_ip, target_ip, src_ports, dst_ports,
+            Protocol.UDP, 0, probe_len,
+            label=1, attack_type=AttackType.UDP_SCAN,
+        )
+    )
+    answered = rng.random(n) < icmp_response_fraction
+    if answered.any():
+        # A real ICMP port-unreachable embeds the offending datagram's
+        # IP header + 8 payload bytes: ~70 bytes on the wire.
+        resp_delay = rng.integers(200_000, 900_000, size=int(answered.sum()))
+        builder.add(
+            packet_block(
+                t[answered] + resp_delay, target_ip, attacker_ip,
+                0, 0, Protocol.ICMP, 0, 70,
+                label=1, attack_type=AttackType.UDP_SCAN,
+            )
+        )
+    silent = ~answered
+    if silent.any():
+        jitter = rng.uniform(0.8, 1.2, size=int(silent.sum()))
+        retx_t = (t[silent] + retx_gap_ns * jitter).astype(np.int64)
+        keep = retx_t < end_ns
+        if keep.any():
+            builder.add(
+                packet_block(
+                    retx_t[keep], attacker_ip, target_ip,
+                    src_ports[silent][keep], dst_ports[silent][keep],
+                    Protocol.UDP, 0, probe_len[silent][keep],
+                    label=1, attack_type=AttackType.UDP_SCAN,
+                )
+            )
+    return builder.build()
+
+
+def syn_flood(
+    target_ip: int,
+    target_port: int,
+    start_ns: int,
+    end_ns: int,
+    rate_pps: float = 20000.0,
+    spoof_base_ip: int = 0x01000000,
+    spoof_space: int = 2**24,
+    backscatter_fraction: float = 0.15,
+    seed=None,
+) -> Trace:
+    """``hping3 --flood --rand-source`` style SYN flood.
+
+    Every SYN carries a random spoofed source address and port, so the
+    victim accumulates half-open connections and each packet is its own
+    flow.  A fraction of SYNs still earn a SYN-ACK before the accept
+    queue saturates (backscatter), after which the victim silently drops.
+    """
+    rng = as_generator(seed)
+    t = _jittered_times(start_ns, end_ns, rate_pps, rng)
+    n = t.shape[0]
+    if n == 0:
+        return Trace.empty()
+    src_ips = (spoof_base_ip + rng.integers(0, spoof_space, size=n)).astype(np.uint32)
+    src_ports = rng.integers(1024, 65536, size=n).astype(np.uint16)
+
+    builder = TraceBuilder()
+    builder.add(
+        packet_block(
+            t, src_ips, target_ip, src_ports, target_port,
+            Protocol.TCP, int(TCPFlags.SYN), _SYN_LEN,
+            label=1, attack_type=AttackType.SYN_FLOOD,
+        )
+    )
+    if backscatter_fraction > 0:
+        answered = rng.random(n) < backscatter_fraction
+        m = int(answered.sum())
+        if m:
+            resp_delay = rng.integers(100_000, 500_000, size=m)
+            synack_len = rng.integers(66, 75, size=m)
+            builder.add(
+                packet_block(
+                    t[answered] + resp_delay, target_ip, src_ips[answered],
+                    target_port, src_ports[answered],
+                    Protocol.TCP, int(TCPFlags.SYNACK), synack_len,
+                    label=1, attack_type=AttackType.SYN_FLOOD,
+                )
+            )
+    return builder.build()
+
+
+def slowloris(
+    attacker_ip: int,
+    target_ip: int,
+    target_port: int,
+    start_ns: int,
+    end_ns: int,
+    connections: int = 8,
+    keepalive_ns: int = 120_000_000,
+    rtt_ns: int = 2_000_000,
+    seed=None,
+) -> Trace:
+    """SlowLoris: few connections, tiny header fragments, long gaps.
+
+    Each connection handshakes once, then sends an ``X-a: b\\r\\n``-sized
+    fragment every ``keepalive_ns`` (jittered ±25%) until the episode
+    ends; the server ACKs each fragment.  Total packet volume is orders
+    of magnitude below a flood — the property that blinds 1:N sampling.
+    """
+    rng = as_generator(seed)
+    if connections < 1:
+        raise ValueError(f"connections must be >= 1: {connections}")
+    half = rtt_ns // 2
+    builder = TraceBuilder()
+    src_ports = rng.choice(
+        np.arange(EPHEMERAL_LO, EPHEMERAL_HI + 1), size=connections, replace=False
+    ).astype(np.uint16)
+    for c in range(connections):
+        sport = int(src_ports[c])
+        t0 = start_ns + int(rng.integers(0, max(1, keepalive_ns // 2)))
+        if t0 >= end_ns:
+            continue
+        # handshake — slowloris runs over a real OS TCP stack, so the
+        # handshake looks like any client's (full-option SYN, plain ACK)
+        builder.add(
+            packet_block(
+                np.array([t0]), attacker_ip, target_ip, sport, target_port,
+                Protocol.TCP, int(TCPFlags.SYN), int(rng.integers(60, 79)),
+                label=1, attack_type=AttackType.SLOWLORIS,
+            )
+        )
+        builder.add(
+            packet_block(
+                np.array([t0 + half]), target_ip, attacker_ip, target_port, sport,
+                Protocol.TCP, int(TCPFlags.SYNACK), int(rng.integers(60, 75)),
+                label=1, attack_type=AttackType.SLOWLORIS,
+            )
+        )
+        builder.add(
+            packet_block(
+                np.array([t0 + 2 * half]), attacker_ip, target_ip, sport, target_port,
+                Protocol.TCP, int(TCPFlags.ACK), 54,
+                label=1, attack_type=AttackType.SLOWLORIS,
+            )
+        )
+        # keepalive trickle
+        n_keep = max(1, int((end_ns - t0) // keepalive_ns) + 2)
+        gaps = rng.uniform(0.75, 1.25, size=n_keep) * keepalive_ns
+        times = (t0 + 2 * half + np.cumsum(gaps)).astype(np.int64)
+        times = times[times < end_ns]
+        if times.size == 0:
+            continue
+        frag_len = rng.integers(60, 110, size=times.size)
+        builder.add(
+            packet_block(
+                times, attacker_ip, target_ip, sport, target_port,
+                Protocol.TCP, int(TCPFlags.PSHACK), frag_len,
+                label=1, attack_type=AttackType.SLOWLORIS,
+            )
+        )
+        builder.add(
+            packet_block(
+                times + half, target_ip, attacker_ip, target_port, sport,
+                Protocol.TCP, int(TCPFlags.ACK), 54,
+                label=1, attack_type=AttackType.SLOWLORIS,
+            )
+        )
+    return builder.build()

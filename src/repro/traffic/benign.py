@@ -1,0 +1,267 @@
+"""Benign web-server traffic model.
+
+Synthesizes the "normal flows" side of the paper's capture: traffic
+interacting with a production web server.  Sessions arrive as a (diurnally
+modulated) Poisson process; each session performs a TCP handshake, a
+geometric number of HTTP-like request/response exchanges with
+heavy-tailed response sizes, and a FIN teardown.  A small share of
+benign UDP (DNS-style) query/response flows is mixed in so the protocol
+field alone cannot separate benign from attack traffic.
+
+What matters for the reproduction is the *feature geometry*: benign flows
+are bidirectional, medium-rate, with handshake flag sequences, payload-
+bearing packets of varied size, and inter-arrival times set by RTT and
+think time — in contrast to the attack generators' floods of tiny SYNs,
+one-packet scan probes, and trickling SlowLoris keepalives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import as_generator
+from repro.dataplane.packet import Protocol, TCPFlags
+
+from .flows import AddressPool, TraceBuilder, packet_block
+from .trace import AttackType, Trace
+
+__all__ = ["BenignConfig", "generate_benign"]
+
+_MTU = 1500
+# Real client stacks: 66-byte SYN/SYNACK (MSS, SACK, wscale, timestamp
+# options), 54-byte pure ACKs — distinctly larger than the 40-byte
+# crafted probes attack tools emit.
+_ACK_LEN = 54
+_SYN_LEN = 66
+
+
+@dataclass
+class BenignConfig:
+    """Knobs of the benign web workload.
+
+    Attributes
+    ----------
+    sessions_per_s : float
+        Mean TCP session arrival rate (before diurnal modulation).
+    diurnal_amplitude : float
+        Relative amplitude of the sinusoidal day/night rate swing
+        (0 disables modulation).
+    diurnal_period_ns : int
+        One simulated "day" (the real 24 h times the campaign scale).
+    mean_requests : float
+        Geometric mean of request/response exchanges per session.
+    response_pkts_tail : float
+        Pareto tail exponent of response length in packets (smaller =
+        heavier tail).
+    mean_think_ns : int
+        Mean client think time between exchanges.
+    rtt_ns : int
+        Mean round-trip time between client and server.
+    udp_session_fraction : float
+        Fraction of sessions that are UDP query/response (DNS-style)
+        instead of TCP web sessions.
+    asymmetric_fraction : float
+        Fraction of TCP sessions for which only the client→server leg
+        crosses the monitored path.  Long-haul R&E routing (AmLight's
+        reality) is frequently asymmetric, so a capture point sees some
+        flows as handshake + request + bare ACK streams — small packets
+        at line-rate timing.  This keeps packet size from being a
+        trivially clean benign/attack separator, exactly as in
+        production data.
+    """
+
+    sessions_per_s: float = 10.0
+    diurnal_amplitude: float = 0.3
+    diurnal_period_ns: int = int(86400e9 / 600)  # one real day at 1/600 scale
+    mean_requests: float = 3.0
+    response_pkts_tail: float = 1.3
+    max_response_pkts: int = 40
+    mean_think_ns: int = 50_000_000
+    rtt_ns: int = 2_000_000
+    udp_session_fraction: float = 0.05
+    asymmetric_fraction: float = 0.08
+
+
+def _session_arrivals(start_ns, end_ns, cfg, rng) -> np.ndarray:
+    """Non-homogeneous Poisson arrivals via thinning."""
+    span = end_ns - start_ns
+    peak_rate = cfg.sessions_per_s * (1.0 + cfg.diurnal_amplitude)
+    expected = peak_rate * span / 1e9
+    n_candidates = rng.poisson(expected)
+    if n_candidates == 0:
+        return np.empty(0, dtype=np.int64)
+    t = np.sort(rng.integers(start_ns, end_ns, size=n_candidates))
+    if cfg.diurnal_amplitude == 0:
+        keep_p = np.full(n_candidates, 1.0 / (1.0 + cfg.diurnal_amplitude))
+    else:
+        phase = 2 * np.pi * (t / cfg.diurnal_period_ns)
+        rate = 1.0 + cfg.diurnal_amplitude * np.sin(phase)
+        keep_p = rate / (1.0 + cfg.diurnal_amplitude)
+    keep = rng.random(n_candidates) < keep_p
+    return t[keep].astype(np.int64)
+
+
+def _tcp_session(
+    t0: int,
+    client_ip: int,
+    client_port: int,
+    server_ip: int,
+    server_port: int,
+    cfg: BenignConfig,
+    rng: np.random.Generator,
+    builder: TraceBuilder,
+    asymmetric: bool = False,
+) -> None:
+    """Emit one TCP web session into the builder.
+
+    With ``asymmetric=True`` only the client→server direction is
+    emitted (the reverse leg is routed around the capture point), so
+    the monitored flow degenerates to handshake + requests + a stream
+    of bare ACKs pacing the unseen response data.
+    """
+    rtt = max(100, int(rng.normal(cfg.rtt_ns, cfg.rtt_ns * 0.15)))
+    half = rtt // 2
+
+    fwd_t, fwd_flags, fwd_len = [], [], []
+    rev_t, rev_flags, rev_len = [], [], []
+
+    # --- handshake ---------------------------------------------------
+    # Option sizes vary by OS/stack (MSS only → 60 B, through full
+    # MSS+SACK+wscale+timestamps → 78 B); pure ACKs run 54-66 B
+    # depending on the timestamp option.
+    t = t0
+    syn_len = int(rng.integers(60, 79))
+    synack_len = int(rng.integers(60, 75))
+    ack_len = int(rng.choice((54, 66)))
+    fwd_t.append(t); fwd_flags.append(int(TCPFlags.SYN)); fwd_len.append(syn_len)
+    rev_t.append(t + half); rev_flags.append(int(TCPFlags.SYNACK)); rev_len.append(synack_len)
+    t = t + rtt
+
+    # --- request / response exchanges ---------------------------------
+    # Real HTTP clients piggyback the first GET on the handshake ACK
+    # (or send it back-to-back in the same RTT), so a benign flow never
+    # idles in a "tiny packets only" state past the handshake — unlike
+    # SlowLoris, which by design never completes a request.
+    n_req = 1 + rng.geometric(1.0 / cfg.mean_requests)
+    for r in range(n_req):
+        if r > 0:
+            t += max(0, int(rng.exponential(cfg.mean_think_ns)))
+        # A real GET with Host/UA/Accept/Cookie headers runs 350-1100 B.
+        req_len = int(rng.integers(350, 1100))
+        fwd_t.append(t); fwd_flags.append(int(TCPFlags.PSHACK)); fwd_len.append(req_len)
+        # response: heavy-tailed number of MTU packets
+        k = 1 + int(rng.pareto(cfg.response_pkts_tail))
+        k = min(k, cfg.max_response_pkts)
+        # server streams back-to-back with small serialization gaps
+        gaps = rng.integers(5_000, 40_000, size=k)
+        resp_times = t + half + np.cumsum(gaps)
+        sizes = np.full(k, _MTU)
+        sizes[-1] = int(rng.integers(200, _MTU))
+        rev_t.extend(resp_times.tolist())
+        rev_flags.extend([int(TCPFlags.PSHACK)] * k)
+        rev_len.extend(sizes.tolist())
+        # client ACKs every second response segment
+        ack_times = resp_times[1::2] + half
+        fwd_t.extend(ack_times.tolist())
+        fwd_flags.extend([int(TCPFlags.ACK)] * len(ack_times))
+        fwd_len.extend([ack_len] * len(ack_times))
+        t = int(resp_times[-1]) + half
+
+    # --- teardown ------------------------------------------------------
+    t += max(0, int(rng.exponential(cfg.mean_think_ns // 2)))
+    fwd_t.append(t); fwd_flags.append(int(TCPFlags.FIN | TCPFlags.ACK)); fwd_len.append(ack_len)
+    rev_t.append(t + half); rev_flags.append(int(TCPFlags.FIN | TCPFlags.ACK)); rev_len.append(ack_len)
+    fwd_t.append(t + rtt); fwd_flags.append(int(TCPFlags.ACK)); fwd_len.append(ack_len)
+
+    builder.add(
+        packet_block(
+            np.array(fwd_t), client_ip, server_ip, client_port, server_port,
+            Protocol.TCP, np.array(fwd_flags), np.array(fwd_len),
+        )
+    )
+    if not asymmetric:
+        builder.add(
+            packet_block(
+                np.array(rev_t), server_ip, client_ip, server_port, client_port,
+                Protocol.TCP, np.array(rev_flags), np.array(rev_len),
+            )
+        )
+
+
+def _udp_session(
+    t0, client_ip, client_port, server_ip, cfg, rng, builder
+) -> None:
+    """DNS-style UDP exchange: 1-3 queries, each answered once."""
+    n = int(rng.integers(1, 4))
+    q_times = t0 + np.cumsum(rng.integers(0, cfg.mean_think_ns, size=n))
+    q_len = rng.integers(60, 120, size=n)
+    builder.add(
+        packet_block(q_times, client_ip, server_ip, client_port, 53,
+                     Protocol.UDP, 0, q_len)
+    )
+    a_times = q_times + rng.integers(cfg.rtt_ns // 2, cfg.rtt_ns, size=n)
+    a_len = rng.integers(100, 512, size=n)
+    builder.add(
+        packet_block(a_times, server_ip, client_ip, 53, client_port,
+                     Protocol.UDP, 0, a_len)
+    )
+
+
+def generate_benign(
+    server_ip: int,
+    server_port: int,
+    start_ns: int,
+    end_ns: int,
+    config: BenignConfig | None = None,
+    pool: AddressPool | None = None,
+    seed=None,
+) -> Trace:
+    """Generate the benign capture for ``[start_ns, end_ns)``.
+
+    Parameters
+    ----------
+    server_ip, server_port : int
+        The monitored web server endpoint.
+    start_ns, end_ns : int
+        Simulation window.
+    config : BenignConfig, optional
+    pool : AddressPool, optional
+        Client address pool; a default /16 at 172.16.0.0 is used if
+        omitted.
+    seed : int | numpy.random.Generator | None
+
+    Returns
+    -------
+    Trace
+        Time-sorted packets, all labeled benign.
+    """
+    if end_ns <= start_ns:
+        raise ValueError("empty generation window")
+    cfg = config if config is not None else BenignConfig()
+    rng = as_generator(seed)
+    if pool is None:
+        pool = AddressPool(base_ip=0xAC100000, seed=rng)  # 172.16.0.0/16
+
+    arrivals = _session_arrivals(start_ns, end_ns, cfg, rng)
+    n = arrivals.shape[0]
+    client_ips = pool.addresses(n)
+    client_ports = pool.ephemeral_ports(n)
+    is_udp = rng.random(n) < cfg.udp_session_fraction
+    is_asym = rng.random(n) < cfg.asymmetric_fraction
+
+    builder = TraceBuilder()
+    for i in range(n):
+        if is_udp[i]:
+            _udp_session(
+                int(arrivals[i]), int(client_ips[i]), int(client_ports[i]),
+                server_ip, cfg, rng, builder,
+            )
+        else:
+            _tcp_session(
+                int(arrivals[i]), int(client_ips[i]), int(client_ports[i]),
+                server_ip, server_port, cfg, rng, builder,
+                asymmetric=bool(is_asym[i]),
+            )
+    return builder.build()

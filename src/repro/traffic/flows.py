@@ -1,0 +1,105 @@
+"""Flow synthesis primitives shared by the traffic generators.
+
+Generators build packet blocks column-wise with NumPy (a scalar broadcast
+per constant field, a vector per varying field) and collect them in a
+:class:`TraceBuilder`; only one concatenate + one sort happens per trace.
+This keeps generation vectorized even though the traffic *content* is
+flow-structured.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.common.rng import as_generator
+from repro.dataplane.packet import Protocol, TCPFlags
+
+from .trace import PACKET_DTYPE, AttackType, Trace
+
+__all__ = ["packet_block", "TraceBuilder", "AddressPool", "EPHEMERAL_LO", "EPHEMERAL_HI"]
+
+EPHEMERAL_LO = 32768
+EPHEMERAL_HI = 60999  # Linux default ephemeral range
+
+
+def packet_block(
+    ts,
+    src_ip,
+    dst_ip,
+    src_port,
+    dst_port,
+    protocol,
+    tcp_flags=0,
+    length=64,
+    label=0,
+    attack_type=AttackType.BENIGN,
+) -> np.ndarray:
+    """Build a :data:`PACKET_DTYPE` block; scalars broadcast over ``ts``.
+
+    ``ts`` fixes the block size; every other argument may be a matching
+    vector or a scalar.
+    """
+    ts = np.asarray(ts, dtype=np.int64)
+    n = ts.shape[0]
+    block = np.zeros(n, dtype=PACKET_DTYPE)
+    block["ts"] = ts
+    block["src_ip"] = src_ip
+    block["dst_ip"] = dst_ip
+    block["src_port"] = src_port
+    block["dst_port"] = dst_port
+    block["protocol"] = int(protocol)
+    block["tcp_flags"] = tcp_flags
+    block["length"] = length
+    block["label"] = label
+    block["attack_type"] = int(attack_type)
+    return block
+
+
+class TraceBuilder:
+    """Accumulates packet blocks; concatenates and sorts once at the end."""
+
+    def __init__(self) -> None:
+        self._blocks: List[np.ndarray] = []
+
+    def add(self, block: np.ndarray) -> None:
+        if block.dtype != PACKET_DTYPE:
+            raise TypeError("block must have PACKET_DTYPE")
+        if block.size:
+            self._blocks.append(block)
+
+    def __len__(self) -> int:
+        return sum(b.shape[0] for b in self._blocks)
+
+    def build(self) -> Trace:
+        if not self._blocks:
+            return Trace.empty()
+        return Trace(np.concatenate(self._blocks))
+
+
+class AddressPool:
+    """Deterministic client address/port allocation for generators.
+
+    Draws client IPs from a /16 and ephemeral ports from the Linux
+    default range.  Sharing one pool between benign and attack generators
+    guarantees no accidental address collisions between labels.
+    """
+
+    def __init__(self, base_ip: int, size: int = 65534, seed=None) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1: {size}")
+        self.base_ip = int(base_ip)
+        self.size = int(size)
+        self._rng = as_generator(seed)
+
+    def addresses(self, n: int) -> np.ndarray:
+        """Draw ``n`` client addresses (with replacement) from the pool."""
+        offsets = self._rng.integers(1, self.size + 1, size=n, dtype=np.int64)
+        return (self.base_ip + offsets).astype(np.uint32)
+
+    def ephemeral_ports(self, n: int) -> np.ndarray:
+        """Draw ``n`` ephemeral source ports."""
+        return self._rng.integers(
+            EPHEMERAL_LO, EPHEMERAL_HI + 1, size=n, dtype=np.int64
+        ).astype(np.uint16)

@@ -1,0 +1,168 @@
+"""Packet traces.
+
+A :class:`Trace` is a time-sorted structured array of packets — the
+library's equivalent of a pcap.  Generators produce traces, the replayer
+plays them into a topology (the paper's ``tcpreplay`` step), and the
+dataset builder merges benign and attack traces into labeled captures.
+
+Ground-truth labels ride along with each packet: ``label`` (0 benign /
+1 attack) and ``attack_type`` (:class:`AttackType`).  Real captures don't
+have these bits, of course — they exist so experiments can score
+predictions; nothing in the detection path reads them.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["AttackType", "PACKET_DTYPE", "Trace", "merge_traces"]
+
+
+class AttackType(IntEnum):
+    """Attack taxonomy: Table I's four types (0 reserved for benign),
+    plus the amplification attacks the paper's §II-B names as the other
+    prevalent DDoS class (extension generators)."""
+
+    BENIGN = 0
+    SYN_SCAN = 1
+    UDP_SCAN = 2
+    SYN_FLOOD = 3
+    SLOWLORIS = 4
+    DNS_AMPLIFICATION = 5
+    NTP_AMPLIFICATION = 6
+
+    @property
+    def display(self) -> str:
+        return {
+            AttackType.BENIGN: "Benign",
+            AttackType.SYN_SCAN: "SYN Scan",
+            AttackType.UDP_SCAN: "UDP Scan",
+            AttackType.SYN_FLOOD: "SYN Flood",
+            AttackType.SLOWLORIS: "SlowLoris",
+            AttackType.DNS_AMPLIFICATION: "DNS Amplification",
+            AttackType.NTP_AMPLIFICATION: "NTP Amplification",
+        }[self]
+
+
+#: One trace row ≙ one packet on the wire, plus ground-truth labeling.
+PACKET_DTYPE = np.dtype(
+    [
+        ("ts", np.int64),  # send time (ns, simulation origin)
+        ("src_ip", np.uint32),
+        ("dst_ip", np.uint32),
+        ("src_port", np.uint16),
+        ("dst_port", np.uint16),
+        ("protocol", np.uint8),
+        ("tcp_flags", np.uint8),
+        ("length", np.uint32),
+        ("label", np.uint8),  # ground truth: 0 benign, 1 attack
+        ("attack_type", np.uint8),  # AttackType value
+    ]
+)
+
+
+class Trace:
+    """Immutable-by-convention wrapper around a packet record array.
+
+    Rows are kept sorted by timestamp (stable sort, so the relative order
+    of simultaneous packets from one generator is preserved).
+    """
+
+    def __init__(self, records: np.ndarray, sort: bool = True) -> None:
+        records = np.asarray(records, dtype=PACKET_DTYPE)
+        if sort and records.size and not _is_sorted(records["ts"]):
+            records = records[np.argsort(records["ts"], kind="stable")]
+        self.records = records
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "Trace":
+        return cls(np.empty(0, dtype=PACKET_DTYPE), sort=False)
+
+    @classmethod
+    def from_columns(cls, **cols) -> "Trace":
+        """Build a trace from same-length column arrays.
+
+        Missing label columns default to benign; missing ``tcp_flags``
+        defaults to 0.
+        """
+        n = len(cols["ts"])
+        rec = np.zeros(n, dtype=PACKET_DTYPE)
+        for name, values in cols.items():
+            if name not in PACKET_DTYPE.names:
+                raise KeyError(f"unknown trace column: {name}")
+            rec[name] = values
+        return cls(rec)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.records.shape[0])
+
+    def __getitem__(self, key) -> "Trace":
+        return Trace(self.records[key], sort=False)
+
+    @property
+    def ts(self) -> np.ndarray:
+        return self.records["ts"]
+
+    @property
+    def duration_ns(self) -> int:
+        if len(self) == 0:
+            return 0
+        return int(self.records["ts"][-1] - self.records["ts"][0])
+
+    def time_slice(self, start_ns: int, end_ns: int) -> "Trace":
+        """Packets with ``start_ns <= ts < end_ns`` (records are sorted)."""
+        lo = np.searchsorted(self.records["ts"], start_ns, side="left")
+        hi = np.searchsorted(self.records["ts"], end_ns, side="left")
+        return Trace(self.records[lo:hi], sort=False)
+
+    def attack_fraction(self) -> float:
+        """Share of packets labeled as attack traffic."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.records["label"].mean())
+
+    def counts_by_type(self) -> dict:
+        """Packet counts per :class:`AttackType`."""
+        out = {}
+        types, counts = np.unique(self.records["attack_type"], return_counts=True)
+        for t, c in zip(types, counts):
+            out[AttackType(int(t))] = int(c)
+        return out
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Serialize to a compressed ``.npz`` file."""
+        np.savez_compressed(path, records=self.records)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        with np.load(path) as data:
+            return cls(data["records"], sort=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Trace({len(self)} pkts, {self.duration_ns / 1e9:.3f} s)"
+
+
+def _is_sorted(a: np.ndarray) -> bool:
+    return bool(np.all(a[1:] >= a[:-1])) if a.size > 1 else True
+
+
+def merge_traces(traces: Iterable[Trace]) -> Trace:
+    """Merge several traces into one time-sorted trace."""
+    parts = [t.records for t in traces if len(t)]
+    if not parts:
+        return Trace.empty()
+    merged = np.concatenate(parts)
+    return Trace(merged)

@@ -1,0 +1,131 @@
+"""Tests for the analysis layer: table rendering, figures, experiments.
+
+The heavyweight studies run on the ``tiny`` profile here; the benchmark
+harness exercises the ``small`` profile.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    confusion_matrix_figure,
+    prediction_scatter_figure,
+    render_table,
+    run_offline_study,
+    run_testbed_study,
+    timeline_figure,
+)
+from repro.analysis.report import exp_fig1, exp_fig6, exp_table1, exp_table2
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table("T", ("a", "bb"), [(1, 2.5), (10, 0.123456)])
+        assert "T" in out
+        assert "0.1235" in out  # 4-digit float formatting
+        assert "| bb" in out or "bb" in out.splitlines()[2]
+
+    def test_note(self):
+        out = render_table("T", ("a",), [(1,)], note="hello")
+        assert out.endswith("Note: hello")
+
+    def test_empty_rows(self):
+        out = render_table("T", ("a", "b"), [])
+        assert "a" in out
+
+
+class TestFigures:
+    def test_confusion_matrix_percentages(self):
+        out = confusion_matrix_figure(np.array([[90, 10], [0, 100]]), "cm")
+        assert "45.0%" in out  # 90/200
+        assert "pred Attack" in out
+
+    def test_confusion_matrix_shape_check(self):
+        with pytest.raises(ValueError):
+            confusion_matrix_figure(np.zeros((3, 3)), "cm")
+
+    def test_timeline_marks_episodes_and_gaps(self):
+        ts = np.array([100, 200, 800])
+        vals = np.array([0, 1, 0])
+        out = timeline_figure(
+            "fig", 0, 1000, [("s", ts, vals)], episodes=[("e", 150, 260)],
+            width=10,
+        )
+        assert "episodes" in out
+        line = [l for l in out.splitlines() if l.strip().startswith("s |")][0]
+        assert "#" in line and " " in line
+
+    def test_timeline_threshold_suppresses_rare_fps(self):
+        ts = np.arange(1000)
+        vals = np.zeros(1000)
+        vals[5] = 1  # a single FP among 1000 rows in one bin
+        out = timeline_figure("fig", 0, 1000, [("s", ts, vals)], width=1)
+        line = [l for l in out.splitlines() if l.strip().startswith("s |")][0]
+        assert "#" not in line
+
+    def test_scatter_marks_errors(self):
+        decisions = np.array([1, 1, 0, 0, 0, 0, 0, 0])
+        out = prediction_scatter_figure("f", decisions, true_label=0, rows=1)
+        assert "x" in out
+        assert "2/8" in out
+
+    def test_scatter_empty(self):
+        out = prediction_scatter_figure("f", np.array([]), 0)
+        assert "no decisions" in out
+
+
+class TestStaticReports:
+    def test_table1_lists_all_episodes(self):
+        out = exp_table1()
+        assert out.count("SYN Flood") == 5
+        assert out.count("SlowLoris") == 2
+        assert "13:24:02" in out
+
+    def test_table2_feature_counts(self):
+        out = exp_table2()
+        assert "queue_occupancy" in out
+        assert "hop_latency" in out
+
+    def test_fig1_walkthrough(self):
+        out = exp_fig1()
+        assert "switch 1" in out and "switch 2" in out and "switch 3" in out
+        assert "sink report" in out
+
+    def test_fig6_ports(self):
+        out = exp_fig6()
+        for p in ("port 1", "port 2", "port 3", "port 4", "port 5"):
+            assert p in out
+
+
+@pytest.mark.slow
+class TestStudiesOnTinyProfile:
+    def test_offline_study(self):
+        study = run_offline_study("tiny", seed=0)
+        # all four models reported for both protocols, both sources
+        for res in (study.int_res, study.sflow_res):
+            assert set(res.table3) == {"RF", "GNB", "KNN", "NN"}
+            for rep in res.table3.values():
+                assert 0.0 <= rep["accuracy"] <= 1.0
+        # INT separates well even on the tiny profile
+        assert study.int_res.table3["RF"]["accuracy"] > 0.95
+        assert study.int_res.cm_rf_split.sum() > 0
+        assert study.int_res.rf_full_predictions.shape[0] == len(study.int_res.fm)
+        # importances exist for every model
+        assert set(study.int_res.importances) == {"RF", "GNB", "KNN", "NN"}
+
+    def test_offline_study_cached(self):
+        a = run_offline_study("tiny", seed=0)
+        b = run_offline_study("tiny", seed=0)
+        assert a is b
+
+    def test_testbed_study(self):
+        study = run_testbed_study("tiny", seed=0, n_packets=400)
+        assert set(study.table6) == {"Benign", "SYN Scan", "UDP Scan",
+                                     "SYN Flood", "SlowLoris"}
+        for name, row in study.table6.items():
+            assert 0.0 <= row["accuracy"] <= 1.0, name
+            assert row["predicted"] > 0
+            assert row["avg_time_s"] >= 0
+        # trained attacks should be detected well even on tiny data
+        assert study.table6["SYN Flood"]["accuracy"] > 0.9
+        assert study.bundle_models == ["mlp", "rf", "gnb"]

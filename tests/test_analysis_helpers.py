@@ -1,0 +1,63 @@
+"""Unit tests for small analysis helpers (fmt, top_k, model zoo)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import MODEL_ORDER, _knn_subsample, model_zoo
+from repro.analysis.report import top_k
+from repro.analysis.tables import fmt
+
+
+class TestFmt:
+    def test_float_digits(self):
+        assert fmt(0.123456) == "0.1235"
+        assert fmt(1.0) == "1.0000"
+
+    def test_non_floats(self):
+        assert fmt(42) == "42"
+        assert fmt("x") == "x"
+
+
+class TestTopK:
+    def test_ranked(self):
+        imp = np.array([0.1, 0.9, 0.5])
+        out = top_k(imp, ["a", "b", "c"], 2)
+        assert out == [("b", pytest.approx(0.9)), ("c", pytest.approx(0.5))]
+
+    def test_k_larger_than_features(self):
+        out = top_k(np.array([0.2]), ["only"], 5)
+        assert len(out) == 1
+
+
+class TestModelZoo:
+    def test_contains_the_four_paper_models(self):
+        zoo = model_zoo(seed=0)
+        assert set(zoo) == set(MODEL_ORDER) == {"RF", "GNB", "KNN", "NN"}
+
+    def test_factories_produce_fresh_instances(self):
+        zoo = model_zoo(seed=0)
+        assert zoo["RF"]() is not zoo["RF"]()
+
+    def test_models_fit_and_predict(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (60, 3)), rng.normal(3, 1, (60, 3))])
+        y = np.array([0] * 60 + [1] * 60)
+        for name, factory in model_zoo(seed=0).items():
+            model = factory().fit(X, y)
+            assert model.score(X, y) > 0.9, name
+
+
+class TestKnnSubsample:
+    def test_keeps_both_classes(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(5000, 2))
+        y = np.zeros(5000, dtype=int)
+        y[:3] = 1  # rare positives
+        Xs, ys = _knn_subsample(X, y, fraction=0.05, seed=0)
+        assert np.unique(ys).size == 2
+
+    def test_small_input_passthrough(self):
+        X = np.zeros((50, 2))
+        y = np.array([0, 1] * 25)
+        Xs, ys = _knn_subsample(X, y, fraction=0.01, seed=0)
+        assert Xs.shape[0] >= 50  # never shrinks below the floor

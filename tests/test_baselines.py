@@ -1,0 +1,121 @@
+"""Tests for the entropy-based baseline detector."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EntropyDetector, entropy_series, shannon_entropy
+from repro.datasets import SERVER_IP
+from repro.traffic import Trace, generate_benign, merge_traces, slowloris, syn_flood
+from repro.traffic.benign import BenignConfig
+
+SEC = 1_000_000_000
+
+
+class TestShannonEntropy:
+    def test_empty(self):
+        assert shannon_entropy(np.array([])) == 0.0
+
+    def test_single_value(self):
+        assert shannon_entropy(np.array([5, 5, 5])) == 0.0
+
+    def test_uniform_two_values(self):
+        assert shannon_entropy(np.array([1, 2]), normalize=False) == pytest.approx(1.0)
+        assert shannon_entropy(np.array([1, 2])) == pytest.approx(1.0)
+
+    def test_normalized_bounds(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            vals = rng.integers(0, 50, size=rng.integers(2, 200))
+            assert 0.0 <= shannon_entropy(vals) <= 1.0 + 1e-12
+
+    def test_skew_lowers_entropy(self):
+        skewed = np.array([1] * 98 + [2, 3])
+        uniform = np.array([1, 2, 3] * 33)
+        assert shannon_entropy(skewed) < shannon_entropy(uniform)
+
+
+class TestEntropySeries:
+    def test_windows_and_counts(self):
+        ts = np.array([0, 10, 20, 110, 120])
+        starts, ent, counts = entropy_series(
+            ts, {"x": np.array([1, 2, 3, 4, 4])}, window_ns=100
+        )
+        assert starts.tolist() == [0, 100]
+        assert counts.tolist() == [3, 2]
+        assert ent["x"][0] == pytest.approx(1.0)  # 3 distinct of 3
+        assert ent["x"][1] == 0.0  # both equal
+
+    def test_empty(self):
+        starts, ent, counts = entropy_series(np.array([]), {"x": np.array([])}, 10)
+        assert starts.size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            entropy_series(np.array([1]), {"x": np.array([1])}, 0)
+
+
+def campaign_like():
+    """Benign baseline with a flood and a slowloris episode injected."""
+    benign = generate_benign(
+        SERVER_IP, 80, 0, 30 * SEC,
+        BenignConfig(sessions_per_s=6, mean_think_ns=3_000_000, rtt_ns=100_000),
+        seed=4,
+    )
+    flood = syn_flood(SERVER_IP, 80, 10 * SEC, 13 * SEC, rate_pps=5000, seed=5)
+    slow = slowloris(0xC6336409, SERVER_IP, 80, 20 * SEC, 25 * SEC,
+                     connections=8, keepalive_ns=100_000_000, seed=6)
+    return merge_traces([benign, flood, slow])
+
+
+class TestEntropyDetector:
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = campaign_like()
+        det = EntropyDetector(window_ns=500_000_000, z_threshold=4.0)
+        return det, det.detect(trace.records), trace
+
+    def test_flood_alarmed(self, result):
+        det, res, _ = result
+        assert det.episode_coverage(res, [(10 * SEC, 13 * SEC)]) == [True]
+
+    def test_slowloris_missed(self, result):
+        """The structural blind spot: low-and-slow never shifts a
+        distribution, so the classic baseline cannot see it."""
+        det, res, _ = result
+        assert det.episode_coverage(res, [(20 * SEC, 25 * SEC)]) == [False]
+
+    def test_low_false_alarm_rate_on_benign(self, result):
+        det, res, _ = result
+        starts = res["window_starts"]
+        benign_mask = (
+            ((starts > 2 * SEC) & (starts < 9 * SEC))
+            | ((starts > 26 * SEC) & (starts < 29 * SEC))
+        )
+        far = res["alarms"][benign_mask].mean()
+        assert far < 0.1
+
+    def test_attack_windows_have_extreme_z(self, result):
+        """The flood concentrates traffic onto one destination port, so
+        the dst-port entropy collapses with an extreme z-score."""
+        det, res, _ = result
+        starts = res["window_starts"]
+        flood_mask = (starts >= 10 * SEC) & (starts < 13 * SEC)
+        worst = max(
+            np.abs(res["z"][f][flood_mask]).max() for f in det.fields
+        )
+        assert worst > det.z_threshold
+        assert np.abs(res["z"]["dst_port"][flood_mask]).max() > det.z_threshold
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EntropyDetector(window_ns=0)
+        with pytest.raises(ValueError):
+            EntropyDetector(alpha=0)
+        with pytest.raises(ValueError):
+            EntropyDetector(z_threshold=0)
+
+    def test_thin_windows_skipped(self):
+        trace = campaign_like()
+        det = EntropyDetector(window_ns=500_000_000, min_packets=10**9)
+        res = det.detect(trace.records)
+        assert not res["alarms"].any()

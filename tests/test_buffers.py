@@ -1,0 +1,77 @@
+"""Tests for the growable structured-array record buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.buffers import GrowableRecordBuffer
+
+DT = np.dtype([("a", np.int64), ("b", np.float64)])
+
+
+class TestGrowableRecordBuffer:
+    def test_empty(self):
+        buf = GrowableRecordBuffer(DT)
+        assert len(buf) == 0
+        assert buf.view().shape == (0,)
+
+    def test_append_kwargs(self):
+        buf = GrowableRecordBuffer(DT)
+        buf.append(a=1, b=2.5)
+        assert buf.view()["a"].tolist() == [1]
+        assert buf.view()["b"].tolist() == [2.5]
+
+    def test_append_row(self):
+        buf = GrowableRecordBuffer(DT)
+        buf.append_row((7, 1.5))
+        assert buf.view()["a"][0] == 7
+
+    def test_growth_preserves_data(self):
+        buf = GrowableRecordBuffer(DT, initial_capacity=2)
+        for i in range(100):
+            buf.append_row((i, float(i)))
+        assert len(buf) == 100
+        assert buf.view()["a"].tolist() == list(range(100))
+        assert buf.capacity >= 100
+
+    def test_extend(self):
+        buf = GrowableRecordBuffer(DT, initial_capacity=1)
+        block = np.zeros(10, dtype=DT)
+        block["a"] = np.arange(10)
+        buf.extend(block)
+        assert len(buf) == 10
+        assert buf.view()["a"].tolist() == list(range(10))
+
+    def test_compact_is_owning_copy(self):
+        buf = GrowableRecordBuffer(DT)
+        buf.append_row((1, 1.0))
+        snap = buf.compact()
+        buf.append_row((2, 2.0))
+        assert snap.shape == (1,)
+        assert snap["a"][0] == 1
+
+    def test_clear_retains_capacity(self):
+        buf = GrowableRecordBuffer(DT, initial_capacity=4)
+        for i in range(10):
+            buf.append_row((i, 0.0))
+        cap = buf.capacity
+        buf.clear()
+        assert len(buf) == 0
+        assert buf.capacity == cap
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            GrowableRecordBuffer(DT, initial_capacity=0)
+
+
+@given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=300))
+@settings(max_examples=100)
+def test_buffer_matches_list_semantics(values):
+    """Appending N rows then viewing equals building the array directly."""
+    buf = GrowableRecordBuffer(DT, initial_capacity=1)
+    for v in values:
+        buf.append_row((v, float(v % 97)))
+    expected_a = np.array(values, dtype=np.int64)
+    assert np.array_equal(buf.view()["a"], expected_a)
+    assert len(buf) == len(values)

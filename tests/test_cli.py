@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tables_defaults(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.command == "tables"
+        assert args.numbers == []
+        assert args.profile == "small"
+
+    def test_tables_numbers(self):
+        args = build_parser().parse_args(["tables", "3", "4", "--profile", "tiny"])
+        assert args.numbers == [3, 4]
+        assert args.profile == "tiny"
+
+    def test_bad_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tables", "--profile", "bogus"])
+
+
+class TestCommands:
+    def test_schedule(self, capsys):
+        assert main(["schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "SYN Flood" in out and "13:24:02" in out
+
+    def test_static_tables(self, capsys):
+        assert main(["tables", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+
+    def test_static_figures(self, capsys):
+        assert main(["figures", "1", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out and "Fig 6" in out
+
+    def test_invalid_table_number(self, capsys):
+        assert main(["tables", "9"]) == 2
+        assert "no Table 9" in capsys.readouterr().err
+
+    def test_invalid_figure_number(self, capsys):
+        assert main(["figures", "0"]) == 2
+        assert "no Fig 0" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_dataset_tiny(self, capsys):
+        assert main(["dataset", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "INT reports" in out
+        assert "SYN Flood" in out
+
+    @pytest.mark.slow
+    def test_report_writes_artifacts(self, tmp_path, capsys):
+        assert main(["report", "--out", str(tmp_path / "r"),
+                     "--profile", "tiny"]) == 0
+        names = {p.name for p in (tmp_path / "r").iterdir()}
+        assert {"table3.txt", "table6.txt", "fig5.txt", "fig7.txt"} <= names
+        assert "Table III" in (tmp_path / "r" / "table3.txt").read_text()

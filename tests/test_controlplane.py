@@ -1,0 +1,188 @@
+"""Tests for episode-level alerting (control-plane integration)."""
+
+import pytest
+
+from repro.controlplane import Alert, AlertManager, AlertSeverity, LogSink
+from repro.core.database import PredictionEntry
+
+SEC = 1_000_000_000
+SERVER = 0x0A0A0050
+
+
+def entry(key, ts, decision=1):
+    return PredictionEntry(key=key, ts_registered_ns=ts, wall_registered_ns=0,
+                           wall_predicted_ns=1, label=decision,
+                           votes=(decision,), final_decision=decision)
+
+
+def flow_key(i, server=SERVER, port=80):
+    # canonical ordering: low (ip, port) endpoint first
+    attacker = 0xC0000000 + i
+    if (server, port) <= (attacker, 40000 + i):
+        return (server, attacker, port, 40000 + i, 6)
+    return (attacker, server, 40000 + i, port, 6)
+
+
+class TestAlertLifecycle:
+    def make(self, **kw):
+        sink = LogSink()
+        mgr = AlertManager(server_ips={SERVER}, open_threshold=3,
+                           window_ns=SEC, quiet_ns=2 * SEC, sinks=[sink], **kw)
+        return mgr, sink
+
+    def test_opens_after_threshold(self):
+        mgr, sink = self.make()
+        assert mgr.on_decision(entry(flow_key(1), 0)) is None
+        assert mgr.on_decision(entry(flow_key(2), 100)) is None
+        alert = mgr.on_decision(entry(flow_key(3), 200))
+        assert alert is not None and alert.is_open
+        assert alert.service == (SERVER, 80, 6)
+        assert [e for e, _ in sink.events] == ["open"]
+
+    def test_window_forgetting(self):
+        mgr, _ = self.make()
+        mgr.on_decision(entry(flow_key(1), 0))
+        mgr.on_decision(entry(flow_key(2), 100))
+        # third flow arrives after the window: first two expired
+        assert mgr.on_decision(entry(flow_key(3), 3 * SEC)) is None
+
+    def test_updates_accumulate_flows(self):
+        mgr, sink = self.make()
+        for i in range(12):
+            mgr.on_decision(entry(flow_key(i), i * 1000))
+        (alert,) = mgr.open_alerts
+        assert alert.n_flows == 12
+        assert alert.severity == AlertSeverity.MEDIUM
+        assert ("update", alert) in sink.events  # severity LOW -> MEDIUM
+
+    def test_closes_after_quiet(self):
+        mgr, sink = self.make()
+        for i in range(3):
+            mgr.on_decision(entry(flow_key(i), i * 1000))
+        closed = mgr.expire(now_ns=10 * SEC)
+        assert len(closed) == 1
+        assert not closed[0].is_open
+        assert closed[0].closed_ns == closed[0].last_evidence_ns
+        assert [e for e, _ in sink.events] == ["open", "close"]
+
+    def test_duration_measures_episode(self):
+        mgr, _ = self.make()
+        mgr.on_decision(entry(flow_key(0), 0))
+        mgr.on_decision(entry(flow_key(1), 0))
+        mgr.on_decision(entry(flow_key(2), 0))
+        mgr.on_decision(entry(flow_key(3), int(0.5 * SEC)))
+        mgr.expire(10 * SEC)
+        assert mgr.alerts[0].duration_ns == int(0.5 * SEC)
+
+    def test_benign_decisions_ignored(self):
+        mgr, _ = self.make()
+        for i in range(10):
+            assert mgr.on_decision(entry(flow_key(i), i, decision=0)) is None
+        assert mgr.open_alerts == []
+
+    def test_distinct_services_distinct_alerts(self):
+        mgr, _ = self.make()
+        for i in range(3):
+            mgr.on_decision(entry(flow_key(i, port=80), i))
+        for i in range(3):
+            mgr.on_decision(entry(flow_key(i + 50, port=443), i + 10))
+        assert len(mgr.open_alerts) == 2
+        services = {a.service for a in mgr.open_alerts}
+        assert (SERVER, 80, 6) in services and (SERVER, 443, 6) in services
+
+    def test_close_all(self):
+        mgr, _ = self.make()
+        for i in range(3):
+            mgr.on_decision(entry(flow_key(i), i))
+        mgr.close_all(now_ns=5 * SEC)
+        assert mgr.open_alerts == []
+        assert mgr.alerts[0].closed_ns == 5 * SEC
+
+    def test_service_orientation_without_server_hint(self):
+        mgr = AlertManager(open_threshold=1)
+        alert = mgr.on_decision(entry(flow_key(1), 0))
+        assert alert.service[1] == 80  # lower port = service side
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AlertManager(open_threshold=0)
+        with pytest.raises(ValueError):
+            AlertManager(window_ns=0)
+
+
+class TestDetectorIntegration:
+    def test_attach_to_detector_stream(self):
+        import numpy as np
+        from repro.core import AutomatedDDoSDetector, pretrain
+        from repro.features import extract_features, feature_names
+        from repro.int_telemetry import REPORT_DTYPE
+        from repro.ml import GaussianNB, RandomForestClassifier
+
+        # trivially separable data: attack = tiny fast packets
+        def records(attack, t0=0, n_flows=8, pkts=4):
+            rows = []
+            t = t0
+            for f in range(n_flows):
+                for p in range(pkts):
+                    t += 30_000 if attack else 2_000_000
+                    src = 0x01000000 + f if attack else 0xAC100000 + f
+                    rows.append((t, src, SERVER, 1000 + f, 80, 6, 2,
+                                 60 if attack else 1200,
+                                 t % 2**32, t % 2**32, 0, 500, 3))
+            rec = np.zeros(len(rows), dtype=REPORT_DTYPE)
+            for i, r in enumerate(rows):
+                rec[i] = r
+            return rec
+
+        ben, atk = records(False), records(True, t0=10**9)
+        both = np.concatenate([ben, atk])
+        fm = extract_features(both, source="int")
+        y = np.array([0] * len(ben) + [1] * len(atk))
+        bundle = pretrain(fm.X, y, fm.names, panel={
+            "rf": lambda: RandomForestClassifier(n_estimators=5, max_depth=6, seed=0),
+            "gnb": lambda: GaussianNB(),
+        })
+        det = AutomatedDDoSDetector(bundle)
+        sink = LogSink()
+        mgr = AlertManager(server_ips={SERVER}, open_threshold=3,
+                           window_ns=10 * SEC, quiet_ns=10 * SEC, sinks=[sink])
+        mgr.attach_to(det)
+        det.run_stream(records(True, t0=50 * SEC))
+        mgr.close_all(100 * SEC)
+        assert len(mgr.alerts) == 1
+        assert mgr.alerts[0].service == (SERVER, 80, 6)
+        assert mgr.alerts[0].n_flows >= 3
+
+
+class TestSweepAlerts:
+    def test_port_sweep_opens_host_alert(self):
+        mgr = AlertManager(server_ips={SERVER}, open_threshold=3,
+                           window_ns=SEC, quiet_ns=2 * SEC, sweep_threshold=10)
+        # one flagged flow per distinct destination port — a scan
+        for port in range(1, 15):
+            key = (SERVER, 0xC0000001, port, 41000 + port, 6)
+            mgr.on_decision(entry(key, port * 1000))
+        sweeps = [a for a in mgr.alerts if a.service[1] == 0]
+        assert len(sweeps) == 1
+        assert sweeps[0].n_flows >= 10
+        assert sweeps[0].service == (SERVER, 0, 6)
+
+    def test_sweep_below_threshold_silent(self):
+        mgr = AlertManager(server_ips={SERVER}, sweep_threshold=50)
+        for port in range(1, 10):
+            key = (SERVER, 0xC0000001, port, 41000 + port, 6)
+            mgr.on_decision(entry(key, port))
+        assert mgr.alerts == []
+
+    def test_sweep_alert_absorbs_further_probes(self):
+        mgr = AlertManager(server_ips={SERVER}, sweep_threshold=5)
+        for port in range(1, 30):
+            key = (SERVER, 0xC0000001, port, 41000 + port, 6)
+            mgr.on_decision(entry(key, port * 1000))
+        sweeps = [a for a in mgr.alerts if a.service[1] == 0]
+        assert len(sweeps) == 1  # one sweep alert, not many
+        assert sweeps[0].n_flows >= 25
+
+    def test_invalid_sweep_threshold(self):
+        with pytest.raises(ValueError):
+            AlertManager(sweep_threshold=1)

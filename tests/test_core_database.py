@@ -1,0 +1,103 @@
+"""Tests for the flow database and its polling semantics."""
+
+import pytest
+
+from repro.core.database import FlowDatabase, PredictionEntry
+from repro.features.flow_table import FlowTable
+
+KEY_A = (1, 2, 3, 4, 6)
+KEY_B = (9, 2, 3, 4, 6)
+
+
+def feed(db, key, n, t0=0):
+    """Push n packets of a flow into the table + update log."""
+    for i in range(n):
+        db.flows.update(key, t0 + i, t0 + i, 100, 6)
+        db.register_update(key, t0 + i, 1000 + i)
+
+
+class TestPolling:
+    def test_updates_returned_once(self):
+        db = FlowDatabase()
+        feed(db, KEY_A, 3)
+        first = db.poll_updates()
+        assert len(first) == 3
+        assert db.poll_updates() == []
+
+    def test_default_predicts_new_flows(self):
+        """One-packet flows must be predictable (Table VI consistency)."""
+        db = FlowDatabase()
+        feed(db, KEY_A, 1)
+        assert len(db.poll_updates()) == 1
+
+    def test_skip_new_flows_withholds_single_packet(self):
+        db = FlowDatabase(skip_new_flows=True)
+        feed(db, KEY_A, 1)
+        assert db.poll_updates() == []
+        assert db.pending_updates == 1
+        # second packet releases the queued updates
+        feed(db, KEY_A, 1, t0=10)
+        assert len(db.poll_updates()) == 2
+
+    def test_limit_requeues_remainder(self):
+        db = FlowDatabase()
+        feed(db, KEY_A, 5)
+        out = db.poll_updates(limit=2)
+        assert len(out) == 2
+        assert db.pending_updates == 3
+        assert len(db.poll_updates()) == 3
+
+    def test_oldest_first_within_flow(self):
+        db = FlowDatabase()
+        feed(db, KEY_A, 3)
+        out = db.poll_updates()
+        stamps = [ts for _, ts, _ in out]
+        assert stamps == sorted(stamps)
+
+    def test_evicted_flow_updates_dropped(self):
+        table = FlowTable(max_flows=1)
+        db = FlowDatabase(table)
+        feed(db, KEY_A, 1)
+        feed(db, KEY_B, 1)  # evicts KEY_A
+        out = db.poll_updates()
+        assert [k for k, _, _ in out] == [KEY_B]
+
+    def test_fast_poll_equivalent_results(self):
+        slow = FlowDatabase(fast_poll=False)
+        fast = FlowDatabase(fast_poll=True)
+        for db in (slow, fast):
+            feed(db, KEY_A, 2)
+            feed(db, KEY_B, 3)
+        assert sorted(slow.poll_updates()) == sorted(fast.poll_updates())
+
+    def test_scan_cost_tracks_table_size(self):
+        """The paper-faithful poll walks all resident records."""
+        db = FlowDatabase(fast_poll=False)
+        for i in range(50):
+            feed(db, (i, 2, 3, 4, 6), 1)
+        db.poll_updates()
+        assert db.records_scanned == 50
+        db.poll_updates()
+        assert db.records_scanned == 100  # scans again even with nothing dirty
+
+    def test_fast_poll_skips_scan(self):
+        db = FlowDatabase(fast_poll=True)
+        for i in range(50):
+            feed(db, (i, 2, 3, 4, 6), 1)
+        db.poll_updates()
+        assert db.records_scanned == 0
+
+
+class TestPredictionLog:
+    def test_latency_definition(self):
+        entry = PredictionEntry(
+            key=KEY_A, ts_registered_ns=0, wall_registered_ns=100,
+            wall_predicted_ns=350, label=1, votes=(1, 1, 0), final_decision=1,
+        )
+        assert entry.latency_ns == 250
+
+    def test_store_and_read_back(self):
+        db = FlowDatabase()
+        e = PredictionEntry(KEY_A, 0, 10, 30, 0, (0, 0, 0), 0)
+        db.store_prediction(e)
+        assert db.latencies_ns() == [20]

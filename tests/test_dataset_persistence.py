@@ -1,0 +1,48 @@
+"""Tests for dataset save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import AmLightDataset, CampaignConfig, build_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny_ds():
+    return build_dataset(CampaignConfig.tiny())
+
+
+class TestPersistence:
+    def test_roundtrip_arrays(self, tiny_ds, tmp_path):
+        tiny_ds.save(tmp_path / "ds")
+        back = AmLightDataset.load(tmp_path / "ds")
+        assert np.array_equal(back.trace.records, tiny_ds.trace.records)
+        assert np.array_equal(back.int_records, tiny_ds.int_records)
+        assert np.array_equal(back.int_labels, tiny_ds.int_labels)
+        assert np.array_equal(back.sflow_records, tiny_ds.sflow_records)
+        assert np.array_equal(back.sflow_types, tiny_ds.sflow_types)
+
+    def test_roundtrip_config_and_schedule(self, tiny_ds, tmp_path):
+        tiny_ds.save(tmp_path / "ds")
+        back = AmLightDataset.load(tmp_path / "ds")
+        assert back.config == tiny_ds.config
+        assert back.schedule.sim_windows() == tiny_ds.schedule.sim_windows()
+
+    def test_truth_map_rebuilt(self, tiny_ds, tmp_path):
+        tiny_ds.save(tmp_path / "ds")
+        back = AmLightDataset.load(tmp_path / "ds")
+        assert back.truth_map == tiny_ds.truth_map
+
+    def test_loaded_dataset_usable_for_training(self, tiny_ds, tmp_path):
+        from repro.features import extract_features
+        from repro.ml import GaussianNB, StandardScaler
+
+        tiny_ds.save(tmp_path / "ds")
+        back = AmLightDataset.load(tmp_path / "ds")
+        fm = extract_features(back.int_records, source="int")
+        sc = StandardScaler().fit(fm.X)
+        model = GaussianNB().fit(sc.transform(fm.X), back.int_labels)
+        assert model.score(sc.transform(fm.X), back.int_labels) > 0.8
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            AmLightDataset.load(tmp_path / "nope")

@@ -1,0 +1,152 @@
+"""Integration tests for the AmLight campaign dataset builder.
+
+Uses the ``tiny`` profile (seconds to build) and module-scoped fixtures
+so the campaign is replayed once for the whole file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SERVER_IP,
+    CampaignConfig,
+    build_campaign_trace,
+    build_dataset,
+    capture_testbed,
+    monitored_topology,
+)
+from repro.datasets import testbed_flow_traces as make_testbed_flow_traces
+from repro.datasets.amlight import label_records
+from repro.features.keys import canonical_flow_key
+from repro.traffic import AttackType
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_dataset(CampaignConfig.tiny())
+
+
+class TestCampaignTrace:
+    def test_contains_all_attack_types(self, tiny):
+        counts = tiny.trace.counts_by_type()
+        for t in (AttackType.BENIGN, AttackType.SYN_SCAN, AttackType.UDP_SCAN,
+                  AttackType.SYN_FLOOD, AttackType.SLOWLORIS):
+            assert counts.get(t, 0) > 0, f"missing {t.display}"
+
+    def test_attacks_inside_their_episodes(self, tiny):
+        rec = tiny.trace.records
+        windows = tiny.schedule.sim_windows()
+        for attack_type, start, end in windows:
+            mask = rec["attack_type"] == int(attack_type)
+            ts = rec["ts"][mask]
+            in_any = np.zeros(ts.shape, dtype=bool)
+            for t2, s2, e2 in windows:
+                if t2 == attack_type:
+                    # responses may trail an episode slightly
+                    in_any |= (ts >= s2) & (ts < e2 + 50_000_000)
+            assert in_any.mean() > 0.99
+
+    def test_deterministic(self):
+        cfg = CampaignConfig.tiny()
+        a, _ = build_campaign_trace(cfg)
+        b, _ = build_campaign_trace(cfg)
+        assert np.array_equal(a.records, b.records)
+
+
+class TestCapture:
+    def test_int_sees_every_packet(self, tiny):
+        assert len(tiny.int_records) == len(tiny.trace)
+
+    def test_sflow_sampling_ratio(self, tiny):
+        expected = len(tiny.trace) / tiny.config.sflow_rate
+        assert len(tiny.sflow_records) == pytest.approx(expected, rel=0.5)
+
+    def test_labels_cover_attacks(self, tiny):
+        assert tiny.int_labels.sum() > 0
+        # attack fraction of capture matches the trace ground truth
+        assert tiny.int_labels.mean() == pytest.approx(
+            tiny.trace.attack_fraction(), abs=0.02
+        )
+
+    def test_truth_oracle_benign_default(self, tiny):
+        assert tiny.truth((1, 2, 3, 4, 6)) == (0, int(AttackType.BENIGN))
+
+    def test_truth_oracle_is_canonical(self, tiny):
+        rec = tiny.trace.records
+        atk = rec[rec["label"] == 1][0]
+        key = canonical_flow_key(
+            int(atk["src_ip"]), int(atk["dst_ip"]),
+            int(atk["src_port"]), int(atk["dst_port"]), int(atk["protocol"]),
+        )
+        label, _ = tiny.truth(key)
+        assert label == 1
+
+    def test_queue_occupancy_present(self, tiny):
+        # the 1 Gbps bottleneck must generate at least some queueing
+        assert tiny.int_records["queue_occupancy"].max() >= 1
+
+    def test_focus_windows_start_inside_campaign(self, tiny):
+        # the second window (Jun 11 19-21h) may extend slightly past the
+        # campaign end (last episode + 1 min); its start must be inside
+        end = tiny.schedule.campaign_end_ns()
+        for s, e in tiny.focus_windows_ns():
+            assert 0 < s < e
+            assert s < end
+
+    def test_day_boundary_ordering(self, tiny):
+        assert tiny.day_start_ns(10) < tiny.day_start_ns(11)
+
+    def test_time_masks(self, tiny):
+        windows = [(0, tiny.schedule.campaign_end_ns())]
+        assert tiny.int_time_mask(windows).all()
+        assert tiny.sflow_time_mask(windows).all()
+
+
+class TestLabelRecords:
+    def test_empty(self):
+        from repro.int_telemetry import REPORT_DTYPE
+        labels, types = label_records(np.empty(0, dtype=REPORT_DTYPE), {})
+        assert labels.shape == (0,)
+
+
+class TestTestbed:
+    def test_flow_traces_have_all_types(self):
+        cfg = CampaignConfig.tiny()
+        traces = make_testbed_flow_traces(cfg, n_packets=300, seed=1)
+        assert set(traces) == {"Benign", "SYN Scan", "UDP Scan", "SYN Flood",
+                               "SlowLoris"}
+        for name, tr in traces.items():
+            assert 0 < len(tr) <= 300, name
+
+    def test_capture_testbed_pairs_directions(self):
+        """Bidirectional flows must survive the server→target rewrite."""
+        cfg = CampaignConfig.tiny()
+        traces = make_testbed_flow_traces(cfg, n_packets=200, seed=1)
+        records, truth = capture_testbed(traces["SYN Scan"], cfg)
+        assert records.shape[0] > 0
+        from repro.features import extract_features
+        fm = extract_features(records, source="int")
+        # responses join their probes: some flows exceed one packet
+        assert fm.packet_index.max() >= 1
+        labels, _ = label_records(records, truth)
+        assert labels.mean() == 1.0  # pure attack replay
+
+
+class TestMonitoredTopology:
+    def test_both_directions_reported(self):
+        cfg = CampaignConfig.tiny()
+        topo, int_col, _, _ = monitored_topology(cfg)
+        from repro.dataplane.packet import Packet, Protocol
+        client = topo.hosts["client_side"]
+        server = topo.hosts["webserver"]
+        fwd = Packet(src_ip=0xAC100005, dst_ip=SERVER_IP, src_port=1234,
+                     dst_port=80, protocol=int(Protocol.TCP), length=100)
+        rev = Packet(src_ip=SERVER_IP, dst_ip=0xAC100005, src_port=80,
+                     dst_port=1234, protocol=int(Protocol.TCP), length=100)
+        topo.switches["edge_client"].receive(fwd, 1)
+        topo.run()
+        topo.switches["edge_server"].receive(rev, 2)
+        topo.run()
+        assert len(int_col) == 2
+        rec = int_col.to_records()
+        assert rec["hops"].tolist() == [3, 3]

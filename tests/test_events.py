@@ -1,0 +1,127 @@
+"""Tests for the discrete-event engine and simulation clock."""
+
+import pytest
+
+from repro.dataplane.events import EventQueue
+from repro.dataplane.simclock import SimClock, ms, ns, seconds, us
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_advance(self):
+        c = SimClock()
+        c.advance_to(100)
+        assert c.now == 100
+
+    def test_rejects_backwards(self):
+        c = SimClock(50)
+        with pytest.raises(ValueError):
+            c.advance_to(49)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_unit_helpers(self):
+        assert ns(5) == 5
+        assert us(1) == 1_000
+        assert ms(1) == 1_000_000
+        assert seconds(1.5) == 1_500_000_000
+
+
+class TestEventQueue:
+    def test_fifo_order_at_same_time(self):
+        eq = EventQueue()
+        seen = []
+        eq.schedule(10, seen.append, "a")
+        eq.schedule(10, seen.append, "b")
+        eq.schedule(10, seen.append, "c")
+        eq.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_time_order(self):
+        eq = EventQueue()
+        seen = []
+        eq.schedule(30, seen.append, 3)
+        eq.schedule(10, seen.append, 1)
+        eq.schedule(20, seen.append, 2)
+        eq.run()
+        assert seen == [1, 2, 3]
+        assert eq.clock.now == 30
+
+    def test_schedule_into_past_rejected(self):
+        eq = EventQueue()
+        eq.schedule(10, lambda _: None)
+        eq.run()
+        with pytest.raises(ValueError):
+            eq.schedule(5, lambda _: None)
+
+    def test_schedule_in_negative_rejected(self):
+        eq = EventQueue()
+        with pytest.raises(ValueError):
+            eq.schedule_in(-1, lambda _: None)
+
+    def test_cancellation(self):
+        eq = EventQueue()
+        seen = []
+        ev = eq.schedule(10, seen.append, "dead")
+        eq.schedule(20, seen.append, "live")
+        ev.cancel()
+        eq.run()
+        assert seen == ["live"]
+
+    def test_run_until_horizon(self):
+        eq = EventQueue()
+        seen = []
+        eq.schedule(10, seen.append, 1)
+        eq.schedule(20, seen.append, 2)
+        eq.schedule(30, seen.append, 3)
+        executed = eq.run(until_ns=20)
+        assert executed == 2
+        assert seen == [1, 2]
+        # remaining event still runnable
+        eq.run()
+        assert seen == [1, 2, 3]
+
+    def test_max_events_cap(self):
+        eq = EventQueue()
+        seen = []
+        for t in range(1, 6):
+            eq.schedule(t, seen.append, t)
+        executed = eq.run(max_events=3)
+        assert executed == 3
+        assert seen == [1, 2, 3]
+
+    def test_events_can_schedule_events(self):
+        eq = EventQueue()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 5:
+                eq.schedule_in(10, chain, n + 1)
+
+        eq.schedule(0, chain, 1)
+        eq.run()
+        assert seen == [1, 2, 3, 4, 5]
+        assert eq.clock.now == 40
+
+    def test_processed_counter_excludes_cancelled(self):
+        eq = EventQueue()
+        ev = eq.schedule(10, lambda _: None)
+        eq.schedule(20, lambda _: None)
+        ev.cancel()
+        eq.run()
+        assert eq.processed == 1
+
+    def test_peek_time_skips_cancelled(self):
+        eq = EventQueue()
+        ev = eq.schedule(10, lambda _: None)
+        eq.schedule(20, lambda _: None)
+        ev.cancel()
+        assert eq.peek_time() == 20
+
+    def test_step_on_empty_returns_false(self):
+        assert EventQueue().step() is False

@@ -1,0 +1,101 @@
+"""Invariance properties of the bulk feature extractor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import extract_features
+from repro.int_telemetry import REPORT_DTYPE
+
+
+def random_capture(rng, n_flows, n_packets):
+    flows = [(int(rng.integers(1, 200)), 2, int(rng.integers(1, 2000)), 80, 6)
+             for _ in range(n_flows)]
+    rec = np.zeros(n_packets, dtype=REPORT_DTYPE)
+    t = 0
+    for i in range(n_packets):
+        t += int(rng.integers(1, 10**7))
+        src, dst, sport, dport, proto = flows[int(rng.integers(0, n_flows))]
+        rec[i] = (t, src, dst, sport, dport, proto, 0,
+                  int(rng.integers(40, 1500)), t % 2**32, t % 2**32,
+                  int(rng.integers(0, 5)), 100, 3)
+    return rec
+
+
+def final_rows_by_flow(fm):
+    """Map flow id -> that flow's last (fully accumulated) feature row."""
+    out = {}
+    for i in range(len(fm)):
+        out[fm.flow_index[i]] = fm.X[i]  # arrival order: last write wins
+    return out
+
+
+@given(n_flows=st.integers(1, 5), n_packets=st.integers(2, 80),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_interleaving_other_flows_does_not_change_a_flow(n_flows, n_packets, seed):
+    """A flow's final feature row depends only on its own packets: the
+    row computed from the mixed capture equals the row computed from
+    the flow's packets alone."""
+    rng = np.random.default_rng(seed)
+    rec = random_capture(rng, n_flows, n_packets)
+    fm = extract_features(rec, source="int")
+
+    for flow_id in np.unique(fm.flow_index):
+        mask = fm.flow_index == flow_id
+        alone = extract_features(rec[mask], source="int")
+        np.testing.assert_allclose(
+            fm.X[mask], alone.X, rtol=1e-9, atol=1e-12,
+            err_msg=f"flow {flow_id} changed under interleaving",
+        )
+
+
+@given(n_flows=st.integers(1, 5), n_packets=st.integers(2, 60),
+       seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_row_count_and_flow_count_conserved(n_flows, n_packets, seed):
+    rng = np.random.default_rng(seed)
+    rec = random_capture(rng, n_flows, n_packets)
+    fm = extract_features(rec, source="int")
+    assert len(fm) == n_packets
+    assert fm.n_flows == np.unique(fm.flow_index).size
+    assert fm.is_first.sum() == fm.n_flows
+    # packet_index is a per-flow 0..k-1 ramp
+    for flow_id in np.unique(fm.flow_index):
+        idx = fm.packet_index[fm.flow_index == flow_id]
+        assert sorted(idx.tolist()) == list(range(idx.size))
+
+
+@given(n_packets=st.integers(2, 60), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_directional_refines_bidirectional(n_packets, seed):
+    """Every directional flow sits inside exactly one bidirectional flow
+    (direction merging is a coarsening of the partition)."""
+    rng = np.random.default_rng(seed)
+    rec = random_capture(rng, 4, n_packets)
+    # mirror some packets to create reverse-direction records
+    flip = rng.random(n_packets) < 0.4
+    rec["src_ip"][flip], rec["dst_ip"][flip] = (
+        rec["dst_ip"][flip].copy(), rec["src_ip"][flip].copy())
+    rec["src_port"][flip], rec["dst_port"][flip] = (
+        rec["dst_port"][flip].copy(), rec["src_port"][flip].copy())
+    bidi = extract_features(rec, source="int", directional=False)
+    dire = extract_features(rec, source="int", directional=True)
+    assert dire.n_flows >= bidi.n_flows
+    mapping = {}
+    for d, b in zip(dire.flow_index, bidi.flow_index):
+        assert mapping.setdefault(int(d), int(b)) == int(b)
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_n_packets_monotone_within_flow(seed):
+    rng = np.random.default_rng(seed)
+    rec = random_capture(rng, 3, 50)
+    fm = extract_features(rec, source="int")
+    col = fm.names.index("n_packets")
+    for flow_id in np.unique(fm.flow_index):
+        vals = fm.X[fm.flow_index == flow_id, col]
+        # arrival order within the capture is flow order
+        assert np.array_equal(np.sort(vals), vals)

@@ -1,0 +1,77 @@
+"""Tests for feature-matrix CSV/NPZ interchange."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.features import extract_features
+from repro.features.io import from_npz, to_csv, to_npz
+from repro.int_telemetry import REPORT_DTYPE
+
+
+@pytest.fixture(scope="module")
+def fm_and_labels():
+    rng = np.random.default_rng(0)
+    n = 200
+    rec = np.zeros(n, dtype=REPORT_DTYPE)
+    ts = np.sort(rng.integers(0, 10**9, n))
+    rec["ts_report"] = ts
+    rec["ingress_ts"] = ts % 2**32
+    rec["src_ip"] = rng.integers(1, 20, n)
+    rec["dst_ip"] = 9
+    rec["dst_port"] = 80
+    rec["protocol"] = 6
+    rec["length"] = rng.integers(40, 1500, n)
+    fm = extract_features(rec, source="int")
+    labels = rng.integers(0, 2, n)
+    return fm, labels
+
+
+class TestCsv:
+    def test_header_and_rows(self, fm_and_labels, tmp_path):
+        fm, labels = fm_and_labels
+        path = to_csv(fm, tmp_path / "f.csv", labels=labels)
+        with open(path) as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][: len(fm.names)] == fm.names
+        assert rows[0][-1] == "label"
+        assert len(rows) == len(fm) + 1
+        # values round-trip through repr exactly
+        assert float(rows[1][0]) == fm.X[0, 0]
+
+    def test_without_bookkeeping(self, fm_and_labels, tmp_path):
+        fm, _ = fm_and_labels
+        path = to_csv(fm, tmp_path / "f.csv", include_bookkeeping=False)
+        with open(path) as fh:
+            header = next(csv.reader(fh))
+        assert header == fm.names
+
+    def test_label_mismatch(self, fm_and_labels, tmp_path):
+        fm, labels = fm_and_labels
+        with pytest.raises(ValueError):
+            to_csv(fm, tmp_path / "f.csv", labels=labels[:-1])
+
+
+class TestNpz:
+    def test_lossless_roundtrip(self, fm_and_labels, tmp_path):
+        fm, labels = fm_and_labels
+        path = to_npz(fm, tmp_path / "f.npz", labels=labels)
+        back, back_labels = from_npz(path)
+        assert np.array_equal(back.X, fm.X)
+        assert back.names == fm.names
+        assert np.array_equal(back.flow_index, fm.flow_index)
+        assert np.array_equal(back.is_first, fm.is_first)
+        assert back.n_flows == fm.n_flows
+        assert np.array_equal(back_labels, labels)
+
+    def test_without_labels(self, fm_and_labels, tmp_path):
+        fm, _ = fm_and_labels
+        path = to_npz(fm, tmp_path / "f.npz")
+        _, labels = from_npz(path)
+        assert labels is None
+
+    def test_label_mismatch(self, fm_and_labels, tmp_path):
+        fm, labels = fm_and_labels
+        with pytest.raises(ValueError):
+            to_npz(fm, tmp_path / "f.npz", labels=labels[:3])

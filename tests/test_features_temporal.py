@@ -1,0 +1,122 @@
+"""Tests for sliding-window temporal features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import extract_features
+from repro.features.temporal import (
+    TEMPORAL_FEATURES,
+    add_temporal_features,
+    temporal_feature_names,
+)
+from repro.int_telemetry import REPORT_DTYPE
+
+
+def records_for(flows):
+    """flows: list of (src_ip, [(ts, length), ...])."""
+    rows = []
+    for src, pkts in flows:
+        for ts, length in pkts:
+            rows.append((ts, src, 2, 1000, 80, 6, 0, length,
+                         ts % 2**32, ts % 2**32, 0, 0, 1))
+    rows.sort(key=lambda r: r[0])
+    rec = np.zeros(len(rows), dtype=REPORT_DTYPE)
+    for i, r in enumerate(rows):
+        rec[i] = r
+    return rec
+
+
+def augment(rec, window_ns):
+    fm = extract_features(rec, source="int")
+    return add_temporal_features(fm, rec["ts_report"], rec["length"], window_ns)
+
+
+class TestTemporalFeatures:
+    def test_names_and_shape(self):
+        rec = records_for([(1, [(0, 100), (10, 100)])])
+        out = augment(rec, 1000)
+        assert out.X.shape[1] == 15 + len(TEMPORAL_FEATURES)
+        assert out.names[-5:] == temporal_feature_names(1e-6)
+
+    def test_window_counts(self):
+        # packets at t=0, 100, 250; window of 200 ns
+        rec = records_for([(1, [(0, 10), (100, 20), (250, 30)])])
+        out = augment(rec, 200)
+        c = out.names.index("win_packets_2e-07s")
+        b = out.names.index("win_bytes_2e-07s")
+        # t=0: itself; t=100: both; t=250: itself + t=100 (t=0 is out)
+        assert out.X[:, c].tolist() == [1, 2, 2]
+        assert out.X[:, b].tolist() == [10, 30, 50]
+
+    def test_flows_isolated(self):
+        rec = records_for([
+            (1, [(0, 10), (50, 10)]),
+            (9, [(25, 99)]),
+        ])
+        out = augment(rec, 1000)
+        c = out.names.index("win_packets_1e-06s")
+        # the flow-9 packet must not count flow-1 packets
+        row9 = np.flatnonzero(rec["src_ip"] == 9)[0]
+        assert out.X[row9, c] == 1
+
+    def test_window_longer_than_flow_equals_cumulative(self):
+        rec = records_for([(1, [(0, 10), (100, 20), (200, 30)])])
+        out = augment(rec, 10**9)
+        c = out.names.index("win_packets_1s")
+        n_idx = out.names.index("n_packets")
+        assert np.array_equal(out.X[:, c], out.X[:, n_idx])
+
+    def test_rate_features(self):
+        rec = records_for([(1, [(0, 100), (500, 100)])])
+        out = augment(rec, 1000)  # 1 µs window
+        pps = out.names.index("win_pps_1e-06s")
+        assert out.X[1, pps] == pytest.approx(2 / 1e-6)
+
+    def test_invalid_window(self):
+        rec = records_for([(1, [(0, 10)])])
+        fm = extract_features(rec, source="int")
+        with pytest.raises(ValueError):
+            add_temporal_features(fm, rec["ts_report"], rec["length"], 0)
+
+    def test_misaligned_inputs(self):
+        rec = records_for([(1, [(0, 10)])])
+        fm = extract_features(rec, source="int")
+        with pytest.raises(ValueError):
+            add_temporal_features(fm, rec["ts_report"][:0], rec["length"], 10)
+
+    def test_empty(self):
+        rec = records_for([])
+        out = augment(rec, 100)
+        assert out.X.shape == (0, 20)
+
+
+@given(
+    n_flows=st.integers(1, 4),
+    n_pkts=st.integers(1, 40),
+    window=st.integers(1, 500),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_naive_reference(n_flows, n_pkts, window, seed):
+    """Vectorized windowed counts equal a per-packet reference loop."""
+    rng = np.random.default_rng(seed)
+    flows = []
+    for f in range(n_flows):
+        ts = np.sort(rng.integers(0, 1000, size=n_pkts))
+        flows.append((f + 1, [(int(t), int(rng.integers(10, 200))) for t in ts]))
+    rec = records_for(flows)
+    out = augment(rec, window)
+    c = [i for i, n in enumerate(out.names) if n.startswith("win_packets")][0]
+    b = [i for i, n in enumerate(out.names) if n.startswith("win_bytes")][0]
+    for i in range(rec.shape[0]):
+        same_flow = rec["src_ip"] == rec["src_ip"][i]
+        in_window = (
+            (rec["ts_report"] > rec["ts_report"][i] - window)
+            & (rec["ts_report"] <= rec["ts_report"][i])
+        )
+        # respect arrival-order ties: only rows at or before i count
+        eligible = same_flow & in_window & (np.arange(rec.shape[0]) <= i)
+        assert out.X[i, c] == eligible.sum()
+        assert out.X[i, b] == pytest.approx(rec["length"][eligible].sum())

@@ -1,0 +1,96 @@
+"""Property tests: Welford streaming moments vs two-pass NumPy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import Welford
+
+
+class TestWelfordBasics:
+    def test_empty(self):
+        w = Welford()
+        assert w.n == 0
+        assert w.mean == 0.0
+        assert w.std == 0.0
+
+    def test_single_value(self):
+        w = Welford()
+        w.push(5.0)
+        assert w.mean == 5.0
+        assert w.variance == 0.0
+
+    def test_two_values(self):
+        w = Welford()
+        w.push(2.0)
+        w.push(4.0)
+        assert w.mean == pytest.approx(3.0)
+        assert w.variance == pytest.approx(1.0)  # population variance
+
+    def test_constant_stream(self):
+        w = Welford()
+        for _ in range(100):
+            w.push(7.5)
+        assert w.mean == pytest.approx(7.5)
+        assert w.std == pytest.approx(0.0, abs=1e-12)
+
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(values_strategy)
+@settings(max_examples=200)
+def test_matches_two_pass(values):
+    w = Welford()
+    for v in values:
+        w.push(v)
+    arr = np.array(values)
+    assert w.n == len(values)
+    assert w.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-9)
+    assert w.variance == pytest.approx(arr.var(), rel=1e-7, abs=1e-6)
+
+
+@given(values_strategy, values_strategy)
+@settings(max_examples=100)
+def test_merge_equals_concatenation(a, b):
+    wa = Welford()
+    for v in a:
+        wa.push(v)
+    wb = Welford()
+    for v in b:
+        wb.push(v)
+    wa.merge(wb)
+    arr = np.array(a + b)
+    assert wa.n == arr.size
+    assert wa.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-9)
+    assert wa.variance == pytest.approx(arr.var(), rel=1e-7, abs=1e-6)
+
+
+def test_merge_with_empty_is_identity():
+    w = Welford()
+    for v in (1.0, 2.0, 3.0):
+        w.push(v)
+    before = (w.n, w.mean, w.variance)
+    w.merge(Welford())
+    assert (w.n, w.mean, w.variance) == before
+
+    empty = Welford()
+    empty.merge(w)
+    assert empty.n == 3
+    assert empty.mean == pytest.approx(2.0)
+
+
+def test_numerical_stability_large_offset():
+    """The catastrophic-cancellation case that breaks sum-of-squares."""
+    w = Welford()
+    offset = 1e9
+    for v in (offset + 1, offset + 2, offset + 3):
+        w.push(v)
+    assert w.variance == pytest.approx(2.0 / 3.0, rel=1e-6)

@@ -1,0 +1,116 @@
+"""Round-trip tests for INT header/metadata byte codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.int_telemetry.header import (
+    INT_HEADER_BYTES,
+    INT_SHIM_BYTES,
+    IntHeader,
+    decode_stack,
+    encode_stack,
+)
+from repro.int_telemetry.instructions import (
+    AMLIGHT_INSTRUCTION,
+    IntInstruction,
+    instruction_fields,
+)
+from repro.int_telemetry.metadata import HOP_METADATA_BYTES, HopMetadata
+
+
+class TestInstructions:
+    def test_amlight_requests_everything(self):
+        assert AMLIGHT_INSTRUCTION == IntInstruction.ALL
+
+    def test_field_order_matches_bit_order(self):
+        assert instruction_fields(IntInstruction.ALL) == (
+            "switch_id",
+            "ingress_ts",
+            "egress_ts",
+            "queue_occupancy",
+            "hop_latency",
+        )
+
+    def test_subset_selection(self):
+        bm = IntInstruction.SWITCH_ID | IntInstruction.QUEUE_OCCUPANCY
+        assert instruction_fields(bm) == ("switch_id", "queue_occupancy")
+
+    def test_none(self):
+        assert instruction_fields(IntInstruction.NONE) == ()
+
+
+class TestHopMetadata:
+    def test_capture_wraps_timestamps(self):
+        h = HopMetadata.capture(1, 2**32 + 5, 2**32 + 10, 3)
+        assert h.ingress_ts == 5
+        assert h.egress_ts == 10
+
+    def test_hop_latency_across_wrap(self):
+        h = HopMetadata.capture(1, 2**32 - 10, 2**32 + 10, 0)
+        assert h.hop_latency_ns == 20
+
+    def test_encode_size(self):
+        h = HopMetadata(1, 2, 3, 4)
+        assert len(h.encode()) == HOP_METADATA_BYTES
+
+    def test_roundtrip(self):
+        h = HopMetadata(7, 123456, 234567, 42)
+        assert HopMetadata.decode(h.encode()) == h
+
+    def test_occupancy_saturates_at_u16(self):
+        h = HopMetadata(1, 0, 0, 100_000)
+        assert HopMetadata.decode(h.encode()).queue_occupancy == 0xFFFF
+
+    def test_decode_wrong_size(self):
+        with pytest.raises(ValueError):
+            HopMetadata.decode(b"\x00" * 3)
+
+
+class TestHeaderCodec:
+    def test_roundtrip_empty_stack(self):
+        hdr = IntHeader(2, 0, 8, AMLIGHT_INSTRUCTION)
+        blob = encode_stack(hdr, [])
+        assert len(blob) == INT_SHIM_BYTES + INT_HEADER_BYTES
+        hdr2, stack2 = decode_stack(blob)
+        assert hdr2 == hdr
+        assert stack2 == []
+
+    def test_hop_count_mismatch_rejected(self):
+        hdr = IntHeader(2, 2, 6, AMLIGHT_INSTRUCTION)
+        with pytest.raises(ValueError):
+            encode_stack(hdr, [HopMetadata(1, 0, 0, 0)])
+
+    def test_truncated_rejected(self):
+        hdr = IntHeader(2, 1, 7, AMLIGHT_INSTRUCTION)
+        blob = encode_stack(hdr, [HopMetadata(1, 0, 0, 0)])
+        with pytest.raises(ValueError):
+            decode_stack(blob[:-1])
+
+    def test_bad_shim_type_rejected(self):
+        hdr = IntHeader(2, 0, 8, AMLIGHT_INSTRUCTION)
+        blob = bytearray(encode_stack(hdr, []))
+        blob[0] = 0x7F
+        with pytest.raises(ValueError):
+            decode_stack(bytes(blob))
+
+
+hop_strategy = st.builds(
+    HopMetadata,
+    switch_id=st.integers(min_value=0, max_value=2**32 - 1),
+    ingress_ts=st.integers(min_value=0, max_value=2**32 - 1),
+    egress_ts=st.integers(min_value=0, max_value=2**32 - 1),
+    queue_occupancy=st.integers(min_value=0, max_value=2**16 - 1),
+)
+
+
+@given(
+    stack=st.lists(hop_strategy, max_size=8),
+    instruction=st.sampled_from(list(IntInstruction)),
+)
+@settings(max_examples=150)
+def test_stack_roundtrip_property(stack, instruction):
+    hdr = IntHeader(2, len(stack), 8 - len(stack), instruction)
+    hdr2, stack2 = decode_stack(encode_stack(hdr, stack))
+    assert hdr2 == hdr
+    assert stack2 == stack

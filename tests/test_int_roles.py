@@ -1,0 +1,159 @@
+"""Integration tests: INT source/transit/sink roles over real topologies."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import Packet, Protocol, TCPFlags, int_path_topology
+from repro.dataplane import testbed_topology as make_testbed_topology
+from repro.int_telemetry import (
+    AMLIGHT_INSTRUCTION,
+    IntCollector,
+    IntSink,
+    IntSource,
+    IntTransit,
+    attach_int_path,
+)
+
+
+def make_pkt(src, dst, seq=0, length=1200, proto=Protocol.TCP, flags=TCPFlags.PSHACK):
+    return Packet(
+        src_ip=src.ip,
+        dst_ip=dst.ip,
+        src_port=40000,
+        dst_port=80,
+        protocol=int(proto),
+        length=length,
+        tcp_flags=int(flags),
+        flow_seq=seq,
+    )
+
+
+@pytest.fixture
+def int_path():
+    topo = int_path_topology()
+    collector = IntCollector(keep_stacks=True)
+    roles = attach_int_path(
+        topo.switches["source_sw"],
+        [topo.switches["transit_sw"]],
+        topo.switches["sink_sw"],
+        collector,
+    )
+    return topo, collector, roles
+
+
+class TestIntPath:
+    def test_every_packet_reported_once(self, int_path):
+        topo, collector, _ = int_path
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        for i in range(50):
+            client.send_at(i * 1_000, make_pkt(client, server, i))
+        topo.run()
+        assert server.received == 50
+        assert len(collector) == 50
+
+    def test_three_hop_stack(self, int_path):
+        topo, collector, _ = int_path
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        client.send_at(0, make_pkt(client, server))
+        topo.run()
+        stack = collector.stacks[0]
+        assert [h.switch_id for h in stack] == [1, 2, 3]
+
+    def test_host_receives_clean_packet(self, int_path):
+        topo, _, _ = int_path
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        got = []
+        server.rx_callback = lambda pkt, t: got.append(pkt)
+        client.send_at(0, make_pkt(client, server))
+        topo.run()
+        assert got[0].int_stack is None
+        assert got[0].int_instruction == 0
+
+    def test_report_carries_flow_identity(self, int_path):
+        topo, collector, _ = int_path
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        client.send_at(0, make_pkt(client, server, proto=Protocol.UDP, flags=0))
+        topo.run()
+        rec = collector.to_records()
+        assert rec["src_ip"][0] == client.ip
+        assert rec["dst_ip"][0] == server.ip
+        assert rec["protocol"][0] == int(Protocol.UDP)
+        assert rec["length"][0] == 1200
+
+    def test_monotone_ingress_order(self, int_path):
+        """Reports arrive in packet order; unwrapped first-hop ingress
+        timestamps must be non-decreasing."""
+        from repro.int_telemetry import unwrap32
+
+        topo, collector, _ = int_path
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        for i in range(100):
+            client.send_at(i * 5_000, make_pkt(client, server, i))
+        topo.run()
+        rec = collector.to_records()
+        ts = unwrap32(rec["ingress_ts"])
+        assert np.all(np.diff(ts) >= 0)
+
+    def test_hop_latency_positive(self, int_path):
+        topo, collector, _ = int_path
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        client.send_at(0, make_pkt(client, server))
+        topo.run()
+        rec = collector.to_records()
+        assert rec["hop_latency"][0] > 0
+
+    def test_watchlist_filters_initiation(self):
+        topo = int_path_topology()
+        collector = IntCollector()
+        attach_int_path(
+            topo.switches["source_sw"],
+            [topo.switches["transit_sw"]],
+            topo.switches["sink_sw"],
+            collector,
+            watchlist=lambda pkt: pkt.protocol == int(Protocol.UDP),
+        )
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        client.send_at(0, make_pkt(client, server, proto=Protocol.TCP))
+        client.send_at(1_000, make_pkt(client, server, proto=Protocol.UDP, flags=0))
+        topo.run()
+        rec = collector.to_records()
+        assert len(rec) == 1
+        assert rec["protocol"][0] == int(Protocol.UDP)
+
+    def test_hop_budget_enforced(self):
+        topo = int_path_topology()
+        collector = IntCollector(keep_stacks=True)
+        src = IntSource(max_hops=2)
+        src.attach(topo.switches["source_sw"])
+        for name in ("source_sw", "transit_sw", "sink_sw"):
+            tr = IntTransit(max_hops=2)
+            tr.attach(topo.switches[name])
+        sink = IntSink(collector)
+        sink.attach(topo.switches["sink_sw"])
+        client, server = topo.hosts["client"], topo.hosts["server"]
+        client.send_at(0, make_pkt(client, server))
+        topo.run()
+        assert len(collector.stacks[0]) == 2  # third hop refused to append
+
+
+class TestTestbedTopology:
+    def test_loopback_collects_both_passes(self):
+        """Fig 6: a packet from source to target crosses the wedge twice;
+        both logical passes contribute hop metadata."""
+        topo = make_testbed_topology()
+        collector = IntCollector(keep_stacks=True)
+        attach_int_path(
+            topo.switches["wedge_a"], [], topo.switches["wedge_b"], collector
+        )
+        src, dst = topo.hosts["source_agent"], topo.hosts["target_agent"]
+        src.send_at(0, make_pkt(src, dst))
+        topo.run()
+        assert dst.received == 1
+        assert len(collector) == 1
+        assert len(collector.stacks[0]) == 2  # both passes of the wedge
+
+    def test_describe_lists_five_ports(self):
+        topo = make_testbed_topology()
+        desc = topo.describe()
+        for port in ("port 1", "port 2", "port 3", "port 4", "port 5"):
+            assert port in desc

@@ -1,0 +1,100 @@
+"""Failure-injection tests: lossy/jittery links and detector robustness."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import EventQueue, Packet, Protocol
+from repro.dataplane.link import Link
+
+
+def make_pkt(seq=0):
+    return Packet(src_ip=1, dst_ip=2, src_port=3, dst_port=4,
+                  protocol=int(Protocol.UDP), length=100, flow_seq=seq)
+
+
+class TestLossyLink:
+    def test_no_loss_by_default(self):
+        eq = EventQueue()
+        got = []
+        link = Link(eq, 1000, got.append)
+        for i in range(100):
+            link.send(make_pkt(i))
+        eq.run()
+        assert len(got) == 100
+        assert link.packets_lost == 0
+
+    def test_loss_rate_respected(self):
+        eq = EventQueue()
+        got = []
+        link = Link(eq, 1000, got.append, loss_rate=0.3, seed=1)
+        for i in range(5000):
+            link.send(make_pkt(i))
+        eq.run()
+        assert len(got) == pytest.approx(3500, rel=0.05)
+        assert link.packets_lost + len(got) == 5000
+
+    def test_full_loss_rejected(self):
+        eq = EventQueue()
+        with pytest.raises(ValueError):
+            Link(eq, 0, lambda p: None, loss_rate=1.0)
+        with pytest.raises(ValueError):
+            Link(eq, 0, lambda p: None, loss_rate=-0.1)
+
+    def test_jitter_can_reorder(self):
+        eq = EventQueue()
+        got = []
+        link = Link(eq, 1000, lambda p: got.append(p.flow_seq),
+                    jitter_ns=50_000, seed=2)
+        for i in range(200):
+            eq.schedule(i * 100, lambda _, k=i: link.send(make_pkt(k)))
+        eq.run()
+        assert len(got) == 200
+        assert got != sorted(got)  # reordering observed
+        assert sorted(got) == list(range(200))
+
+    def test_negative_jitter_rejected(self):
+        eq = EventQueue()
+        with pytest.raises(ValueError):
+            Link(eq, 0, lambda p: None, jitter_ns=-1)
+
+    def test_deterministic_given_seed(self):
+        outs = []
+        for _ in range(2):
+            eq = EventQueue()
+            got = []
+            link = Link(eq, 10, got.append, loss_rate=0.5, seed=99)
+            for i in range(100):
+                link.send(make_pkt(i))
+            eq.run()
+            outs.append([p.flow_seq for p in got])
+        assert outs[0] == outs[1]
+
+
+class TestDetectionUnderTelemetryLoss:
+    """Telemetry loss thins the capture but must not corrupt features:
+    each flow record just sees a subsample of its packets."""
+
+    def test_features_survive_partial_capture(self):
+        from repro.features import extract_features
+        from repro.int_telemetry import REPORT_DTYPE
+
+        rng = np.random.default_rng(0)
+        n = 3000
+        rec = np.zeros(n, dtype=REPORT_DTYPE)
+        ts = np.sort(rng.integers(0, 10**9, n))
+        rec["ts_report"] = ts
+        rec["ingress_ts"] = ts % 2**32
+        rec["src_ip"] = rng.integers(1, 50, n)
+        rec["dst_ip"] = 99
+        rec["dst_port"] = 80
+        rec["protocol"] = 6
+        rec["length"] = rng.integers(60, 1500, n)
+
+        full = extract_features(rec, source="int")
+        keep = rng.random(n) > 0.3  # 30% telemetry loss
+        thinned = extract_features(rec[keep], source="int")
+
+        assert np.isfinite(thinned.X).all()
+        # cumulative counters shrink but never invert
+        col = full.names.index("packet_size_cum")
+        assert thinned.X[:, col].max() <= full.X[:, col].max()

@@ -1,0 +1,108 @@
+"""Tests for the microburst detector (prior-work [8] functionality)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.microburst import Microburst, detect_microbursts, occupancy_series
+from repro.int_telemetry import REPORT_DTYPE
+
+MS = 1_000_000
+
+
+def capture(spikes, span_ms=100, base_occ=0):
+    """Records at 10 µs spacing; ``spikes`` = [(start_ms, end_ms, occ)]."""
+    n = span_ms * 100
+    rec = np.zeros(n, dtype=REPORT_DTYPE)
+    ts = np.arange(n, dtype=np.int64) * 10_000
+    rec["ts_report"] = ts
+    rec["queue_occupancy"] = base_occ
+    for start, end, occ in spikes:
+        mask = (ts >= start * MS) & (ts < end * MS)
+        rec["queue_occupancy"][mask] = occ
+    return rec
+
+
+class TestOccupancySeries:
+    def test_empty(self):
+        starts, peaks, counts = occupancy_series(np.empty(0, dtype=REPORT_DTYPE), MS)
+        assert starts.size == 0
+
+    def test_peaks_per_window(self):
+        rec = capture([(5, 6, 20)], span_ms=10)
+        starts, peaks, counts = occupancy_series(rec, MS)
+        assert peaks[5] == 20
+        assert peaks[0] == 0
+        assert counts.sum() == rec.shape[0]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            occupancy_series(np.empty(0, dtype=REPORT_DTYPE), 0)
+
+
+class TestDetectMicrobursts:
+    def test_quiet_capture(self):
+        rec = capture([], span_ms=20)
+        assert detect_microbursts(rec, threshold=5) == []
+
+    def test_single_burst(self):
+        rec = capture([(10, 13, 25)], span_ms=50)
+        bursts = detect_microbursts(rec, threshold=10)
+        assert len(bursts) == 1
+        b = bursts[0]
+        assert b.start_ns == 10 * MS
+        assert b.duration_ns == 3 * MS
+        assert b.peak_occupancy == 25
+
+    def test_two_separate_bursts(self):
+        rec = capture([(5, 7, 15), (30, 31, 40)], span_ms=50)
+        bursts = detect_microbursts(rec, threshold=10)
+        assert len(bursts) == 2
+        assert bursts[0].start_ns < bursts[1].start_ns
+        assert bursts[1].peak_occupancy == 40
+
+    def test_sustained_congestion_excluded(self):
+        rec = capture([(5, 95, 30)], span_ms=120)
+        bursts = detect_microbursts(rec, threshold=10, max_duration_ns=50 * MS)
+        assert bursts == []
+
+    def test_threshold_respected(self):
+        rec = capture([(5, 6, 7)], span_ms=20)
+        assert detect_microbursts(rec, threshold=8) == []
+        assert len(detect_microbursts(rec, threshold=7)) == 1
+
+    def test_burst_at_capture_edges(self):
+        rec = capture([(0, 2, 20), (18, 20, 20)], span_ms=20)
+        bursts = detect_microbursts(rec, threshold=10)
+        assert len(bursts) == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            detect_microbursts(np.empty(0, dtype=REPORT_DTYPE), threshold=0)
+
+    def test_flood_produces_queue_events_end_to_end(self):
+        """A flood through a tight bottleneck must register bursts."""
+        from repro.dataplane import Packet, Protocol, Topology
+        from repro.int_telemetry import IntCollector, IntSink, IntSource, IntTransit
+        from repro.traffic import Replayer, syn_flood
+
+        topo = Topology()
+        client = topo.add_host("c", "10.0.0.1")
+        server = topo.add_host("s", "10.0.0.2")
+        sw = topo.add_switch("sw", 1)
+        # 2 Mbps bottleneck: a 3000 pps flood of 40 B SYNs (~1 Mbps wire
+        # incl. overhead) bursts the queue
+        topo.connect_host_to_switch(client, sw, 1, 1e9)
+        topo.connect_host_to_switch(server, sw, 2, 2e6, capacity_pkts=512)
+        sw.add_route(server.ip, 2)
+        sw.set_default_route(1)
+        col = IntCollector()
+        IntSource().attach(sw)
+        IntTransit().attach(sw)
+        IntSink(col).attach(sw)
+        flood = syn_flood(server.ip, 80, 0, 500 * MS, rate_pps=3000,
+                          backscatter_fraction=0.0, seed=0)
+        Replayer(topo, {"in": (sw, 1)}).replay(flood)
+        bursts = detect_microbursts(col.to_records(), threshold=4,
+                                    max_duration_ns=10**9)
+        assert len(bursts) >= 1
+        assert max(b.peak_occupancy for b in bursts) >= 4

@@ -1,0 +1,239 @@
+"""Tests for the mitigation package (rules, traceback, enforcement, engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.database import PredictionEntry
+from repro.dataplane import EventQueue, Packet, Protocol, Switch, int_path_topology
+from repro.mitigation import (
+    AclTable,
+    AttackSource,
+    FlowRule,
+    MitigationEngine,
+    MitigationPolicy,
+    RuleAction,
+    RuleGenerator,
+    SourceTracker,
+    attach_acl,
+)
+
+
+def pkt(src=0x01020304, dst=0x0A0A0050, sport=1234, dport=80, proto=6):
+    return Packet(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+                  protocol=proto, length=64)
+
+
+class TestFlowRule:
+    def test_exact_match(self):
+        r = FlowRule(src_ip=0x01020304, dst_ip=0x0A0A0050, src_port=1234,
+                     dst_port=80, protocol=6)
+        assert r.matches(pkt())
+        assert not r.matches(pkt(sport=9999))
+
+    def test_wildcards(self):
+        r = FlowRule(dst_port=80)
+        assert r.matches(pkt())
+        assert r.matches(pkt(src=7, sport=5))
+        assert not r.matches(pkt(dport=443))
+
+    def test_prefix_match(self):
+        r = FlowRule(src_ip=0x01000000, src_prefix_len=8)
+        assert r.matches(pkt(src=0x01FFFFFF))
+        assert not r.matches(pkt(src=0x02000000))
+
+    def test_zero_prefix_matches_everything(self):
+        r = FlowRule(src_ip=0, src_prefix_len=0)
+        assert r.matches(pkt(src=0xDEADBEEF))
+
+    def test_expiry(self):
+        r = FlowRule(dst_port=80, expires_ns=1000)
+        assert not r.expired(999)
+        assert r.expired(1000)
+        assert not FlowRule(dst_port=80).expired(10**18)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FlowRule(src_prefix_len=33)
+        with pytest.raises(ValueError):
+            FlowRule(action=RuleAction.RATE_LIMIT, rate_pps=0)
+
+
+class TestRuleGenerator:
+    def test_flow_rule_is_exact(self):
+        g = RuleGenerator()
+        r = g.flow_rule((1, 2, 3, 4, 6), now_ns=100)
+        assert (r.src_ip, r.dst_ip, r.src_port, r.dst_port, r.protocol) == (1, 2, 3, 4, 6)
+        assert r.action is RuleAction.DROP
+        assert r.expires_ns == 100 + g.rule_ttl_ns
+
+    def test_flood_rule_rate_limits(self):
+        g = RuleGenerator(flood_rate_pps=50)
+        r = g.flood_rule(2, 80, 6, (0x01000000, 8), now_ns=0, n_sources=99)
+        assert r.action is RuleAction.RATE_LIMIT
+        assert r.rate_pps == 50
+        assert r.src_prefix_len == 8
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            RuleGenerator(host_flow_threshold=0)
+
+
+class TestSourceTracker:
+    def test_heavy_source_detection(self):
+        t = SourceTracker()
+        for port in range(10):
+            t.flag((7, 2, 40000 + port, 80, 6), now_ns=port)
+        heavy = t.heavy_sources(min_flows=5)
+        assert len(heavy) == 1
+        assert heavy[0].src_ip == 7
+        assert heavy[0].n_flows == 10
+
+    def test_duplicate_flags_counted_once(self):
+        t = SourceTracker()
+        t.flag((7, 2, 1, 80, 6), 0)
+        t.flag((7, 2, 1, 80, 6), 5)
+        assert t.sources[7].n_flows == 1
+        assert t.sources[7].last_seen_ns == 5
+
+    def test_flooded_service_detection(self):
+        t = SourceTracker(prefix_len=8)
+        for i in range(60):
+            t.flag((0x01000000 + i, 2, 1000 + i, 80, 6), now_ns=i)
+        flooded = t.flooded_services(min_sources=50)
+        assert len(flooded) == 1
+        (service, prefix, n) = flooded[0]
+        assert service == (2, 80, 6)
+        assert prefix == (0x01000000, 8)
+        assert n == 60
+
+    def test_below_threshold_not_flooded(self):
+        t = SourceTracker()
+        for i in range(10):
+            t.flag((100 + i, 2, 1, 80, 6), 0)
+        assert t.flooded_services(min_sources=50) == []
+
+    def test_forget_service(self):
+        t = SourceTracker()
+        for i in range(60):
+            t.flag((i, 2, 1, 80, 6), 0)
+        t.forget_service((2, 80, 6))
+        assert t.flooded_services(1) == []
+
+
+class TestAclTable:
+    def test_drop(self):
+        acl = AclTable()
+        acl.install(FlowRule(dst_port=80))
+        assert acl.check(pkt(), now_ns=0) is False
+        assert acl.check(pkt(dport=443), now_ns=0) is True
+        assert acl.dropped == 1 and acl.passed == 1
+
+    def test_expired_rule_pruned(self):
+        acl = AclTable()
+        acl.install(FlowRule(dst_port=80, expires_ns=1000))
+        assert acl.check(pkt(), now_ns=500) is False
+        assert acl.check(pkt(), now_ns=2000) is True
+        assert len(acl.rules) == 0
+
+    def test_rate_limit_sheds_sustained_rate(self):
+        acl = AclTable(burst=5)
+        acl.install(FlowRule(dst_port=80, action=RuleAction.RATE_LIMIT,
+                             rate_pps=10))
+        # 100 packets in 1 ms: only the burst passes
+        allowed = sum(acl.check(pkt(), now_ns=i * 10_000) for i in range(100))
+        assert allowed <= 6
+
+    def test_rate_limit_allows_conforming_rate(self):
+        acl = AclTable(burst=5)
+        acl.install(FlowRule(dst_port=80, action=RuleAction.RATE_LIMIT,
+                             rate_pps=10))
+        # 5 packets/second for 3 seconds — under the limit
+        allowed = sum(
+            acl.check(pkt(), now_ns=i * 200_000_000) for i in range(15)
+        )
+        assert allowed == 15
+
+    def test_first_match_wins(self):
+        acl = AclTable()
+        acl.install(FlowRule(dst_port=80, action=RuleAction.RATE_LIMIT,
+                             rate_pps=1000))
+        acl.install(FlowRule(dst_port=80))  # drop, but second
+        assert acl.check(pkt(), now_ns=0) is True
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            AclTable(burst=0)
+
+
+class TestAttachAcl:
+    def test_acl_runs_before_other_hooks(self):
+        topo = int_path_topology()
+        sw = topo.switches["source_sw"]
+        seen = []
+        sw.add_ingress_hook(lambda s, p, port: (seen.append(p), True)[1])
+        acl = attach_acl(sw)
+        acl.install(FlowRule(dst_port=80))
+        blocked = pkt(dst=topo.hosts["server"].ip)
+        sw.receive(blocked, 1)
+        topo.run()
+        assert seen == []  # dropped before the later hook saw it
+        assert sw.dropped_acl == 1
+        assert topo.hosts["server"].received == 0
+
+
+def entry(key, decision=1, ts=0):
+    return PredictionEntry(key=key, ts_registered_ns=ts, wall_registered_ns=0,
+                           wall_predicted_ns=1, label=decision,
+                           votes=(decision,), final_decision=decision)
+
+
+class TestMitigationEngine:
+    def test_per_flow_rule_on_flag(self):
+        acl = AclTable()
+        eng = MitigationEngine([acl])
+        rules = eng.on_decision(entry((1, 2, 3, 4, 6)))
+        assert len(rules) == 1
+        assert acl.installed == 1
+
+    def test_benign_decisions_ignored(self):
+        eng = MitigationEngine([AclTable()])
+        assert eng.on_decision(entry((1, 2, 3, 4, 6), decision=0)) == []
+        undecided = PredictionEntry((1, 2, 3, 4, 6), 0, 0, 1, 1, (1,), None)
+        assert eng.on_decision(undecided) == []
+
+    def test_host_escalation(self):
+        eng = MitigationEngine(
+            [AclTable()], MitigationPolicy(host_flow_threshold=3)
+        )
+        for port in range(3):
+            eng.on_decision(entry((7, 2, 1000 + port, 80, 6), ts=port))
+        host_rules = [r for r in eng.rules_emitted if r.src_prefix_len == 32
+                      and r.dst_ip is None]
+        assert len(host_rules) == 1
+        assert host_rules[0].src_ip == 7
+        # no duplicate host rule on further flags
+        eng.on_decision(entry((7, 2, 2000, 80, 6), ts=9))
+        assert eng.stats()["hosts_blocked"] == 1
+
+    def test_flood_escalation(self):
+        eng = MitigationEngine(
+            [AclTable()],
+            MitigationPolicy(spoof_source_threshold=20, per_flow_rules=False),
+        )
+        for i in range(25):
+            eng.on_decision(entry((0x01000000 + i, 2, 1000 + i, 80, 6), ts=i))
+        limits = [r for r in eng.rules_emitted
+                  if r.action is RuleAction.RATE_LIMIT]
+        assert len(limits) == 1
+        assert limits[0].dst_port == 80
+        assert eng.stats()["services_rate_limited"] == 1
+
+    def test_rules_fan_out_to_all_tables(self):
+        a, b = AclTable(), AclTable()
+        eng = MitigationEngine([a, b])
+        eng.on_decision(entry((1, 2, 3, 4, 6)))
+        assert a.installed == b.installed == 1
+
+    def test_needs_tables(self):
+        with pytest.raises(ValueError):
+            MitigationEngine([])

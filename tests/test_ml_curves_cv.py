@@ -1,0 +1,128 @@
+"""Tests for ROC/PR curves and cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    GaussianNB,
+    average_precision,
+    cross_val_score,
+    kfold_indices,
+    precision_recall_curve,
+    roc_auc_score,
+    roc_curve,
+)
+
+
+class TestRocCurve:
+    def test_perfect_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, thr = roc_curve(y, s)
+        assert roc_auc_score(y, s) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[-1] == 1.0
+        assert thr[0] == np.inf
+
+    def test_inverted_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, s) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        s = rng.random(5000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 300)
+        s = rng.random(300)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_tied_scores_handled(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(y, s) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc_curve([0, 0], [0.1, 0.2])  # one class
+        with pytest.raises(ValueError):
+            roc_curve([0, 1], [0.1])  # length mismatch
+        with pytest.raises(ValueError):
+            roc_curve([0, 2], [0.1, 0.2])  # non-binary
+
+
+class TestPrCurve:
+    def test_perfect(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert average_precision(y, s) == pytest.approx(1.0)
+
+    def test_precision_at_full_recall(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.9, 0.8, 0.7, 0.6])
+        precision, recall, _ = precision_recall_curve(y, s)
+        assert recall[-1] == 1.0
+        assert precision[-1] == pytest.approx(0.5)
+
+    @given(st.integers(10, 200), st.integers(0, 2**16))
+    @settings(max_examples=60)
+    def test_ap_bounds(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, n)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        s = rng.random(n)
+        ap = average_precision(y, s)
+        assert 0.0 <= ap <= 1.0
+
+
+class TestKFold:
+    def test_partition(self):
+        seen = np.zeros(100, dtype=int)
+        for train, test in kfold_indices(100, k=5, seed=0):
+            seen[test] += 1
+            assert set(train) | set(test) == set(range(100))
+            assert not set(train) & set(test)
+        assert (seen == 1).all()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, k=1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, k=5))
+
+
+class TestCrossVal:
+    def test_separable_scores_high(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (200, 3)), rng.normal(4, 1, (200, 3))])
+        y = np.array([0] * 200 + [1] * 200)
+        scores = cross_val_score(GaussianNB, X, y, k=5, seed=0)
+        assert scores.shape == (5,)
+        assert scores.mean() > 0.97
+        assert scores.std() < 0.05
+
+    def test_fresh_model_per_fold(self):
+        calls = []
+
+        class Probe(GaussianNB):
+            def __init__(self):
+                super().__init__()
+                calls.append(1)
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        cross_val_score(Probe, X, y, k=3, seed=0)
+        assert len(calls) == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_val_score(GaussianNB, np.zeros((5, 2)), np.zeros(4))

@@ -1,0 +1,96 @@
+"""Tests for the §IV-A metric suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_perfect(self):
+        cm = confusion_matrix([0, 0, 1, 1], [0, 0, 1, 1])
+        assert cm.tolist() == [[2, 0], [0, 2]]
+
+    def test_quadrants(self):
+        # true 0 pred 1 = FP at cm[0,1]; true 1 pred 0 = FN at cm[1,0]
+        cm = confusion_matrix([0, 1], [1, 0])
+        assert cm.tolist() == [[0, 1], [1, 0]]
+
+    def test_marginals_sum_to_n(self):
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 100)
+        y_pred = rng.integers(0, 2, 100)
+        assert confusion_matrix(y_true, y_pred).sum() == 100
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 2], [0, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestScores:
+    def test_paper_formulas(self):
+        # hand-computable case: TP=2, TN=1, FP=1, FN=1
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert accuracy_score(y_true, y_pred) == pytest.approx(3 / 5)
+        assert recall_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert precision_score(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        assert precision_score([1, 1], [0, 0]) == 0.0
+        assert recall_score([1, 1], [0, 0]) == 0.0
+        assert f1_score([1, 1], [0, 0]) == 0.0
+
+    def test_all_negative_predictor_table4_shape(self):
+        """The sFlow NN row of Table IV: recall 0, precision 0, macro-F1 0.5."""
+        y_true = np.array([0] * 990 + [1] * 10)
+        y_pred = np.zeros(1000, dtype=int)
+        rep = classification_report(y_true, y_pred)
+        assert rep["recall"] == 0.0
+        assert rep["precision"] == 0.0
+        assert rep["f1"] == 0.0
+        assert rep["f1_macro"] == pytest.approx(0.5, abs=0.01)
+
+    def test_report_counts(self):
+        rep = classification_report([1, 1, 0, 0], [1, 0, 1, 0])
+        assert (rep["tp"], rep["tn"], rep["fp"], rep["fn"]) == (1, 1, 1, 1)
+
+
+@given(
+    labels=st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=100)
+def test_metric_identities(labels):
+    """F1 is the harmonic mean; accuracy matches confusion-matrix trace."""
+    y_true = np.array([a for a, _ in labels])
+    y_pred = np.array([b for _, b in labels])
+    cm = confusion_matrix(y_true, y_pred)
+    assert accuracy_score(y_true, y_pred) == pytest.approx(np.trace(cm) / cm.sum())
+    p = precision_score(y_true, y_pred)
+    r = recall_score(y_true, y_pred)
+    f1 = f1_score(y_true, y_pred)
+    if p + r > 0:
+        assert f1 == pytest.approx(2 * p * r / (p + r))
+    else:
+        assert f1 == 0.0
+    assert 0.0 <= f1 <= 1.0

@@ -1,0 +1,116 @@
+"""Tests for StandardScaler and train_test_split."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import StandardScaler, train_test_split
+
+
+class TestStandardScaler:
+    def test_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5, 3, size=(500, 4))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0, atol=1e-12)
+        assert np.allclose(Xs.std(axis=0), 1, atol=1e-12)
+
+    def test_constant_column_passthrough(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        sc = StandardScaler().fit(X)
+        Xs = sc.transform(X)
+        assert np.allclose(Xs[:, 0], 0)  # centered, not divided by 0
+        assert np.isfinite(Xs).all()
+
+    def test_single_row_transform(self):
+        X = np.random.default_rng(1).normal(size=(100, 3))
+        sc = StandardScaler().fit(X)
+        row = sc.transform(X[0])
+        assert row.shape == (3,)
+        assert np.allclose(row, sc.transform(X)[0])
+
+    def test_roundtrip(self):
+        X = np.random.default_rng(2).normal(size=(50, 5)) * 7 + 3
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_coefficients_export_import(self):
+        X = np.random.default_rng(3).normal(size=(50, 2))
+        sc = StandardScaler().fit(X)
+        sc2 = StandardScaler.from_coefficients(sc.coefficients())
+        assert np.allclose(sc2.transform(X), sc.transform(X))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_mismatch_raises(self):
+        sc = StandardScaler().fit(np.zeros((5, 3)) + np.arange(3))
+        with pytest.raises(ValueError):
+            sc.transform(np.zeros((2, 4)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=40),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    @settings(max_examples=60)
+    def test_transform_inverse_is_identity(self, X):
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X, atol=1e-6)
+
+
+class TestTrainTestSplit:
+    def setup_method(self):
+        self.X = np.arange(200).reshape(100, 2)
+        self.y = np.array([0] * 90 + [1] * 10)
+
+    def test_sizes(self):
+        Xtr, Xte, ytr, yte = train_test_split(self.X, self.y, test_size=0.1, seed=0)
+        assert len(Xte) == 10
+        assert len(Xtr) == 90
+
+    def test_partition_is_exact(self):
+        Xtr, Xte, _, _ = train_test_split(self.X, self.y, test_size=0.3, seed=0)
+        all_rows = np.vstack([Xtr, Xte])
+        assert np.array_equal(
+            np.sort(all_rows[:, 0]), np.sort(self.X[:, 0])
+        )
+
+    def test_rows_stay_paired(self):
+        """X rows and y labels must travel together through the shuffle."""
+        y = self.X[:, 0] * 10  # label derivable from the row
+        Xtr, Xte, ytr, yte = train_test_split(self.X, y, test_size=0.2, seed=3)
+        assert np.array_equal(Xtr[:, 0] * 10, ytr)
+        assert np.array_equal(Xte[:, 0] * 10, yte)
+
+    def test_deterministic_with_seed(self):
+        a = train_test_split(self.X, self.y, seed=42)
+        b = train_test_split(self.X, self.y, seed=42)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[3], b[3])
+
+    def test_stratified_preserves_balance(self):
+        _, _, ytr, yte = train_test_split(
+            self.X, self.y, test_size=0.1, stratify=True, seed=0
+        )
+        assert yte.sum() == 1  # 10% of the 10 positives
+        assert ytr.sum() == 9
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(self.X, self.y, test_size=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(self.X, self.y, test_size=1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_split(self.X, self.y[:-1])

@@ -1,0 +1,104 @@
+"""Cross-cutting property tests on the ML substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+    StandardScaler,
+)
+
+
+def blob_data(seed, n=150, d=4, gap=2.0):
+    rng = np.random.default_rng(seed)
+    X = np.vstack([rng.normal(0, 1, (n, d)), rng.normal(gap, 1, (n, d))])
+    y = np.array([0] * n + [1] * n)
+    perm = rng.permutation(2 * n)
+    return X[perm], y[perm]
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_forest_proba_is_mean_of_trees(seed):
+    X, y = blob_data(seed)
+    rf = RandomForestClassifier(n_estimators=7, max_depth=6, seed=seed).fit(X, y)
+    Xq = X[:40]
+    manual = np.mean([t.predict_proba(Xq) for t in rf.estimators_], axis=0)
+    np.testing.assert_allclose(rf.predict_proba(Xq), manual, atol=1e-12)
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=20, deadline=None)
+def test_fully_grown_tree_memorizes_consistent_data(seed):
+    rng = np.random.default_rng(seed)
+    # distinct rows guarantee consistency (no conflicting labels)
+    X = rng.permutation(200).reshape(100, 2).astype(float)
+    y = rng.integers(0, 2, 100)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]
+    t = DecisionTreeClassifier(seed=seed).fit(X, y)
+    assert t.score(X, y) == 1.0
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_models_invariant_to_training_row_order(seed):
+    """GNB and KNN are permutation-invariant learners; shuffling the
+    training rows must not change any prediction."""
+    X, y = blob_data(seed, n=80)
+    rng = np.random.default_rng(seed + 1)
+    perm = rng.permutation(X.shape[0])
+    Xq = rng.normal(0.5, 1.5, size=(30, X.shape[1]))
+    for factory in (lambda: GaussianNB(), lambda: KNeighborsClassifier(3)):
+        a = factory().fit(X, y).predict(Xq)
+        b = factory().fit(X[perm], y[perm]).predict(Xq)
+        assert np.array_equal(a, b)
+
+
+@given(seed=st.integers(0, 2**16), scale=st.floats(0.1, 100.0))
+@settings(max_examples=15, deadline=None)
+def test_tree_invariant_to_feature_scaling(seed, scale):
+    """Threshold learners are scale-equivariant: multiplying one feature
+    by a positive constant must not change predictions."""
+    X, y = blob_data(seed, n=60)
+    X2 = X.copy()
+    X2[:, 0] *= scale
+    t1 = DecisionTreeClassifier(max_depth=5, seed=0).fit(X, y)
+    t2 = DecisionTreeClassifier(max_depth=5, seed=0).fit(X2, y)
+    Xq = X[:50].copy()
+    Xq2 = Xq.copy()
+    Xq2[:, 0] *= scale
+    assert np.array_equal(t1.predict(Xq), t2.predict(Xq2))
+
+
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=10, deadline=None)
+def test_mlp_proba_normalized(seed):
+    X, y = blob_data(seed, n=60)
+    m = MLPClassifier((8,), max_epochs=5, seed=seed).fit(X, y)
+    p = m.predict_proba(np.random.default_rng(seed).normal(size=(25, 4)) * 10)
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert (p >= 0).all() and (p <= 1).all()
+
+
+@given(
+    seed=st.integers(0, 2**16),
+    shift=st.floats(-50, 50),
+    scale=st.floats(0.01, 50),
+)
+@settings(max_examples=30, deadline=None)
+def test_scaler_affine_composition(seed, shift, scale):
+    """Scaling an affinely transformed matrix yields the same
+    standardized output (per-feature affine invariance)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(50, 3))
+    A = X * scale + shift
+    sa = StandardScaler().fit_transform(X)
+    sb = StandardScaler().fit_transform(A)
+    np.testing.assert_allclose(sa, sb, atol=1e-8)

@@ -1,0 +1,166 @@
+"""Tests for tree export/introspection and drift monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier
+from repro.ml.drift import DriftMonitor, population_stability_index
+from repro.ml.tree_export import decision_path, export_dot, export_text
+
+
+@pytest.fixture(scope="module")
+def fitted_tree():
+    X = np.array([[0.0, 5.0], [1.0, 5.0], [2.0, 5.0],
+                  [10.0, 5.0], [11.0, 5.0], [12.0, 5.0]])
+    y = np.array([0, 0, 0, 1, 1, 1])
+    return DecisionTreeClassifier(seed=0).fit(X, y), X, y
+
+
+class TestExportText:
+    def test_contains_split_and_leaves(self, fitted_tree):
+        tree, _, _ = fitted_tree
+        out = export_text(tree, feature_names=["size", "dummy"])
+        assert "size <=" in out
+        assert out.count("class:") == 2
+        assert "p=1.0000" in out
+
+    def test_default_feature_names(self, fitted_tree):
+        tree, _, _ = fitted_tree
+        assert "feature[0]" in export_text(tree)
+
+    def test_max_depth_truncates(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 3))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        tree = DecisionTreeClassifier(max_depth=6, seed=0).fit(X, y)
+        shallow = export_text(tree, max_depth=1)
+        assert shallow.count("\n") < export_text(tree).count("\n")
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            export_text(DecisionTreeClassifier())
+
+
+class TestExportDot:
+    def test_valid_dot_structure(self, fitted_tree):
+        tree, _, _ = fitted_tree
+        dot = export_dot(tree, feature_names=["size", "dummy"],
+                         class_names=["benign", "attack"])
+        assert dot.startswith("digraph tree {")
+        assert dot.rstrip().endswith("}")
+        assert "size <=" in dot
+        assert "benign" in dot and "attack" in dot
+        assert dot.count("->") == tree.node_count - 1  # tree edges
+
+
+class TestDecisionPath:
+    def test_path_ends_in_class(self, fitted_tree):
+        tree, X, y = fitted_tree
+        path = decision_path(tree, X[0], feature_names=["size", "dummy"])
+        assert path[-1].startswith("=> class 0")
+        assert any("size" in step for step in path[:-1])
+
+    def test_path_consistent_with_predict(self, fitted_tree):
+        tree, X, y = fitted_tree
+        for i in range(X.shape[0]):
+            path = decision_path(tree, X[i])
+            assert path[-1].split("class ")[1].split(" ")[0] == str(
+                tree.predict(X[i : i + 1])[0]
+            )
+
+
+class TestPsi:
+    def test_identical_distributions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=5000)
+        b = rng.normal(size=5000)
+        assert population_stability_index(a, b) < 0.02
+
+    def test_shifted_distribution_large(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(0, 1, 5000)
+        b = rng.normal(3, 1, 5000)
+        assert population_stability_index(a, b) > 1.0
+
+    def test_constant_reference(self):
+        # identical constants: no drift
+        assert population_stability_index(np.ones(100), np.ones(50)) == pytest.approx(0.0, abs=1e-9)
+        # a constant that moved: maximal drift
+        assert population_stability_index(np.ones(100), np.zeros(50)) > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            population_stability_index(np.array([]), np.ones(3))
+        with pytest.raises(ValueError):
+            population_stability_index(np.ones(5), np.ones(5), bins=1)
+
+
+class TestDriftMonitor:
+    def make(self, seed=0, n=2000):
+        rng = np.random.default_rng(seed)
+        X = np.column_stack([rng.normal(0, 1, n), rng.exponential(2, n)])
+        mon = DriftMonitor(["a", "b"]).fit(X)
+        return mon, rng
+
+    def test_stable_on_fresh_sample_from_same_process(self):
+        mon, rng = self.make()
+        live = np.column_stack([rng.normal(0, 1, 1000), rng.exponential(2, 1000)])
+        rep = mon.report(live)
+        assert rep["status"] == "stable"
+        assert rep["drifted"] == []
+
+    def test_alarms_on_shifted_feature(self):
+        mon, rng = self.make()
+        live = np.column_stack([rng.normal(4, 1, 1000), rng.exponential(2, 1000)])
+        rep = mon.report(live)
+        assert rep["status"] == "alarm"
+        assert rep["worst_feature"] == "a"
+        assert "a" in rep["drifted"] and "b" not in rep["drifted"]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DriftMonitor(["a"]).score(np.zeros((5, 1)))
+
+    def test_shape_validation(self):
+        mon, _ = self.make()
+        with pytest.raises(ValueError):
+            mon.score(np.zeros((5, 3)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DriftMonitor([])
+        with pytest.raises(ValueError):
+            DriftMonitor(["a"], warn_at=0.5, alarm_at=0.1)
+
+    def test_detects_attack_regime_change(self):
+        """Operationally: a flood arriving shifts the live feature mix —
+        the drift monitor doubles as a sanity alarm."""
+        from repro.datasets import SERVER_IP
+        from repro.features import extract_features
+        from repro.datasets import CampaignConfig, monitored_topology
+        from repro.traffic import Replayer, generate_benign, syn_flood
+        from repro.traffic.benign import BenignConfig
+
+        def capture(trace):
+            topo, col, _s, _a = monitored_topology(CampaignConfig.tiny())
+            Replayer(
+                topo,
+                {"fwd": (topo.switches["edge_client"], 1),
+                 "rev": (topo.switches["edge_server"], 2)},
+                classify=lambda r: "fwd" if r["dst_ip"] == SERVER_IP else "rev",
+            ).replay(trace)
+            return col.to_records()
+
+        cfg = BenignConfig(sessions_per_s=3, mean_think_ns=3_000_000,
+                           rtt_ns=100_000)
+        SEC = 10**9
+        ben = extract_features(
+            capture(generate_benign(SERVER_IP, 80, 0, 8 * SEC, cfg, seed=1)),
+            source="int",
+        )
+        atk = extract_features(
+            capture(syn_flood(SERVER_IP, 80, 0, SEC, rate_pps=3000, seed=2)),
+            source="int",
+        )
+        mon = DriftMonitor(ben.names).fit(ben.X)
+        assert mon.report(atk.X)["status"] == "alarm"

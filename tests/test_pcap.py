@@ -1,0 +1,101 @@
+"""Tests for real pcap serialization round trips."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.dataplane.packet import Protocol, TCPFlags, ip
+from repro.traffic import Trace, generate_benign, syn_flood
+from repro.traffic.flows import packet_block
+from repro.traffic.pcap import ipv4_checksum, read_pcap, write_pcap
+
+SERVER = ip("10.0.0.80")
+
+
+class TestChecksum:
+    def test_known_vector(self):
+        # classic RFC 1071 example header
+        hdr = bytes.fromhex("450000730000400040110000c0a80001c0a800c7")
+        assert ipv4_checksum(hdr) == 0xB861
+
+    def test_checksum_of_valid_header_is_zero(self):
+        hdr = bytearray(bytes.fromhex("450000730000400040110000c0a80001c0a800c7"))
+        ck = ipv4_checksum(bytes(hdr))
+        struct.pack_into("!H", hdr, 10, ck)
+        assert ipv4_checksum(bytes(hdr)) == 0
+
+    def test_odd_length_padded(self):
+        assert isinstance(ipv4_checksum(b"\x01\x02\x03"), int)
+
+
+class TestRoundTrip:
+    def make_trace(self):
+        blocks = [
+            packet_block(np.array([1_000_000, 2_000_000]), ip("1.2.3.4"),
+                         SERVER, 1234, 80, Protocol.TCP,
+                         int(TCPFlags.SYN), 60),
+            packet_block(np.array([3_000_000]), ip("5.6.7.8"), SERVER,
+                         53, 53, Protocol.UDP, 0, 80),
+            packet_block(np.array([4_000_000]), SERVER, ip("1.2.3.4"),
+                         0, 0, Protocol.ICMP, 0, 70, label=1, attack_type=2),
+        ]
+        return Trace(np.concatenate(blocks))
+
+    def test_header_fields_survive(self, tmp_path):
+        trace = self.make_trace()
+        path = write_pcap(trace, tmp_path / "t.pcap")
+        back = read_pcap(path)
+        assert len(back) == len(trace)
+        for col in ("src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+                    "tcp_flags", "length"):
+            assert np.array_equal(back.records[col], trace.records[col]), col
+
+    def test_timestamps_microsecond_truncated(self, tmp_path):
+        trace = self.make_trace()
+        back = read_pcap(write_pcap(trace, tmp_path / "t.pcap"))
+        assert np.array_equal(back.ts, (trace.ts // 1000) * 1000)
+
+    def test_labels_sidecar(self, tmp_path):
+        trace = self.make_trace()
+        back = read_pcap(write_pcap(trace, tmp_path / "t.pcap"))
+        assert np.array_equal(back.records["label"], trace.records["label"])
+        assert np.array_equal(back.records["attack_type"],
+                              trace.records["attack_type"])
+
+    def test_without_labels(self, tmp_path):
+        trace = self.make_trace()
+        path = write_pcap(trace, tmp_path / "t.pcap", with_labels=False)
+        back = read_pcap(path)
+        assert back.records["label"].sum() == 0
+
+    def test_generated_traffic_roundtrip(self, tmp_path):
+        trace = Trace(
+            np.concatenate([
+                generate_benign(SERVER, 80, 0, 10**9, seed=0).records,
+                syn_flood(SERVER, 80, 0, 10**8, rate_pps=2000, seed=1).records,
+            ])
+        )
+        back = read_pcap(write_pcap(trace, tmp_path / "big.pcap"))
+        assert len(back) == len(trace)
+        assert np.array_equal(back.records["src_ip"], trace.records["src_ip"])
+        assert np.array_equal(back.records["tcp_flags"],
+                              trace.records["tcp_flags"])
+
+    def test_ip_checksums_valid_on_wire(self, tmp_path):
+        trace = self.make_trace()
+        path = write_pcap(trace, tmp_path / "t.pcap")
+        data = path.read_bytes()
+        off = 24  # global header
+        while off < len(data):
+            _sec, _usec, incl, _orig = struct.unpack_from("<IIII", data, off)
+            off += 16
+            ip_header = data[off + 14 : off + 34]
+            assert ipv4_checksum(ip_header) == 0  # valid checksum sums to 0
+            off += incl
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "bogus.pcap"
+        p.write_bytes(b"\x00" * 64)
+        with pytest.raises(ValueError):
+            read_pcap(p)

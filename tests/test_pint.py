@@ -1,0 +1,119 @@
+"""Tests for probabilistic/sampled INT (PINT-style roles)."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import Packet, Protocol, int_path_topology
+from repro.int_telemetry import (
+    IntCollector,
+    IntSink,
+    PintSource,
+    PintTransit,
+    overhead_report,
+)
+
+
+def build_path(packet_fraction=1.0, hop_probability=1.0, seed=0):
+    topo = int_path_topology()
+    col = IntCollector(keep_stacks=True)
+    src = PintSource(packet_fraction=packet_fraction, seed=seed)
+    src.attach(topo.switches["source_sw"])
+    transits = []
+    # distinct seeds per hop — identical streams would correlate the
+    # hop decisions into all-or-nothing stacks
+    for k, name in enumerate(("source_sw", "transit_sw", "sink_sw")):
+        tr = PintTransit(hop_probability=hop_probability, seed=seed + 1 + k)
+        tr.attach(topo.switches[name])
+        transits.append(tr)
+    IntSink(col).attach(topo.switches["sink_sw"])
+    return topo, col, src, transits
+
+
+def drive(topo, n=400):
+    client, server = topo.hosts["client"], topo.hosts["server"]
+    for i in range(n):
+        client.send_at(i * 10_000, Packet(
+            src_ip=client.ip, dst_ip=server.ip, src_port=40000, dst_port=80,
+            protocol=int(Protocol.TCP), length=200, flow_seq=i,
+        ))
+    topo.run()
+
+
+class TestPintSource:
+    def test_full_fraction_is_classic_int(self):
+        topo, col, src, _ = build_path(packet_fraction=1.0)
+        drive(topo, 100)
+        assert len(col) == 100
+        assert src.initiated == 100
+
+    def test_fraction_subsamples(self):
+        topo, col, src, _ = build_path(packet_fraction=0.25, seed=3)
+        drive(topo, 2000)
+        assert len(col) == pytest.approx(500, rel=0.2)
+        assert src.observed == 2000
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PintSource(packet_fraction=0.0)
+        with pytest.raises(ValueError):
+            PintSource(packet_fraction=1.5)
+
+
+class TestPintTransit:
+    def test_full_probability_records_every_hop(self):
+        topo, col, _, _ = build_path(hop_probability=1.0)
+        drive(topo, 50)
+        rec = col.to_records()
+        assert (rec["hops"] == 3).all()
+
+    def test_probabilistic_hops(self):
+        topo, col, _, _ = build_path(hop_probability=0.5, seed=5)
+        drive(topo, 1000)
+        rec = col.to_records()
+        # mean recorded hops ≈ 3 × 0.5 (packets whose stack ends empty
+        # produce no report and bias slightly upward)
+        assert 1.2 < rec["hops"].mean() < 2.2
+        assert rec["hops"].max() <= 3
+
+    def test_empty_stack_produces_no_report(self):
+        topo, col, _, transits = build_path(hop_probability=0.01, seed=9)
+        drive(topo, 200)
+        # nearly all packets record zero hops → no reports for them
+        assert len(col) < 50
+        for rec in col.to_records():
+            assert rec["hops"] >= 1
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            PintTransit(hop_probability=0.0)
+
+
+class TestOverheadReport:
+    def test_full_int_overhead(self):
+        topo, col, _, _ = build_path()
+        drive(topo, 100)
+        rep = overhead_report(col.to_records(), total_packets=100)
+        assert rep["monitored_fraction"] == 1.0
+        assert rep["mean_hops_recorded"] == 3.0
+        # 3 hops × 16 B + 12 B shim/header per packet
+        assert rep["mean_bytes_per_packet"] == pytest.approx(3 * 16 + 12)
+
+    def test_sampling_reduces_overhead(self):
+        topo_f, col_f, _, _ = build_path(packet_fraction=1.0)
+        drive(topo_f, 1000)
+        topo_s, col_s, _, _ = build_path(packet_fraction=0.1, seed=2)
+        drive(topo_s, 1000)
+        full = overhead_report(col_f.to_records(), 1000)
+        samp = overhead_report(col_s.to_records(), 1000)
+        assert samp["mean_bytes_per_packet"] < 0.25 * full["mean_bytes_per_packet"]
+
+    def test_empty_capture(self):
+        from repro.int_telemetry import REPORT_DTYPE
+        rep = overhead_report(np.empty(0, dtype=REPORT_DTYPE), 10)
+        assert rep["metadata_bytes"] == 0
+        assert rep["monitored_fraction"] == 0.0
+
+    def test_invalid_total(self):
+        from repro.int_telemetry import REPORT_DTYPE
+        with pytest.raises(ValueError):
+            overhead_report(np.empty(0, dtype=REPORT_DTYPE), 0)

@@ -1,0 +1,122 @@
+"""Tests for the egress queue model (service rate, occupancy, tail drop)."""
+
+import pytest
+
+from repro.dataplane.events import EventQueue
+from repro.dataplane.packet import Packet, Protocol, ip
+from repro.dataplane.queueing import EgressQueue
+
+
+def pkt(length=1000, seq=0):
+    return Packet(
+        src_ip=ip("10.0.0.1"),
+        dst_ip=ip("10.0.0.2"),
+        src_port=1,
+        dst_port=2,
+        protocol=int(Protocol.UDP),
+        length=length,
+        flow_seq=seq,
+    )
+
+
+class TestEgressQueue:
+    def test_serialization_time(self):
+        eq = EventQueue()
+        q = EgressQueue(eq, rate_bps=1e9)  # 1 Gbps
+        # 1000 bytes * 8 bits / 1e9 bps = 8 microseconds
+        assert q.serialization_ns(pkt(1000)) == 8000
+
+    def test_single_packet_transit(self):
+        eq = EventQueue()
+        out = []
+        q = EgressQueue(eq, rate_bps=1e9, on_transmit=lambda p, t, d: out.append((t, d)))
+        q.enqueue(pkt(1000))
+        eq.run()
+        assert out == [(8000, 0)]
+        assert q.stats.transmitted == 1
+
+    def test_back_to_back_departures_spaced_by_service(self):
+        eq = EventQueue()
+        out = []
+        q = EgressQueue(eq, rate_bps=1e9, on_transmit=lambda p, t, d: out.append(t))
+        for i in range(3):
+            q.enqueue(pkt(1000, i))
+        eq.run()
+        assert out == [8000, 16000, 24000]
+
+    def test_occupancy_seen_at_dequeue(self):
+        """With 3 packets enqueued at t=0, the first departs seeing 2
+        behind it, the second 1, the last 0 — the INT queue occupancy."""
+        eq = EventQueue()
+        depths = []
+        q = EgressQueue(eq, rate_bps=1e9, on_transmit=lambda p, t, d: depths.append(d))
+        for i in range(3):
+            q.enqueue(pkt(1000, i))
+        eq.run()
+        assert depths == [2, 1, 0]
+
+    def test_tail_drop_at_capacity(self):
+        eq = EventQueue()
+        q = EgressQueue(eq, rate_bps=1e9, capacity_pkts=2)
+        assert q.enqueue(pkt()) is True
+        assert q.enqueue(pkt()) is True
+        assert q.enqueue(pkt()) is False
+        assert q.stats.dropped == 1
+        eq.run()
+        assert q.stats.transmitted == 2
+
+    def test_queue_idles_and_resumes(self):
+        eq = EventQueue()
+        out = []
+        q = EgressQueue(eq, rate_bps=1e9, on_transmit=lambda p, t, d: out.append(t))
+        q.enqueue(pkt(1000))
+        eq.run()
+        # queue drained; arrive again later via a scheduled event
+        eq.schedule(100_000, lambda _: q.enqueue(pkt(1000)))
+        eq.run()
+        assert out == [8000, 108_000]
+
+    def test_max_depth_highwater(self):
+        eq = EventQueue()
+        q = EgressQueue(eq, rate_bps=1e9)
+        for i in range(5):
+            q.enqueue(pkt())
+        assert q.stats.max_depth == 5
+
+    def test_fifo_order(self):
+        eq = EventQueue()
+        seqs = []
+        q = EgressQueue(eq, rate_bps=1e9, on_transmit=lambda p, t, d: seqs.append(p.flow_seq))
+        for i in range(10):
+            q.enqueue(pkt(seq=i))
+        eq.run()
+        assert seqs == list(range(10))
+
+    def test_bytes_counter_uses_wire_length(self):
+        eq = EventQueue()
+        q = EgressQueue(eq, rate_bps=1e9)
+        q.enqueue(pkt(40))  # padded to 64-byte min frame
+        eq.run()
+        assert q.stats.bytes_transmitted == 64
+
+    def test_invalid_parameters(self):
+        eq = EventQueue()
+        with pytest.raises(ValueError):
+            EgressQueue(eq, rate_bps=0)
+        with pytest.raises(ValueError):
+            EgressQueue(eq, rate_bps=1e9, capacity_pkts=0)
+
+    def test_flood_builds_occupancy(self):
+        """A burst arriving faster than the drain rate must raise the
+        occupancy the INT metadata reports — the core signal behind the
+        paper's queue-occupancy feature."""
+        eq = EventQueue()
+        depths = []
+        q = EgressQueue(
+            eq, rate_bps=1e8, capacity_pkts=10_000,
+            on_transmit=lambda p, t, d: depths.append(d),
+        )
+        for i in range(200):
+            q.enqueue(pkt(1500, i))
+        eq.run()
+        assert max(depths) == 199  # first dequeue sees the whole burst behind it

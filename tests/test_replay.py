@@ -1,0 +1,91 @@
+"""Tests for the tcpreplay-style replayer."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane import int_path_topology
+from repro.traffic import Replayer, Trace, replay_counts
+from repro.traffic.flows import packet_block
+from repro.traffic.trace import AttackType
+
+
+def trace_toward(server_ip, n=10, spacing=1000):
+    ts = np.arange(n) * spacing
+    return Trace(packet_block(ts, 0xAC100001, server_ip, 40000, 80, 6, 0, 100))
+
+
+class TestReplayer:
+    def make(self):
+        topo = int_path_topology()
+        server = topo.hosts["server"]
+        rep = Replayer(topo, {"in": (topo.switches["source_sw"], 1)})
+        return topo, server, rep
+
+    def test_replays_all_packets(self):
+        topo, server, rep = self.make()
+        n = rep.replay(trace_toward(server.ip, 25))
+        assert n == 25
+        assert server.received == 25
+
+    def test_limit(self):
+        topo, server, rep = self.make()
+        rep.replay(trace_toward(server.ip, 25), limit=10)
+        assert server.received == 10
+
+    def test_empty_trace(self):
+        topo, server, rep = self.make()
+        assert rep.replay(Trace.empty()) == 0
+
+    def test_speedup_compresses_time(self):
+        topo, server, rep = self.make()
+        rep10 = Replayer(topo, {"in": (topo.switches["source_sw"], 1)}, speedup=10.0)
+        rep10.replay(trace_toward(server.ip, 10, spacing=10_000))
+        # last packet sent at (9*10_000)/10 = 9_000 ns after base
+        assert topo.clock.now < 20_000 + 10_000  # generous bound
+
+    def test_start_at_shifts_timeline(self):
+        topo, server, rep = self.make()
+        rep.schedule(trace_toward(server.ip, 3), start_at_ns=50_000)
+        assert topo.events.peek_time() == 50_000
+        topo.run()
+        assert server.received == 3
+
+    def test_classify_routes_by_direction(self):
+        topo = int_path_topology()
+        server = topo.hosts["server"]
+        client = topo.hosts["client"]
+        fwd = trace_toward(server.ip, 5)
+        rev = Trace(packet_block(np.arange(5) * 1000 + 37, server.ip,
+                                 client.ip, 80, 40000, 6, 0, 100))
+        from repro.traffic import merge_traces
+        rep = Replayer(
+            topo,
+            {"fwd": (topo.switches["source_sw"], 1),
+             "rev": (topo.switches["sink_sw"], 2)},
+            classify=lambda row: "fwd" if row["dst_ip"] == server.ip else "rev",
+        )
+        rep.replay(merge_traces([fwd, rev]))
+        assert server.received == 5
+        assert client.received == 5
+
+    def test_multiple_ingress_requires_classifier(self):
+        topo = int_path_topology()
+        with pytest.raises(ValueError):
+            Replayer(topo, {"a": (topo.switches["source_sw"], 1),
+                            "b": (topo.switches["sink_sw"], 2)})
+
+    def test_invalid_speedup(self):
+        topo = int_path_topology()
+        with pytest.raises(ValueError):
+            Replayer(topo, {"in": (topo.switches["source_sw"], 1)}, speedup=0)
+
+    def test_empty_ingress_map(self):
+        topo = int_path_topology()
+        with pytest.raises(ValueError):
+            Replayer(topo, {})
+
+
+def test_replay_counts():
+    t = Trace(packet_block(np.array([1, 2]), 1, 2, 3, 4, 6, 0, 64,
+                           label=1, attack_type=AttackType.SYN_FLOOD))
+    assert replay_counts(t) == {"SYN Flood": 2}

@@ -1,0 +1,126 @@
+"""Tests for LPM routing and its integration into the switch."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane import Packet, Protocol, Topology, ip
+from repro.dataplane.routing import LpmTable
+
+
+class TestLpmTable:
+    def test_empty_lookup(self):
+        assert LpmTable().lookup(ip("1.2.3.4")) is None
+
+    def test_exact_slash32(self):
+        t = LpmTable()
+        t.add(ip("10.0.0.1"), 32, "a")
+        assert t.lookup(ip("10.0.0.1")) == "a"
+        assert t.lookup(ip("10.0.0.2")) is None
+
+    def test_longest_prefix_wins(self):
+        t = LpmTable()
+        t.add(ip("10.0.0.0"), 8, "coarse")
+        t.add(ip("10.1.0.0"), 16, "finer")
+        t.add(ip("10.1.2.0"), 24, "finest")
+        assert t.lookup(ip("10.9.9.9")) == "coarse"
+        assert t.lookup(ip("10.1.9.9")) == "finer"
+        assert t.lookup(ip("10.1.2.9")) == "finest"
+
+    def test_default_route_zero(self):
+        t = LpmTable()
+        t.add(0, 0, "default")
+        assert t.lookup(ip("203.0.113.5")) == "default"
+
+    def test_replace(self):
+        t = LpmTable()
+        t.add(ip("10.0.0.0"), 8, "old")
+        t.add(ip("10.0.0.0"), 8, "new")
+        assert len(t) == 1
+        assert t.lookup(ip("10.5.5.5")) == "new"
+
+    def test_remove(self):
+        t = LpmTable()
+        t.add(ip("10.0.0.0"), 8, "x")
+        assert t.remove(ip("10.0.0.0"), 8) is True
+        assert t.remove(ip("10.0.0.0"), 8) is False
+        assert t.lookup(ip("10.5.5.5")) is None
+        assert len(t) == 0
+
+    def test_base_masked_on_insert(self):
+        t = LpmTable()
+        t.add(ip("10.1.2.3"), 8, "net10")  # host bits ignored
+        assert t.lookup(ip("10.200.0.1")) == "net10"
+
+    def test_lookup_prefix(self):
+        t = LpmTable()
+        t.add(ip("10.1.0.0"), 16, "v")
+        base, bits, val = t.lookup_prefix(ip("10.1.2.3"))
+        assert (base, bits, val) == (ip("10.1.0.0"), 16, "v")
+
+    def test_invalid_prefix_len(self):
+        with pytest.raises(ValueError):
+            LpmTable().add(0, 33, "x")
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 32)),
+        min_size=1, max_size=40,
+    ), st.integers(0, 2**32 - 1))
+    @settings(max_examples=80)
+    def test_matches_linear_reference(self, routes, query):
+        t = LpmTable()
+        for i, (base, bits) in enumerate(routes):
+            t.add(base, bits, i)
+        # linear reference: best (longest) prefix with latest-wins per key
+        best = None
+        best_bits = -1
+        seen = {}
+        for i, (base, bits) in enumerate(routes):
+            mask = 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+            seen[(base & mask, bits)] = i
+        for (base, bits), i in seen.items():
+            mask = 0 if bits == 0 else (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+            if (query & mask) == base and bits > best_bits:
+                best, best_bits = i, bits
+        assert t.lookup(query) == best
+
+
+class TestSwitchIntegration:
+    def test_prefix_forwarding(self):
+        topo = Topology()
+        client = topo.add_host("c", "172.16.0.9")
+        server = topo.add_host("s", "10.1.2.3")
+        sw = topo.add_switch("sw", 1)
+        topo.connect_host_to_switch(client, sw, 1, 1e9)
+        topo.connect_host_to_switch(server, sw, 2, 1e9)
+        sw.add_prefix_route(ip("10.0.0.0"), 8, 2)
+        sw.add_prefix_route(ip("172.16.0.0"), 16, 1)
+        pkt = Packet(src_ip=client.ip, dst_ip=server.ip, src_port=1,
+                     dst_port=2, protocol=int(Protocol.UDP), length=100)
+        client.send_at(0, pkt)
+        topo.run()
+        assert server.received == 1
+
+    def test_exact_beats_prefix(self):
+        topo = Topology()
+        a = topo.add_host("a", "10.1.2.3")
+        b = topo.add_host("b", "10.9.9.9")
+        src = topo.add_host("src", "172.16.0.1")
+        sw = topo.add_switch("sw", 1)
+        topo.connect_host_to_switch(src, sw, 1, 1e9)
+        topo.connect_host_to_switch(a, sw, 2, 1e9)
+        topo.connect_host_to_switch(b, sw, 3, 1e9)
+        sw.add_prefix_route(ip("10.0.0.0"), 8, 3)  # all of net10 -> b
+        sw.add_route(a.ip, 2)  # except this exact host
+        src.send_at(0, Packet(src_ip=src.ip, dst_ip=a.ip, src_port=1,
+                              dst_port=2, protocol=17, length=100))
+        src.send_at(10, Packet(src_ip=src.ip, dst_ip=b.ip, src_port=1,
+                               dst_port=2, protocol=17, length=100))
+        topo.run()
+        assert a.received == 1 and b.received == 1
+
+    def test_prefix_route_unknown_port(self):
+        topo = Topology()
+        sw = topo.add_switch("sw", 1)
+        with pytest.raises(ValueError):
+            sw.add_prefix_route(0, 0, 5)

@@ -1,0 +1,95 @@
+"""Unit and property tests for 32-bit INT timestamp handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.int_telemetry.timestamps import (
+    WRAP_PERIOD_NS,
+    WRAP_PERIOD_S,
+    delta32,
+    naive_delta32,
+    unwrap32,
+    wrap32,
+)
+
+
+class TestWrap32:
+    def test_identity_below_wrap(self):
+        assert wrap32(12345) == 12345
+
+    def test_folds_at_wrap(self):
+        assert wrap32(WRAP_PERIOD_NS) == 0
+        assert wrap32(WRAP_PERIOD_NS + 7) == 7
+
+    def test_wrap_period_is_4_29_seconds(self):
+        # The paper quotes "restarts every 4.3 seconds".
+        assert WRAP_PERIOD_S == pytest.approx(4.294967296)
+
+    def test_vectorized(self):
+        t = np.array([0, 1, WRAP_PERIOD_NS, WRAP_PERIOD_NS + 1])
+        out = wrap32(t)
+        assert out.dtype == np.uint32
+        assert out.tolist() == [0, 1, 0, 1]
+
+
+class TestDelta32:
+    def test_no_wrap(self):
+        assert delta32(100, 40) == 60
+
+    def test_across_wrap(self):
+        later = wrap32(WRAP_PERIOD_NS + 50)
+        earlier = wrap32(WRAP_PERIOD_NS - 30)
+        assert delta32(later, earlier) == 80
+
+    def test_naive_delta_is_wrong_across_wrap(self):
+        # This is exactly the failure mode of paper Section V.
+        later = int(wrap32(WRAP_PERIOD_NS + 50))
+        earlier = int(wrap32(WRAP_PERIOD_NS - 30))
+        assert naive_delta32(later, earlier) == 80 - WRAP_PERIOD_NS
+        assert naive_delta32(later, earlier) < 0
+
+    def test_vectorized(self):
+        a = np.array([10, 5])
+        b = np.array([5, 10])
+        out = delta32(a, b)
+        assert out.tolist() == [5, WRAP_PERIOD_NS - 5]
+
+
+class TestUnwrap32:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            unwrap32([])
+
+    def test_single(self):
+        assert unwrap32([42]).tolist() == [42]
+
+    def test_monotone_reconstruction(self):
+        truth = np.array([0, 10**9, 3 * 10**9, 5 * 10**9, 9 * 10**9], dtype=np.int64)
+        wrapped = wrap32(truth)
+        rec = unwrap32(wrapped)
+        assert np.array_equal(np.diff(rec), np.diff(truth))
+
+
+@given(
+    start=st.integers(min_value=0, max_value=2**40),
+    gaps=st.lists(st.integers(min_value=0, max_value=WRAP_PERIOD_NS - 1), min_size=1, max_size=50),
+)
+@settings(max_examples=200)
+def test_unwrap_recovers_gaps(start, gaps):
+    """unwrap32 recovers the exact inter-arrival gaps as long as every gap
+    is below one wrap period — the invariant the paper's fix would rely on."""
+    truth = np.cumsum([start] + gaps)
+    rec = unwrap32(wrap32(truth))
+    assert np.array_equal(np.diff(rec), np.array(gaps, dtype=np.int64))
+
+
+@given(
+    earlier=st.integers(min_value=0, max_value=2**45),
+    gap=st.integers(min_value=0, max_value=WRAP_PERIOD_NS - 1),
+)
+@settings(max_examples=200)
+def test_delta32_recovers_gap(earlier, gap):
+    later = earlier + gap
+    assert int(delta32(wrap32(later), wrap32(earlier))) == gap

@@ -1,0 +1,198 @@
+"""Tests for benign and attack traffic generators."""
+
+import numpy as np
+import pytest
+
+from repro.dataplane.packet import Protocol, TCPFlags, ip
+from repro.traffic import (
+    AttackType,
+    BenignConfig,
+    generate_benign,
+    slowloris,
+    syn_flood,
+    syn_scan,
+    udp_scan,
+)
+
+SERVER = ip("10.0.0.80")
+ATTACKER = ip("203.0.113.1")
+SEC = 1_000_000_000
+
+
+class TestBenign:
+    def test_all_labeled_benign(self):
+        t = generate_benign(SERVER, 80, 0, 2 * SEC, seed=0)
+        assert len(t) > 0
+        assert t.attack_fraction() == 0.0
+
+    def test_bidirectional(self):
+        t = generate_benign(SERVER, 80, 0, 2 * SEC, seed=0)
+        fwd = (t.records["dst_ip"] == SERVER).sum()
+        rev = (t.records["src_ip"] == SERVER).sum()
+        assert fwd > 0 and rev > 0
+
+    def test_handshake_flags_present(self):
+        t = generate_benign(SERVER, 80, 0, 2 * SEC, seed=0)
+        flags = t.records["tcp_flags"]
+        assert (flags == int(TCPFlags.SYN)).any()
+        assert (flags == int(TCPFlags.SYNACK)).any()
+
+    def test_deterministic(self):
+        a = generate_benign(SERVER, 80, 0, SEC, seed=7)
+        b = generate_benign(SERVER, 80, 0, SEC, seed=7)
+        assert np.array_equal(a.records, b.records)
+
+    def test_udp_mix(self):
+        cfg = BenignConfig(udp_session_fraction=0.5, sessions_per_s=20)
+        t = generate_benign(SERVER, 80, 0, 2 * SEC, cfg, seed=1)
+        assert (t.records["protocol"] == int(Protocol.UDP)).any()
+
+    def test_asymmetric_sessions_lack_reverse(self):
+        cfg = BenignConfig(asymmetric_fraction=1.0, udp_session_fraction=0.0,
+                           sessions_per_s=5)
+        t = generate_benign(SERVER, 80, 0, 2 * SEC, cfg, seed=1)
+        assert (t.records["src_ip"] == SERVER).sum() == 0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            generate_benign(SERVER, 80, 100, 100)
+
+    def test_timestamps_within_window(self):
+        t = generate_benign(SERVER, 80, SEC, 3 * SEC, seed=0)
+        assert t.ts[0] >= SEC
+
+
+class TestSynScan:
+    def test_probes_are_minimal_syns(self):
+        t = syn_scan(ATTACKER, SERVER, 0, SEC, rate_pps=200, seed=0)
+        probes = t.records[t.records["src_ip"] == ATTACKER]
+        syns = probes[probes["tcp_flags"] == int(TCPFlags.SYN)]
+        assert (syns["length"] == 40).all()
+
+    def test_ports_swept_sequentially(self):
+        t = syn_scan(ATTACKER, SERVER, 0, SEC, rate_pps=100,
+                     filtered_fraction=0.0, seed=0)
+        probes = t.records[
+            (t.records["src_ip"] == ATTACKER)
+            & (t.records["tcp_flags"] == int(TCPFlags.SYN))
+        ]
+        dports = np.sort(np.unique(probes["dst_port"]))
+        assert dports[0] == 1
+        assert dports.size > 50
+
+    def test_closed_ports_answered_with_rst(self):
+        t = syn_scan(ATTACKER, SERVER, 0, SEC, rate_pps=100,
+                     filtered_fraction=0.0, seed=0)
+        resp = t.records[t.records["src_ip"] == SERVER]
+        assert (resp["tcp_flags"] == int(TCPFlags.RST | TCPFlags.ACK)).any()
+
+    def test_filtered_ports_retransmitted(self):
+        t = syn_scan(ATTACKER, SERVER, 0, SEC, rate_pps=100,
+                     filtered_fraction=1.0, retx_gap_ns=10_000_000, seed=0)
+        # every flow should have up to 3 identical SYNs, no responses
+        assert (t.records["src_ip"] == SERVER).sum() == 0
+        key = t.records["src_port"].astype(np.int64) * 70000 + t.records["dst_port"]
+        _, counts = np.unique(key, return_counts=True)
+        assert counts.max() == 3
+
+    def test_all_labeled(self):
+        t = syn_scan(ATTACKER, SERVER, 0, SEC, rate_pps=50, seed=0)
+        assert (t.records["label"] == 1).all()
+        assert (t.records["attack_type"] == int(AttackType.SYN_SCAN)).all()
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            syn_scan(ATTACKER, SERVER, SEC, SEC, seed=0)
+
+
+class TestUdpScan:
+    def test_probe_sizes_tiny(self):
+        t = udp_scan(ATTACKER, SERVER, 0, SEC, rate_pps=100, seed=0)
+        probes = t.records[t.records["src_ip"] == ATTACKER]
+        assert probes["length"].max() < 48
+
+    def test_icmp_backscatter(self):
+        t = udp_scan(ATTACKER, SERVER, 0, SEC, rate_pps=200,
+                     icmp_response_fraction=1.0, seed=0)
+        icmp = t.records[t.records["protocol"] == int(Protocol.ICMP)]
+        assert len(icmp) > 0
+        assert (icmp["length"] == 70).all()
+
+    def test_unanswered_probes_retransmitted(self):
+        t = udp_scan(ATTACKER, SERVER, 0, SEC, rate_pps=100,
+                     icmp_response_fraction=0.0, retx_gap_ns=10_000_000, seed=0)
+        key = t.records["src_port"].astype(np.int64) * 70000 + t.records["dst_port"]
+        _, counts = np.unique(key, return_counts=True)
+        assert counts.max() == 2
+
+
+class TestSynFlood:
+    def test_spoofed_sources_diverse(self):
+        t = syn_flood(SERVER, 80, 0, SEC, rate_pps=5000, seed=0)
+        syns = t.records[t.records["tcp_flags"] == int(TCPFlags.SYN)]
+        assert np.unique(syns["src_ip"]).size > 0.95 * syns.shape[0]
+
+    def test_fixed_target(self):
+        t = syn_flood(SERVER, 80, 0, SEC, rate_pps=1000, seed=0)
+        syns = t.records[t.records["tcp_flags"] == int(TCPFlags.SYN)]
+        assert (syns["dst_ip"] == SERVER).all()
+        assert (syns["dst_port"] == 80).all()
+
+    def test_backscatter_fraction(self):
+        t = syn_flood(SERVER, 80, 0, SEC, rate_pps=5000,
+                      backscatter_fraction=0.2, seed=0)
+        synacks = t.records[t.records["tcp_flags"] == int(TCPFlags.SYNACK)]
+        syns = t.records[t.records["tcp_flags"] == int(TCPFlags.SYN)]
+        ratio = len(synacks) / len(syns)
+        assert 0.15 < ratio < 0.25
+
+    def test_backscatter_carries_options(self):
+        """Victim SYN-ACKs come from a real stack: 66-74 bytes."""
+        t = syn_flood(SERVER, 80, 0, SEC, rate_pps=2000,
+                      backscatter_fraction=0.5, seed=0)
+        synacks = t.records[t.records["tcp_flags"] == int(TCPFlags.SYNACK)]
+        assert synacks["length"].min() >= 66
+        assert synacks["length"].max() <= 74
+
+    def test_no_backscatter_option(self):
+        t = syn_flood(SERVER, 80, 0, SEC, rate_pps=1000,
+                      backscatter_fraction=0.0, seed=0)
+        assert (t.records["tcp_flags"] == int(TCPFlags.SYNACK)).sum() == 0
+
+
+class TestSlowloris:
+    def test_low_volume(self):
+        t = slowloris(ATTACKER, SERVER, 80, 0, 2 * SEC,
+                      connections=8, keepalive_ns=100_000_000, seed=0)
+        flood = syn_flood(SERVER, 80, 0, 2 * SEC, rate_pps=5000, seed=0)
+        assert len(t) < len(flood) / 10
+
+    def test_connection_count(self):
+        t = slowloris(ATTACKER, SERVER, 80, 0, 2 * SEC,
+                      connections=5, keepalive_ns=100_000_000, seed=0)
+        sports = np.unique(
+            t.records[t.records["src_ip"] == ATTACKER]["src_port"]
+        )
+        assert sports.size == 5
+
+    def test_keepalive_pacing(self):
+        keep = 50_000_000
+        t = slowloris(ATTACKER, SERVER, 80, 0, 2 * SEC,
+                      connections=1, keepalive_ns=keep, seed=0)
+        frags = t.records[
+            (t.records["src_ip"] == ATTACKER)
+            & (t.records["tcp_flags"] == int(TCPFlags.PSHACK))
+        ]
+        gaps = np.diff(np.sort(frags["ts"]))
+        assert gaps.min() > 0.7 * keep
+        assert gaps.max() < 1.4 * keep
+
+    def test_fragments_are_small(self):
+        t = slowloris(ATTACKER, SERVER, 80, 0, SEC,
+                      connections=4, keepalive_ns=50_000_000, seed=0)
+        frags = t.records[t.records["tcp_flags"] == int(TCPFlags.PSHACK)]
+        assert frags["length"].max() < 120
+
+    def test_invalid_connections(self):
+        with pytest.raises(ValueError):
+            slowloris(ATTACKER, SERVER, 80, 0, SEC, connections=0, seed=0)

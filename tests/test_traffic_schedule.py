@@ -1,0 +1,93 @@
+"""Tests for the Table I schedule and its simulation-time mapping."""
+
+from datetime import datetime
+
+import numpy as np
+import pytest
+
+from repro.traffic import AttackType, CampaignSchedule, Episode, table1_schedule
+from repro.traffic.schedule import CAMPAIGN_ORIGIN
+
+
+class TestTable1:
+    def test_eleven_episodes(self):
+        assert len(table1_schedule()) == 11
+
+    def test_type_counts_match_paper(self):
+        eps = table1_schedule()
+        counts = {}
+        for ep in eps:
+            counts[ep.attack_type] = counts.get(ep.attack_type, 0) + 1
+        assert counts[AttackType.SYN_SCAN] == 2
+        assert counts[AttackType.UDP_SCAN] == 2
+        assert counts[AttackType.SYN_FLOOD] == 5
+        assert counts[AttackType.SLOWLORIS] == 2
+
+    def test_first_episode_is_33_minute_scan(self):
+        ep = table1_schedule()[0]
+        assert ep.attack_type == AttackType.SYN_SCAN
+        assert ep.start == datetime(2024, 6, 10, 13, 24, 2)
+        assert 1900 < ep.duration_s < 2100  # "approximately 33 minutes"
+
+    def test_slowloris_on_june_11_only(self):
+        for ep in table1_schedule():
+            if ep.attack_type == AttackType.SLOWLORIS:
+                assert ep.start.day == 11
+
+    def test_episodes_ordered_and_nonoverlapping(self):
+        eps = table1_schedule()
+        for a, b in zip(eps, eps[1:]):
+            assert a.end <= b.start
+
+    def test_invalid_episode_rejected(self):
+        with pytest.raises(ValueError):
+            Episode(AttackType.SYN_SCAN, datetime(2024, 6, 10, 12), datetime(2024, 6, 10, 11))
+
+
+class TestCampaignSchedule:
+    def test_origin_maps_to_zero(self):
+        s = CampaignSchedule()
+        assert s.to_sim_ns(CAMPAIGN_ORIGIN) == 0
+
+    def test_compression_factor(self):
+        s = CampaignSchedule(time_scale=1 / 600)
+        one_hour_later = datetime(2024, 6, 6, 1, 0, 0)
+        assert s.to_sim_ns(one_hour_later) == 6 * 10**9  # 3600 s / 600
+
+    def test_identity_scale(self):
+        s = CampaignSchedule(time_scale=1.0)
+        t = datetime(2024, 6, 6, 0, 0, 10)
+        assert s.to_sim_ns(t) == 10 * 10**9
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            CampaignSchedule(time_scale=0)
+
+    def test_windows_preserve_duration_ratios(self):
+        s = CampaignSchedule(time_scale=1 / 600)
+        windows = s.sim_windows()
+        for ep, (_t, start, end) in zip(s.episodes, windows):
+            sim_dur = (end - start) / 1e9
+            assert sim_dur == pytest.approx(ep.duration_s / 600, rel=1e-6)
+
+    def test_campaign_end_after_last_episode(self):
+        s = CampaignSchedule()
+        last_end = max(e for _, _, e in s.sim_windows())
+        assert s.campaign_end_ns() > last_end
+
+    def test_label_timestamps(self):
+        s = CampaignSchedule()
+        atype, start, end = s.sim_windows()[0]
+        ts = np.array([start - 1, start, (start + end) // 2, end - 1, end])
+        labels = s.label_timestamps(ts)
+        assert labels.tolist() == [0, int(atype), int(atype), int(atype), 0]
+
+    def test_label_outside_everything(self):
+        s = CampaignSchedule()
+        labels = s.label_timestamps(np.array([0, 10**9]))
+        assert (labels == 0).all()
+
+    def test_episodes_of_type(self):
+        s = CampaignSchedule()
+        floods = s.episodes_of_type(AttackType.SYN_FLOOD)
+        assert len(floods) == 5

@@ -1,0 +1,108 @@
+"""Tests for the Trace container and merge semantics."""
+
+import numpy as np
+import pytest
+
+from repro.traffic import PACKET_DTYPE, AttackType, Trace, merge_traces
+from repro.traffic.flows import TraceBuilder, packet_block
+
+
+def block(ts, label=0, attack=AttackType.BENIGN):
+    return packet_block(
+        np.asarray(ts), 1, 2, 3, 4, 6, 0, 100, label=label, attack_type=attack
+    )
+
+
+class TestTrace:
+    def test_empty(self):
+        t = Trace.empty()
+        assert len(t) == 0
+        assert t.duration_ns == 0
+        assert t.attack_fraction() == 0.0
+
+    def test_sorts_on_construction(self):
+        t = Trace(block([30, 10, 20]))
+        assert t.ts.tolist() == [10, 20, 30]
+
+    def test_stable_sort_preserves_ties(self):
+        rec = np.concatenate([block([5]), block([5], label=1, attack=AttackType.SYN_SCAN)])
+        t = Trace(rec)
+        assert t.records["label"].tolist() == [0, 1]
+
+    def test_time_slice(self):
+        t = Trace(block([0, 10, 20, 30]))
+        s = t.time_slice(10, 30)
+        assert s.ts.tolist() == [10, 20]
+
+    def test_time_slice_empty_range(self):
+        t = Trace(block([0, 10]))
+        assert len(t.time_slice(100, 200)) == 0
+
+    def test_counts_by_type(self):
+        rec = np.concatenate(
+            [block([1, 2]), block([3], label=1, attack=AttackType.SYN_FLOOD)]
+        )
+        counts = Trace(rec).counts_by_type()
+        assert counts[AttackType.BENIGN] == 2
+        assert counts[AttackType.SYN_FLOOD] == 1
+
+    def test_attack_fraction(self):
+        rec = np.concatenate(
+            [block([1, 2, 3]), block([4], label=1, attack=AttackType.UDP_SCAN)]
+        )
+        assert Trace(rec).attack_fraction() == pytest.approx(0.25)
+
+    def test_getitem_slice(self):
+        t = Trace(block([0, 10, 20]))
+        assert len(t[:2]) == 2
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = Trace(block([5, 15], label=1, attack=AttackType.SLOWLORIS))
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        t2 = Trace.load(path)
+        assert np.array_equal(t.records, t2.records)
+
+    def test_from_columns(self):
+        t = Trace.from_columns(
+            ts=[1, 2], src_ip=[10, 11], dst_ip=7, src_port=1, dst_port=2,
+            protocol=6, length=64,
+        )
+        assert len(t) == 2
+        assert t.records["dst_ip"].tolist() == [7, 7]
+
+    def test_from_columns_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            Trace.from_columns(ts=[1], bogus=[2])
+
+
+class TestMerge:
+    def test_merge_sorts_globally(self):
+        a = Trace(block([10, 30]))
+        b = Trace(block([20, 40], label=1, attack=AttackType.SYN_SCAN))
+        m = merge_traces([a, b])
+        assert m.ts.tolist() == [10, 20, 30, 40]
+
+    def test_merge_skips_empty(self):
+        m = merge_traces([Trace.empty(), Trace(block([1]))])
+        assert len(m) == 1
+
+    def test_merge_all_empty(self):
+        assert len(merge_traces([Trace.empty()])) == 0
+
+
+class TestTraceBuilder:
+    def test_accumulates(self):
+        b = TraceBuilder()
+        b.add(block([2]))
+        b.add(block([1]))
+        assert len(b) == 2
+        assert b.build().ts.tolist() == [1, 2]
+
+    def test_rejects_wrong_dtype(self):
+        b = TraceBuilder()
+        with pytest.raises(TypeError):
+            b.add(np.zeros(3))
+
+    def test_empty_build(self):
+        assert len(TraceBuilder().build()) == 0
