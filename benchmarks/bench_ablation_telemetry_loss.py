@@ -2,13 +2,13 @@
 
 Telemetry reports ride UDP to the collector; under the very congestion
 an attack causes, some reports will be dropped.  This ablation thins the
-INT capture uniformly at increasing loss rates, re-extracts features
-(each flow simply sees a subsample of its packets), and re-trains/tests —
-quantifying how much headroom the detector has before telemetry loss
-becomes a problem for a production rollout (§V).
+INT capture with the :class:`~repro.resilience.chaos.FaultInjector` —
+the codebase's single loss model, shared with the online chaos harness —
+at increasing loss rates, re-extracts features (each flow simply sees a
+subsample of its packets), and re-trains/tests — quantifying how much
+headroom the detector has before telemetry loss becomes a problem for a
+production rollout (§V).
 """
-
-import numpy as np
 
 from repro.analysis.tables import render_table
 from repro.features import extract_features
@@ -18,20 +18,22 @@ from repro.ml import (
     classification_report,
     train_test_split,
 )
+from repro.resilience import ChaosSchedule, FaultInjector
 
 LOSS_RATES = (0.0, 0.1, 0.3, 0.5)
 
 
 def test_ablation_telemetry_loss(benchmark, dataset):
-    rng = np.random.default_rng(7)
-
     def sweep():
         rows = []
         accs = {}
         for loss in LOSS_RATES:
-            keep = rng.random(dataset.int_records.shape[0]) >= loss
-            rec = dataset.int_records[keep]
-            labels = dataset.int_labels[keep]
+            injector = FaultInjector(ChaosSchedule(drop_rate=loss), seed=7)
+            rec, kept_idx = injector.apply(dataset.int_records)
+            labels = dataset.int_labels[kept_idx]
+            assert injector.stats.dropped == (
+                dataset.int_records.shape[0] - rec.shape[0]
+            )
             fm = extract_features(rec, source="int")
             Xtr, Xte, ytr, yte = train_test_split(
                 fm.X, labels, test_size=0.1, seed=0
@@ -42,7 +44,7 @@ def test_ablation_telemetry_loss(benchmark, dataset):
             rf.fit(sc.transform(Xtr), ytr)
             rep = classification_report(yte, rf.predict(sc.transform(Xte)))
             accs[loss] = rep["accuracy"]
-            rows.append((f"{loss:.0%}", int(keep.sum()), rep["accuracy"],
+            rows.append((f"{loss:.0%}", rec.shape[0], rep["accuracy"],
                          rep["recall"], rep["precision"]))
         return accs, render_table(
             "Ablation: INT report loss vs detection quality",

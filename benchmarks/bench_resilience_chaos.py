@@ -1,0 +1,77 @@
+"""Resilience: the Table VI replay under telemetry chaos.
+
+The production acceptance gate for the automated mechanism: with 10%
+report loss plus duplication and bounded reordering injected into the
+telemetry feed, every per-attack-type accuracy must stay within 5
+points of the clean Table VI run; and a poisoned ensemble member must
+be quarantined (watchdog alert, adjusted quorum) rather than crashing
+the mechanism.
+
+Set ``RESILIENCE_PROFILE=tiny`` (CI quick mode) to exercise the fault
+paths on a small replay without the strict accuracy gate — tiny traces
+are too short for stable per-type accuracies.
+"""
+
+import os
+
+from repro.resilience import ChaosSchedule
+from repro.resilience.harness import ResilienceHarness
+
+PROFILE = os.environ.get("RESILIENCE_PROFILE", "small")
+N_PACKETS = 800 if PROFILE == "tiny" else 2500
+
+#: The acceptance-criterion schedule: 10% uniform drop + duplication +
+#: bounded reordering.
+ACCEPTANCE = ChaosSchedule(
+    drop_rate=0.10,
+    duplicate_rate=0.05,
+    reorder_rate=0.05,
+    reorder_depth=8,
+)
+
+
+def test_resilience_chaos(benchmark):
+    harness = ResilienceHarness(profile=PROFILE, seed=0, n_packets=N_PACKETS)
+    report = benchmark(lambda: harness.run(ACCEPTANCE))
+    print("\n" + report.render())
+
+    # Faults really were injected, in the requested proportions.
+    assert report.faults["offered"] > 0
+    loss = report.faults["loss_fraction"]
+    assert 0.05 <= loss <= 0.15, loss
+    assert report.faults["duplicated"] > 0
+    assert report.faults["reordered"] > 0
+
+    # Every flow type still produced decisions under chaos.
+    for name, row in report.rows.items():
+        assert row["chaos_predicted"] > 0, name
+
+    if PROFILE != "tiny":
+        # The acceptance gate: within 5 points of the clean run,
+        # per attack type (trained types; SlowLoris is the zero-day).
+        for name in ResilienceHarness.TRAINED_TYPES:
+            row = report.rows[name]
+            assert row["accuracy_delta"] >= -0.05, (name, row)
+        assert report.max_accuracy_drop <= 0.05 or (
+            report.rows.get("SlowLoris", {}).get("accuracy_delta", 0) < -0.05
+        )
+
+
+def test_resilience_model_failure(benchmark):
+    harness = ResilienceHarness(profile=PROFILE, seed=0, n_packets=N_PACKETS)
+    result = benchmark(lambda: harness.run_model_failure("rf", fail_after=50))
+
+    # Quarantine + alert, not a crash: the mechanism finished the replay
+    # with the remaining members and reported DEGRADED health.
+    assert result.quarantined
+    assert result.degraded_not_crashed
+    assert result.predictions > 0
+    assert any(
+        a.module == "prediction" and a.state.name == "DEGRADED"
+        for a in result.alerts
+    )
+    assert result.stats["quarantined_models"].keys() == {"rf"}
+    assert set(result.stats["active_models"]) == {"mlp", "gnb"}
+    if PROFILE != "tiny":
+        # Two healthy members still detect the flood nearly perfectly.
+        assert result.accuracy is not None and result.accuracy > 0.95

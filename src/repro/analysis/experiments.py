@@ -258,13 +258,23 @@ def run_offline_study(
 
 @dataclass
 class TestbedStudy:
-    """Everything the Table VI / Fig 7 benches consume."""
+    """Everything the Table VI / Fig 7 benches consume.
+
+    Also carries what the resilience harness needs to re-run the same
+    replay under fault injection without paying the build twice: the
+    trained bundle, the captured per-type test records with their
+    ground-truth maps, and each detector's stats scorecard.
+    """
 
     table6: Dict[str, dict]
     decisions: Dict[str, np.ndarray]  # per type, replay order
     true_labels: Dict[str, int]
     train_packets: int
     bundle_models: List[str]
+    bundle: Optional[object] = None  # TrainedBundle
+    test_records: Dict[str, np.ndarray] = field(default_factory=dict)
+    truth_maps: Dict[str, dict] = field(default_factory=dict)
+    mech_stats: Dict[str, dict] = field(default_factory=dict)
 
 
 def run_testbed_study(
@@ -276,11 +286,18 @@ def run_testbed_study(
     skip_new_flows: bool = False,
     wrap_aware: bool = True,
     fast_poll: bool = False,
+    chaos=None,
+    chaos_seed=None,
 ) -> TestbedStudy:
-    """Run (or fetch the cached) §IV-C automated-mechanism study."""
+    """Run (or fetch the cached) §IV-C automated-mechanism study.
+
+    ``chaos`` (a :class:`~repro.resilience.chaos.ChaosSchedule`) runs
+    the same replay with fault injection on the telemetry feed — the
+    resilience harness compares such a run against the clean one.
+    """
     key = (
         profile, seed, n_packets, decision_window, emit_partial,
-        skip_new_flows, wrap_aware, fast_poll,
+        skip_new_flows, wrap_aware, fast_poll, chaos, chaos_seed,
     )
     if key in _TESTBED_CACHE:
         return _TESTBED_CACHE[key]
@@ -300,8 +317,13 @@ def run_testbed_study(
     table6: Dict[str, dict] = {}
     decisions: Dict[str, np.ndarray] = {}
     true_labels: Dict[str, int] = {}
+    test_records: Dict[str, np.ndarray] = {}
+    truth_maps: Dict[str, dict] = {}
+    mech_stats: Dict[str, dict] = {}
     for name, trace in test_traces.items():
         records, truth_map = capture_testbed(trace, cfg)
+        test_records[name] = records
+        truth_maps[name] = truth_map
         detector = AutomatedDDoSDetector(
             bundle,
             decision_window=decision_window,
@@ -309,6 +331,8 @@ def run_testbed_study(
             skip_new_flows=skip_new_flows,
             wrap_aware=wrap_aware,
             fast_poll=fast_poll,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
         )
         db = detector.run_stream(records, poll_every=64, cycle_budget=128)
         rows = score_by_type(
@@ -323,12 +347,17 @@ def run_testbed_study(
         ]
         decisions[name] = np.asarray(decided, dtype=np.int64)
         true_labels[name] = 0 if name == "Benign" else 1
+        mech_stats[name] = detector.stats()
     study = TestbedStudy(
         table6=table6,
         decisions=decisions,
         true_labels=true_labels,
         train_packets=len(train_records),
         bundle_models=list(bundle.models.keys()),
+        bundle=bundle,
+        test_records=test_records,
+        truth_maps=truth_maps,
+        mech_stats=mech_stats,
     )
     _TESTBED_CACHE[key] = study
     return study

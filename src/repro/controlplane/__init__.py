@@ -9,6 +9,26 @@ updated while the attack persists, closed after quiet time — and fanned
 out to notification sinks.
 """
 
-from .alerts import Alert, AlertManager, AlertSeverity, AlertSink, LogSink
+from .alerts import (
+    Alert,
+    AlertManager,
+    AlertSeverity,
+    AlertSink,
+    HealthAlert,
+    HealthLogSink,
+    HealthSink,
+    LogSink,
+    ModuleHealth,
+)
 
-__all__ = ["Alert", "AlertManager", "AlertSeverity", "AlertSink", "LogSink"]
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "AlertSeverity",
+    "AlertSink",
+    "HealthAlert",
+    "HealthLogSink",
+    "HealthSink",
+    "LogSink",
+    "ModuleHealth",
+]

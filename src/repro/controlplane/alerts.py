@@ -23,7 +23,28 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.database import PredictionEntry
 
-__all__ = ["AlertSeverity", "Alert", "AlertSink", "AlertManager", "LogSink"]
+# Pipeline-health alert types are defined in repro.resilience.degradation
+# (they must not depend on repro.core, which this module imports) and
+# re-exported here: the control plane is where operators consume both
+# attack-episode alerts and module-health alerts.
+from repro.resilience.degradation import (  # noqa: E402  (re-export)
+    HealthAlert,
+    HealthLogSink,
+    HealthSink,
+    ModuleHealth,
+)
+
+__all__ = [
+    "AlertSeverity",
+    "Alert",
+    "AlertSink",
+    "AlertManager",
+    "LogSink",
+    "ModuleHealth",
+    "HealthAlert",
+    "HealthSink",
+    "HealthLogSink",
+]
 
 
 class AlertSeverity(IntEnum):

@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.features.flow_table import FlowTable
 from repro.int_telemetry.collector import IntCollector
+from repro.resilience.chaos import ChaosSchedule, FaultInjector
+from repro.resilience.degradation import ModuleHealth, Watchdog
 from repro.traffic.trace import AttackType
 
 from .central import CentralServer
@@ -65,6 +67,19 @@ class AutomatedDDoSDetector:
         Indexed database poll instead of the paper-faithful scan.
     clock : callable() -> int, optional
         Wall-clock override for deterministic tests.
+    chaos : ChaosSchedule, optional
+        Fault-injection schedule; when given (and not a no-op) the
+        telemetry feed is wrapped in a seeded
+        :class:`~repro.resilience.chaos.FaultInjector`.
+    chaos_seed : int | numpy Generator, optional
+        RNG for the fault injector (reproducible chaos runs).
+    cycle_deadline_ns : int, optional
+        Per-cycle wall-clock budget for the CentralServer; overruns shed
+        backlog instead of stretching the cycle.
+    watchdog : Watchdog, optional
+        Module-health registry; created (with no sinks) if omitted so
+        health state is always tracked.  Pass your own to attach
+        control-plane sinks.
     """
 
     def __init__(
@@ -78,11 +93,16 @@ class AutomatedDDoSDetector:
         wrap_aware: bool = True,
         fast_poll: bool = False,
         clock=None,
+        chaos: Optional[ChaosSchedule] = None,
+        chaos_seed=None,
+        cycle_deadline_ns: Optional[int] = None,
+        watchdog: Optional[Watchdog] = None,
     ) -> None:
         flow_table = FlowTable(max_flows=max_flows, wrap_aware=wrap_aware)
         self.db = FlowDatabase(
             flow_table, fast_poll=fast_poll, skip_new_flows=skip_new_flows
         )
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
         self.processor = DataProcessor(
             self.db,
             bundle.feature_names,
@@ -91,16 +111,42 @@ class AutomatedDDoSDetector:
             clock=clock,
         )
         self.prediction = PredictionModule(
-            bundle.scaler, bundle.models, bundle.feature_names
+            bundle.scaler,
+            bundle.models,
+            bundle.feature_names,
+            on_quarantine=self._on_quarantine,
         )
-        self.central = CentralServer(self.db, self.processor, self.prediction)
+        self.central = CentralServer(
+            self.db,
+            self.processor,
+            self.prediction,
+            deadline_ns=cycle_deadline_ns,
+            watchdog=self.watchdog,
+            clock=clock,
+        )
         if source == "int":
-            self.collection = IntDataCollection(self.processor)
+            inner = IntDataCollection(self.processor)
         elif source == "sflow":
-            self.collection = SFlowDataCollection(self.processor)
+            inner = SFlowDataCollection(self.processor)
         else:
             raise ValueError(f"unknown telemetry source: {source!r}")
+        self._collection_inner = inner
+        if chaos is not None and not chaos.is_noop:
+            self.fault_injector: Optional[FaultInjector] = FaultInjector(
+                chaos, inner=inner, seed=chaos_seed
+            )
+            self.collection = self.fault_injector
+        else:
+            self.fault_injector = None
+            self.collection = inner
         self.source = source
+
+    def _on_quarantine(self, name: str, reason: str, n_active: int) -> None:
+        state = ModuleHealth.DEGRADED if n_active else ModuleHealth.FAILED
+        self.watchdog.report(
+            "prediction", state,
+            f"model {name!r} quarantined ({reason}); {n_active} member(s) left",
+        )
 
     # ------------------------------------------------------------------
     # execution modes
@@ -123,6 +169,8 @@ class AutomatedDDoSDetector:
             self.collection.feed_record(records[i])
             if (i + 1) % poll_every == 0:
                 self.central.cycle(max_updates=cycle_budget)
+        if self.fault_injector is not None:
+            self.fault_injector.flush()  # release held (reordered) reports
         self.central.drain(batch=cycle_budget)
         return self.db
 
@@ -130,7 +178,12 @@ class AutomatedDDoSDetector:
         """Subscribe the collection module to a live INT collector."""
         if self.source != "int":
             raise RuntimeError("live attachment requires the INT source")
-        self.collection.subscribe(collector)
+        if self.fault_injector is not None:
+            raise RuntimeError(
+                "chaos injection supports replay mode only; attach the "
+                "FaultInjector to a record stream instead"
+            )
+        self._collection_inner.subscribe(collector)
 
     def live_cycle(self, budget: int = 128) -> int:
         """One CentralServer round (callers interleave with sim slices)."""
@@ -138,8 +191,44 @@ class AutomatedDDoSDetector:
 
     def finish(self, budget: int = 512) -> FlowDatabase:
         """Drain remaining updates and return the database."""
+        if self.fault_injector is not None:
+            self.fault_injector.flush()
         self.central.drain(batch=budget)
         return self.db
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """One flat scorecard of the run: throughput, shedding, health.
+
+        Surfaces every loss path that used to be invisible — evicted
+        flows skipped between poll and dispatch, deadline-shed backlog,
+        quarantined panel members, injected telemetry faults — alongside
+        the ordinary throughput counters.
+        """
+        inner = self._collection_inner
+        consumed = getattr(inner, "reports_consumed", None)
+        if consumed is None:
+            consumed = getattr(inner, "samples_consumed", 0)
+        out: Dict[str, object] = {
+            "reports_consumed": consumed,
+            "packets_processed": self.processor.packets_processed,
+            "updates_registered": self.db.updates_registered,
+            "pending_updates": self.db.pending_updates,
+            "predictions_stored": len(self.db.predictions),
+            "flows_created": self.db.flows.created,
+            "flows_evicted": self.db.flows.evicted,
+            "predictions_served": self.prediction.predictions_served,
+            "quarantined_models": dict(self.prediction.quarantined),
+            "active_models": self.prediction.active_model_names,
+            "health": self.watchdog.snapshot(),
+            "overall_health": self.watchdog.worst.name,
+        }
+        out.update(self.central.stats())
+        if self.fault_injector is not None:
+            out["faults"] = self.fault_injector.stats.as_dict()
+        return out
 
 
 def score_by_type(

@@ -5,17 +5,34 @@ initialization (§III-4), then serves per-update predictions: standardize
 the incoming feature vector with the *training-time* scaler and run every
 panel model on it.  The module never refits anything online — exactly the
 paper's design, where training happens offline on replayed captures.
+
+Production hardening on top of the paper's design: **per-model failure
+isolation**.  A panel member that raises, or returns a non-binary vote
+(a poisoned or corrupted model), accumulates strikes; after
+``failure_threshold`` consecutive strikes it is quarantined and the
+remaining members keep voting with an adjusted quorum (majority over
+the healthy panel).  Only when *every* member is quarantined does the
+module refuse to serve, raising :class:`PredictionUnavailableError` so
+the caller can shed the update instead of crashing the mechanism.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.ml.scaler import StandardScaler
 
-__all__ = ["PredictionModule"]
+__all__ = ["PredictionModule", "PredictionUnavailableError"]
+
+
+class PredictionUnavailableError(RuntimeError):
+    """Raised when every panel member is quarantined."""
+
+
+#: Quarantine callback signature: ``(model_name, reason, n_active_left)``.
+QuarantineHook = Callable[[str, str, int], None]
 
 
 class PredictionModule:
@@ -31,6 +48,13 @@ class PredictionModule:
     feature_names : sequence of str
         Schema order the feature vectors arrive in; kept for sanity
         checking against the scaler dimensionality.
+    failure_threshold : int
+        Consecutive per-model failures (exception or non-binary output)
+        tolerated before the member is quarantined; a successful
+        prediction resets the member's strike count.
+    on_quarantine : callable(name, reason, n_active_left), optional
+        Observer invoked when a member is quarantined (the mechanism
+        wires this to its watchdog).
     """
 
     def __init__(
@@ -38,6 +62,8 @@ class PredictionModule:
         scaler: StandardScaler,
         models: Dict[str, object],
         feature_names: Sequence[str],
+        failure_threshold: int = 3,
+        on_quarantine: Optional[QuarantineHook] = None,
     ) -> None:
         if not models:
             raise ValueError("need at least one model")
@@ -48,27 +74,115 @@ class PredictionModule:
                 f"scaler has {scaler.n_features_} features, schema has "
                 f"{len(feature_names)}"
             )
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1: {failure_threshold}")
         self.scaler = scaler
         self.models = dict(models)
         self.feature_names = list(feature_names)
+        self.failure_threshold = int(failure_threshold)
+        self.on_quarantine = on_quarantine
         self.predictions_served = 0
+        self.model_failures: Dict[str, int] = {name: 0 for name in self.models}
+        self.quarantined: Dict[str, str] = {}  # name -> reason
 
     @property
     def model_names(self) -> List[str]:
         return list(self.models.keys())
 
+    @property
+    def active_model_names(self) -> List[str]:
+        """Panel members still voting (insertion order preserved)."""
+        return [n for n in self.models if n not in self.quarantined]
+
+    # ------------------------------------------------------------------
+    # failure isolation
+    # ------------------------------------------------------------------
+    def _strike(self, name: str, reason: str) -> None:
+        self.model_failures[name] += 1
+        if self.model_failures[name] >= self.failure_threshold:
+            self.quarantine(name, reason)
+
+    def quarantine(self, name: str, reason: str = "operator request") -> None:
+        """Remove a member from the voting quorum (idempotent)."""
+        if name not in self.models:
+            raise KeyError(f"unknown model: {name!r}")
+        if name in self.quarantined:
+            return
+        self.quarantined[name] = reason
+        if self.on_quarantine is not None:
+            self.on_quarantine(name, reason, len(self.active_model_names))
+
+    def reinstate(self, name: str) -> None:
+        """Return a quarantined member to the quorum (e.g. after a
+        model reload); clears its strike count."""
+        self.quarantined.pop(name, None)
+        self.model_failures[name] = 0
+
+    def _vote_of(self, name: str, model: object, x: np.ndarray) -> Optional[int]:
+        """One member's vote, or None if the member misbehaved."""
+        try:
+            v = float(model.predict(x)[0])
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            self._strike(name, f"{type(exc).__name__}: {exc}")
+            return None
+        if not np.isfinite(v) or int(v) not in (0, 1):
+            self._strike(name, f"non-binary vote: {v!r}")
+            return None
+        self.model_failures[name] = 0
+        return int(v)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
     def predict_one(self, features: np.ndarray) -> np.ndarray:
-        """Per-model 0/1 votes for a single feature vector (step ⑤→⑥)."""
+        """Per-model 0/1 votes for a single feature vector (step ⑤→⑥).
+
+        Returns votes for the *active* panel only; quarantined members
+        are excluded from the quorum.
+        """
+        active = self.active_model_names
+        if not active:
+            raise PredictionUnavailableError(
+                "all panel members quarantined: "
+                + "; ".join(f"{n} ({r})" for n, r in self.quarantined.items())
+            )
         x = self.scaler.transform(np.asarray(features, dtype=np.float64))[None, :]
-        votes = np.empty(len(self.models), dtype=np.int64)
-        for i, model in enumerate(self.models.values()):
-            votes[i] = int(model.predict(x)[0])
+        votes: List[int] = []
+        for name in active:
+            v = self._vote_of(name, self.models[name], x)
+            if v is not None:
+                votes.append(v)
+        if not votes:
+            raise PredictionUnavailableError(
+                "every active panel member failed this update"
+            )
         self.predictions_served += 1
-        return votes
+        return np.asarray(votes, dtype=np.int64)
 
     def predict_batch(self, X: np.ndarray) -> np.ndarray:
-        """Per-model votes for a batch; shape (n_samples, n_models)."""
+        """Per-model votes for a batch; shape (n_samples, n_active).
+
+        A member that raises on the batch takes ``failure_threshold``
+        strikes at once (a batch failure is not transient) and its
+        column is dropped.
+        """
+        active = self.active_model_names
+        if not active:
+            raise PredictionUnavailableError(
+                "all panel members quarantined: "
+                + "; ".join(f"{n} ({r})" for n, r in self.quarantined.items())
+            )
         Xs = self.scaler.transform(np.asarray(X, dtype=np.float64))
-        cols = [np.asarray(m.predict(Xs), dtype=np.int64) for m in self.models.values()]
+        cols = []
+        for name in active:
+            try:
+                cols.append(np.asarray(self.models[name].predict(Xs), dtype=np.int64))
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self.model_failures[name] = self.failure_threshold
+                self.quarantine(name, f"{type(exc).__name__}: {exc}")
+        if not cols:
+            raise PredictionUnavailableError(
+                "every active panel member failed the batch"
+            )
         self.predictions_served += X.shape[0]
         return np.column_stack(cols)

@@ -1,0 +1,56 @@
+"""Resilience: fault injection + graceful degradation for the mechanism.
+
+The paper validates the automated mechanism on a clean testbed; a
+production AmLight-class deployment loses, duplicates, and reorders
+telemetry under the very flood conditions the detector exists to catch.
+This package makes those failure modes first-class:
+
+* :mod:`repro.resilience.chaos` — :class:`ChaosSchedule` +
+  :class:`FaultInjector`: seeded, declarative fault injection on the
+  telemetry feed (uniform and Gilbert-Elliott burst loss, duplication,
+  bounded reordering, field corruption, collector outages).
+* :mod:`repro.resilience.degradation` — :class:`Watchdog` module-health
+  tracking with control-plane alerts, and bounded exponential-backoff
+  retry (used by the CentralServer's database polls).
+* :mod:`repro.resilience.harness` — :class:`ResilienceHarness`: replays
+  the Table VI testbed experiment under a chaos schedule and reports
+  accuracy/latency deltas against the clean run.
+"""
+
+from .chaos import ChaosSchedule, FaultInjector, FaultStats
+from .degradation import (
+    HealthAlert,
+    HealthLogSink,
+    HealthSink,
+    ModuleHealth,
+    Watchdog,
+    retry_with_backoff,
+)
+
+__all__ = [
+    "ChaosSchedule",
+    "FaultInjector",
+    "FaultStats",
+    "HealthAlert",
+    "HealthLogSink",
+    "HealthSink",
+    "ModuleHealth",
+    "Watchdog",
+    "retry_with_backoff",
+    "ResilienceHarness",
+    "ResilienceReport",
+    "ModelFailureReport",
+]
+
+_LAZY = {"ResilienceHarness", "ResilienceReport", "ModelFailureReport"}
+
+
+def __getattr__(name: str):
+    # The harness pulls in repro.analysis (and through it repro.core);
+    # loading it lazily keeps `repro.core.mechanism -> repro.resilience`
+    # imports acyclic.
+    if name in _LAZY:
+        from . import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,202 @@
+"""Graceful-degradation machinery: watchdog + retry policy.
+
+The paper's mechanism assumes every module always answers.  Production
+operation needs the opposite posture: any module can misbehave, and the
+pipeline should *degrade* — quarantine the broken part, keep serving
+with what remains, and tell the control plane — rather than crash.
+
+Two pieces live here:
+
+* :class:`Watchdog` — tracks per-module health
+  (HEALTHY/DEGRADED/FAILED) and emits one
+  :class:`~repro.controlplane.alerts.HealthAlert` per transition to the
+  registered sinks.  Modules (or their callers) report state; repeated
+  reports of the same state are coalesced.
+* :func:`retry_with_backoff` — bounded exponential-backoff retry for
+  transient failures (the CentralServer uses it around database polls).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+__all__ = [
+    "ModuleHealth",
+    "HealthAlert",
+    "HealthSink",
+    "HealthLogSink",
+    "Watchdog",
+    "retry_with_backoff",
+]
+
+
+class ModuleHealth(IntEnum):
+    """Health ladder for the mechanism's modules (worst wins).
+
+    Defined here rather than in :mod:`repro.controlplane.alerts` (which
+    re-exports it) so the core modules can report health without
+    importing the control plane.
+    """
+
+    HEALTHY = 0
+    DEGRADED = 1
+    FAILED = 2
+
+
+@dataclass(frozen=True)
+class HealthAlert:
+    """One module health transition, as reported by a watchdog.
+
+    Unlike a control-plane :class:`~repro.controlplane.alerts.Alert`
+    (an attack episode against a service), a health alert is about the
+    detection pipeline itself: a quarantined ensemble member, a database
+    poll that needed retries, a cycle that blew its deadline budget.
+    """
+
+    module: str
+    previous: ModuleHealth
+    state: ModuleHealth
+    ts_ns: int
+    reason: str = ""
+
+    @property
+    def is_recovery(self) -> bool:
+        return self.state < self.previous
+
+
+HealthSink = Callable[[HealthAlert], None]
+"""Sink signature for health transitions: ``sink(alert)``."""
+
+
+class HealthLogSink:
+    """Collects health alerts in memory (and optionally prints them)."""
+
+    def __init__(self, echo: bool = False) -> None:
+        self.alerts: List[HealthAlert] = []
+        self.echo = bool(echo)
+
+    def __call__(self, alert: HealthAlert) -> None:
+        self.alerts.append(alert)
+        if self.echo:  # pragma: no cover - console side effect
+            arrow = "recovered to" if alert.is_recovery else "->"
+            print(
+                f"[HEALTH] {alert.module}: {alert.previous.name} {arrow} "
+                f"{alert.state.name}"
+                + (f" ({alert.reason})" if alert.reason else "")
+            )
+
+
+class Watchdog:
+    """Per-module health registry with transition alerts.
+
+    Parameters
+    ----------
+    sinks : list of HealthSink, optional
+        Called once per state *transition* (never for a repeated state).
+    clock : callable() -> int, optional
+        Wall-clock in ns for alert timestamps; defaults to
+        :func:`time.perf_counter_ns` and is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[List[HealthSink]] = None,
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.sinks: List[HealthSink] = list(sinks) if sinks else []
+        self.clock = clock if clock is not None else time.perf_counter_ns
+        self._state: Dict[str, ModuleHealth] = {}
+        self.alerts: List[HealthAlert] = []
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    def state(self, module: str) -> ModuleHealth:
+        """Current health of a module (unknown modules are HEALTHY)."""
+        return self._state.get(module, ModuleHealth.HEALTHY)
+
+    @property
+    def worst(self) -> ModuleHealth:
+        """The mechanism's overall health: its sickest module."""
+        if not self._state:
+            return ModuleHealth.HEALTHY
+        return max(self._state.values())
+
+    def snapshot(self) -> Dict[str, str]:
+        """Module → state-name map (for stats surfaces)."""
+        return {m: s.name for m, s in sorted(self._state.items())}
+
+    # ------------------------------------------------------------------
+    def report(
+        self, module: str, state: ModuleHealth, reason: str = ""
+    ) -> Optional[HealthAlert]:
+        """Record a module's health; emits an alert only on transition."""
+        previous = self.state(module)
+        if state == previous:
+            return None
+        self._state[module] = state
+        alert = HealthAlert(
+            module=module,
+            previous=previous,
+            state=state,
+            ts_ns=int(self.clock()),
+            reason=reason,
+        )
+        self.alerts.append(alert)
+        self.transitions += 1
+        for sink in self.sinks:
+            sink(alert)
+        return alert
+
+    def healthy(self, module: str, reason: str = "") -> Optional[HealthAlert]:
+        return self.report(module, ModuleHealth.HEALTHY, reason)
+
+    def degraded(self, module: str, reason: str = "") -> Optional[HealthAlert]:
+        return self.report(module, ModuleHealth.DEGRADED, reason)
+
+    def failed(self, module: str, reason: str = "") -> Optional[HealthAlert]:
+        return self.report(module, ModuleHealth.FAILED, reason)
+
+
+def retry_with_backoff(
+    fn: Callable[[], object],
+    attempts: int = 4,
+    base_delay_s: float = 0.005,
+    factor: float = 2.0,
+    max_delay_s: float = 0.25,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+):
+    """Call ``fn`` with bounded exponential-backoff retries.
+
+    Parameters
+    ----------
+    fn : callable()
+        The operation; its return value is passed through.
+    attempts : int
+        Total tries including the first (so ``attempts - 1`` retries).
+    base_delay_s, factor, max_delay_s : float
+        Backoff schedule: ``min(base * factor**k, max)`` before retry k.
+    retry_on : tuple of exception types
+        Anything else propagates immediately.
+    sleep : callable(seconds)
+        Injectable for deterministic tests.
+    on_retry : callable(attempt_number, exception), optional
+        Observer invoked before each backoff sleep.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1: {attempts}")
+    delay = float(base_delay_s)
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(min(delay, max_delay_s))
+            delay *= factor

@@ -1,0 +1,241 @@
+"""Resilience harness: the Table VI experiment under injected faults.
+
+The acceptance question for a production rollout is not "does the
+detector work on a clean testbed" (Table VI answers that) but "how much
+detection quality does telemetry chaos cost, and does a partial failure
+degrade or crash".  :class:`ResilienceHarness` answers both:
+
+* :meth:`ResilienceHarness.run` replays the §IV-C testbed experiment
+  twice — clean and under a :class:`~repro.resilience.chaos.ChaosSchedule`
+  — and reports per-attack-type accuracy and latency deltas plus the
+  injector's fault accounting;
+* :meth:`ResilienceHarness.run_model_failure` poisons one ensemble
+  member mid-replay and verifies the mechanism quarantines it (watchdog
+  alert, adjusted quorum) instead of crashing.
+
+Both lean on the cached :func:`~repro.analysis.experiments.run_testbed_study`
+artifacts, so the expensive parts (campaign build, pre-training, DES
+replay capture) are paid once per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.experiments import run_testbed_study
+from repro.analysis.tables import render_table
+from repro.core.mechanism import AutomatedDDoSDetector, score_by_type
+from repro.core.training import TrainedBundle
+from repro.traffic.trace import AttackType
+
+from .chaos import ChaosSchedule
+from .degradation import HealthAlert, ModuleHealth
+
+__all__ = ["ResilienceHarness", "ResilienceReport", "ModelFailureReport"]
+
+
+@dataclass
+class ResilienceReport:
+    """Clean-vs-chaos comparison of one testbed replay."""
+
+    schedule: ChaosSchedule
+    #: per flow type: clean/chaos accuracy + latency and their deltas
+    rows: Dict[str, dict]
+    #: aggregate FaultStats counters across all five replays
+    faults: Dict[str, object]
+    #: per flow type: watchdog snapshot at end of the chaos run
+    health: Dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def max_accuracy_drop(self) -> float:
+        """Worst accuracy loss across flow types (positive = worse)."""
+        drops = [-r["accuracy_delta"] for r in self.rows.values()]
+        return max(drops) if drops else 0.0
+
+    def render(self) -> str:
+        """Terminal table of the comparison."""
+        body = []
+        for name, r in sorted(self.rows.items()):
+            body.append((
+                name,
+                f"{r['clean_accuracy']:.4f}",
+                f"{r['chaos_accuracy']:.4f}" if r["chaos_accuracy"] is not None
+                else "n/a",
+                f"{r['accuracy_delta']:+.4f}",
+                r["clean_predicted"],
+                r["chaos_predicted"],
+                f"{r['avg_time_delta_s']:+.2e}",
+            ))
+        return render_table(
+            f"Resilience: Table VI replay under chaos ({self.schedule.describe()})",
+            ("Flow type", "clean acc", "chaos acc", "Δacc",
+             "clean pred", "chaos pred", "Δavg time (s)"),
+            body,
+            note=(
+                f"faults: {self.faults.get('dropped', 0)} dropped / "
+                f"{self.faults.get('duplicated', 0)} duplicated / "
+                f"{self.faults.get('reordered', 0)} reordered / "
+                f"{self.faults.get('corrupted', 0)} corrupted of "
+                f"{self.faults.get('offered', 0)} offered reports"
+            ),
+        )
+
+
+@dataclass
+class ModelFailureReport:
+    """Outcome of a forced single-member failure during a replay."""
+
+    model: str
+    quarantined: bool
+    alerts: List[HealthAlert]
+    stats: dict
+    accuracy: Optional[float]
+    predictions: int
+
+    @property
+    def degraded_not_crashed(self) -> bool:
+        """The acceptance property: the member is out, the mechanism is
+        up, health is DEGRADED (not FAILED), and predictions flowed."""
+        health = self.stats.get("health", {})
+        return (
+            self.quarantined
+            and self.predictions > 0
+            and health.get("prediction") == ModuleHealth.DEGRADED.name
+        )
+
+
+class _PoisonedModel:
+    """Wraps a fitted model; starts raising after ``fail_after`` calls."""
+
+    def __init__(self, inner: object, fail_after: int) -> None:
+        self.inner = inner
+        self.fail_after = int(fail_after)
+        self.calls = 0
+
+    def predict(self, X):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise RuntimeError("injected model fault (poisoned member)")
+        return self.inner.predict(X)
+
+
+class ResilienceHarness:
+    """Replays the §IV-C testbed experiment under fault injection.
+
+    Parameters
+    ----------
+    profile : str
+        Campaign profile (``tiny``/``small``/``full``) forwarded to the
+        testbed study.
+    seed : int
+        Study seed; the chaos RNG derives from it unless overridden.
+    n_packets : int
+        Replay length per flow type (paper: ~2500).
+    """
+
+    #: Flow types whose models saw the attack in training; the zero-day
+    #: SlowLoris row is reported but not part of the within-5-points gate.
+    TRAINED_TYPES = ("Benign", "SYN Scan", "UDP Scan", "SYN Flood")
+
+    def __init__(
+        self, profile: str = "small", seed: int = 0, n_packets: int = 2500
+    ) -> None:
+        self.profile = profile
+        self.seed = int(seed)
+        self.n_packets = int(n_packets)
+
+    # ------------------------------------------------------------------
+    def _study(self, chaos: Optional[ChaosSchedule] = None, chaos_seed=None):
+        return run_testbed_study(
+            self.profile,
+            seed=self.seed,
+            n_packets=self.n_packets,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
+        )
+
+    def run(
+        self, schedule: ChaosSchedule, chaos_seed: Optional[int] = None
+    ) -> ResilienceReport:
+        """Clean run vs chaos run; returns the delta report."""
+        if chaos_seed is None:
+            chaos_seed = self.seed + 1009
+        clean = self._study()
+        chaos = self._study(chaos=schedule, chaos_seed=chaos_seed)
+
+        rows: Dict[str, dict] = {}
+        for name, c in clean.table6.items():
+            z = chaos.table6.get(name)
+            rows[name] = {
+                "clean_accuracy": c["accuracy"],
+                "chaos_accuracy": z["accuracy"] if z else None,
+                "accuracy_delta": (z["accuracy"] - c["accuracy"]) if z else -1.0,
+                "clean_predicted": c["predicted"],
+                "chaos_predicted": z["predicted"] if z else 0,
+                "clean_avg_s": c["avg_time_s"],
+                "chaos_avg_s": z["avg_time_s"] if z else float("nan"),
+                "avg_time_delta_s": (
+                    (z["avg_time_s"] - c["avg_time_s"]) if z else float("nan")
+                ),
+            }
+
+        faults: Dict[str, float] = {}
+        health: Dict[str, dict] = {}
+        for name, stats in chaos.mech_stats.items():
+            health[name] = stats.get("health", {})
+            for k, v in stats.get("faults", {}).items():
+                if isinstance(v, (int, np.integer)):
+                    faults[k] = faults.get(k, 0) + int(v)
+        if faults.get("offered"):
+            faults["loss_fraction"] = (
+                faults.get("dropped", 0) / faults["offered"]
+            )
+        return ResilienceReport(
+            schedule=schedule, rows=rows, faults=faults, health=health
+        )
+
+    # ------------------------------------------------------------------
+    def run_model_failure(
+        self,
+        model: str = "rf",
+        flow_type: str = "SYN Flood",
+        fail_after: int = 50,
+    ) -> ModelFailureReport:
+        """Replay one flow type with one panel member poisoned mid-run.
+
+        The member starts raising after ``fail_after`` predictions; a
+        resilient mechanism quarantines it, keeps voting with the rest,
+        and surfaces a DEGRADED health alert — it does not crash.
+        """
+        clean = self._study()
+        if clean.bundle is None or flow_type not in clean.test_records:
+            raise RuntimeError("clean study lacks replay artifacts")
+        base: TrainedBundle = clean.bundle
+        if model not in base.models:
+            raise KeyError(f"unknown panel member: {model!r}")
+        models = dict(base.models)
+        models[model] = _PoisonedModel(models[model], fail_after)
+        bundle = TrainedBundle(
+            scaler=base.scaler,
+            models=models,
+            feature_names=list(base.feature_names),
+        )
+        detector = AutomatedDDoSDetector(bundle, emit_partial=True)
+        records = clean.test_records[flow_type]
+        truth_map = clean.truth_maps[flow_type]
+        db = detector.run_stream(records, poll_every=64, cycle_budget=128)
+        rows = score_by_type(
+            db, lambda k: truth_map.get(k, (0, int(AttackType.BENIGN)))
+        )
+        accuracy = rows[flow_type]["accuracy"] if flow_type in rows else None
+        return ModelFailureReport(
+            model=model,
+            quarantined=model in detector.prediction.quarantined,
+            alerts=list(detector.watchdog.alerts),
+            stats=detector.stats(),
+            accuracy=accuracy,
+            predictions=len(db.predictions),
+        )
