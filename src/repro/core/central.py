@@ -30,6 +30,8 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.resilience.degradation import Watchdog, retry_with_backoff
 
 from .database import FlowDatabase
@@ -64,6 +66,9 @@ class CentralServer:
         :func:`time.sleep`.
     """
 
+    #: Updates per deadline check in the batched scatter loop.
+    BATCH_SHED_CHUNK = 64
+
     def __init__(
         self,
         database: FlowDatabase,
@@ -75,6 +80,7 @@ class CentralServer:
         watchdog: Optional[Watchdog] = None,
         clock: Optional[Callable[[], int]] = None,
         sleep: Optional[Callable[[float], None]] = None,
+        batched: bool = False,
     ) -> None:
         if deadline_ns is not None and deadline_ns <= 0:
             raise ValueError(f"deadline_ns must be positive: {deadline_ns}")
@@ -84,6 +90,7 @@ class CentralServer:
         self.processor = processor
         self.prediction = prediction
         self.deadline_ns = deadline_ns
+        self.batched = bool(batched)
         self.poll_attempts = int(poll_attempts)
         self.poll_backoff_s = float(poll_backoff_s)
         self.watchdog = watchdog
@@ -134,15 +141,22 @@ class CentralServer:
         self,
         max_updates: Optional[int] = None,
         deadline_ns: Optional[int] = None,
+        batched: Optional[bool] = None,
     ) -> int:
         """Run one coordination round; returns updates polled.
 
-        ``deadline_ns`` overrides the instance budget for this cycle.
+        ``deadline_ns`` overrides the instance budget for this cycle;
+        ``batched`` overrides the instance dispatch mode.  Batched
+        dispatch materializes one feature matrix for the polled batch
+        and calls every panel member once per cycle; the scalar mode
+        predicts update-by-update (the paper-faithful loop).
         """
         self.cycles += 1
         budget = deadline_ns if deadline_ns is not None else self.deadline_ns
         started = self.clock() if budget is not None else 0
         updates = self._poll(max_updates)
+        if batched if batched is not None else self.batched:
+            return self._dispatch_batched(updates, budget, started)
         for i, (key, ts_sim, wall_reg) in enumerate(updates):
             if budget is not None and self.clock() - started > budget:
                 shed = len(updates) - i
@@ -173,6 +187,66 @@ class CentralServer:
         if self.watchdog is not None and updates:
             self.watchdog.healthy("central")
         return len(updates)
+
+    # ------------------------------------------------------------------
+    def _dispatch_batched(self, updates, budget, started) -> int:
+        """Batched step ⑤→⑦: one feature matrix, one ``predict_batch``
+        per panel member, votes scattered back through the per-flow
+        sliding windows in update order.
+
+        Resilience semantics carry over from the scalar loop: evicted
+        flows are skipped and counted, an all-quarantined panel sheds
+        the batch, and the deadline budget sheds the un-scattered tail
+        (checked every :data:`BATCH_SHED_CHUNK` updates — the batch
+        prediction itself is all-or-nothing, so shedding granularity is
+        coarser than the scalar loop's per-update check).
+        """
+        n = len(updates)
+        if n == 0:
+            return 0
+        if budget is not None and self.clock() - started > budget:
+            self.updates_shed += n
+            self.deadline_hits += 1
+            if self.watchdog is not None:
+                self.watchdog.degraded(
+                    "central",
+                    f"cycle deadline {budget} ns exceeded before dispatch; "
+                    f"shed {n} updates",
+                )
+            return n
+        X, valid = self.processor.features_matrix([u[0] for u in updates])
+        vi = np.flatnonzero(valid)
+        self.skipped_evicted += n - vi.size
+        if vi.size == 0:
+            return n
+        try:
+            votes = self.prediction.predict_batch(X[vi])
+        except PredictionUnavailableError as exc:
+            self.updates_shed += vi.size
+            if self.watchdog is not None:
+                self.watchdog.failed("prediction", str(exc))
+            return n
+        live = [updates[i] for i in vi.tolist()]
+        chunk = self.BATCH_SHED_CHUNK
+        done = 0
+        while done < len(live):
+            if budget is not None and self.clock() - started > budget:
+                shed = len(live) - done
+                self.updates_shed += shed
+                self.deadline_hits += 1
+                if self.watchdog is not None:
+                    self.watchdog.degraded(
+                        "central",
+                        f"cycle deadline {budget} ns exceeded; shed {shed} updates",
+                    )
+                return n
+            part = live[done : done + chunk]
+            self.processor.receive_predictions_batch(part, votes[done : done + chunk])
+            self.updates_dispatched += len(part)
+            done += len(part)
+        if self.watchdog is not None:
+            self.watchdog.healthy("central")
+        return n
 
     def drain(self, batch: int = 512, max_cycles: int = 1_000_000) -> int:
         """Run cycles until no more updates can be processed.

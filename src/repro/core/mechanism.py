@@ -80,6 +80,11 @@ class AutomatedDDoSDetector:
         Module-health registry; created (with no sinks) if omitted so
         health state is always tracked.  Pass your own to attach
         control-plane sinks.
+    batched : bool
+        Run the vectorized hot path: slice-wise telemetry ingest and
+        one batch prediction per CentralServer cycle.  Output is
+        bit-identical to the scalar path (see the batch-equivalence
+        suite); only throughput differs.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class AutomatedDDoSDetector:
         chaos_seed=None,
         cycle_deadline_ns: Optional[int] = None,
         watchdog: Optional[Watchdog] = None,
+        batched: bool = False,
     ) -> None:
         flow_table = FlowTable(max_flows=max_flows, wrap_aware=wrap_aware)
         self.db = FlowDatabase(
@@ -123,6 +129,7 @@ class AutomatedDDoSDetector:
             deadline_ns=cycle_deadline_ns,
             watchdog=self.watchdog,
             clock=clock,
+            batched=batched,
         )
         if source == "int":
             inner = IntDataCollection(self.processor)
@@ -156,15 +163,34 @@ class AutomatedDDoSDetector:
         records: np.ndarray,
         poll_every: int = 64,
         cycle_budget: int = 128,
+        batched: Optional[bool] = None,
     ) -> FlowDatabase:
         """Consume a telemetry record array in capture order.
 
         Every ``poll_every`` registrations, one CentralServer cycle runs
         with ``cycle_budget`` updates of capacity; a final drain flushes
         the backlog.  Returns the database holding all predictions.
+
+        ``batched`` overrides the construction-time mode for this run.
+        The batched mode feeds ``poll_every``-sized record slices
+        through the vectorized ingest and cycles after each full slice —
+        the same cadence as the scalar per-record loop, so poll
+        boundaries (and everything downstream of them) line up exactly.
         """
         if poll_every < 1 or cycle_budget < 1:
             raise ValueError("poll_every and cycle_budget must be >= 1")
+        if batched is not None:
+            self.central.batched = bool(batched)
+        if self.central.batched:
+            for start in range(0, records.shape[0], poll_every):
+                chunk = records[start : start + poll_every]
+                self.collection.feed_batch(chunk)
+                if chunk.shape[0] == poll_every:
+                    self.central.cycle(max_updates=cycle_budget)
+            if self.fault_injector is not None:
+                self.fault_injector.flush(batched=True)
+            self.central.drain(batch=cycle_budget)
+            return self.db
         for i in range(records.shape[0]):
             self.collection.feed_record(records[i])
             if (i + 1) % poll_every == 0:

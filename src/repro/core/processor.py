@@ -11,11 +11,12 @@ window, and stores the result with its prediction latency (step ⑧).
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.features.flow_record import FlowRecord
+from repro.features.batch import FlowBatch
+from repro.features.flow_record import FEATURE_ORDER, FlowRecord
 
 from .database import FlowDatabase, PredictionEntry
 from .ensemble import SlidingDecision, aggregate_votes
@@ -55,6 +56,15 @@ class DataProcessor:
         self.decision = SlidingDecision(decision_window, emit_partial=emit_partial)
         self.clock = clock if clock is not None else time.perf_counter_ns
         self.packets_processed = 0
+        # Column selection for the batched feature-matrix fill; None
+        # when the schema contains a name outside the canonical record
+        # features (falls back to per-record feature_vector).
+        try:
+            self._feature_sel: Optional[np.ndarray] = np.asarray(
+                [FEATURE_ORDER.index(n) for n in self.feature_names], dtype=np.int64
+            )
+        except ValueError:
+            self._feature_sel = None
 
     # ------------------------------------------------------------------
     # step ② — packet data in
@@ -79,12 +89,75 @@ class DataProcessor:
         self.packets_processed += 1
         return rec
 
+    def ingest_batch(
+        self,
+        batch: FlowBatch,
+        ts_sim_ns: np.ndarray,
+        ingress_ts32: np.ndarray,
+        length: np.ndarray,
+        protocol: np.ndarray,
+        queue_occupancy: Optional[np.ndarray] = None,
+        hop_latency_ns: Optional[np.ndarray] = None,
+    ) -> int:
+        """Batched :meth:`ingest_packet`: fold a grouped slice of
+        records into the flow table and register every update.
+
+        The wall clock is still read once per record, in record order,
+        so registration stamps — and therefore measured prediction
+        latencies — are identical to the scalar path under any injected
+        deterministic clock.
+        """
+        n = batch.n
+        if n == 0:
+            return 0
+        clock = self.clock
+        wall = [clock() for _ in range(n)]
+        self.db.flows.update_batch(
+            batch, ts_sim_ns, ingress_ts32, length, protocol,
+            queue_occupancy, hop_latency_ns,
+        )
+        self.db.register_update_batch(batch, ts_sim_ns, wall)
+        self.packets_processed += n
+        return n
+
     def features_for(self, key: tuple) -> Optional[np.ndarray]:
         """Current feature vector of a flow (None if evicted)."""
         rec = self.db.flows.get(key)
         if rec is None:
             return None
         return rec.feature_vector(self.feature_names)
+
+    def features_matrix(self, keys: Sequence[tuple]) -> Tuple[np.ndarray, np.ndarray]:
+        """Feature matrix for a polled batch of flow keys.
+
+        Returns ``(X, valid)`` where ``X`` has one row per key in
+        ``keys`` order and ``valid`` flags keys whose flow still exists
+        (evicted flows leave garbage rows, masked by ``valid``).  Row
+        values are bit-identical to :meth:`features_for` — the fill uses
+        the same per-record arithmetic, just without a dict and an
+        ndarray allocation per update.
+        """
+        n = len(keys)
+        valid = np.ones(n, dtype=bool)
+        flows = self.db.flows
+        sel = self._feature_sel
+        if sel is None:
+            X = np.empty((n, len(self.feature_names)))
+            for i, key in enumerate(keys):
+                rec = flows.get(key)
+                if rec is None:
+                    valid[i] = False
+                else:
+                    X[i] = rec.feature_vector(self.feature_names)
+            return X, valid
+        full = np.empty((n, len(FEATURE_ORDER)))
+        for i, key in enumerate(keys):
+            rec = flows.get(key)
+            if rec is None:
+                valid[i] = False
+            else:
+                full[i] = rec.feature_row()
+        return full[:, sel], valid
 
     # ------------------------------------------------------------------
     # steps ⑦/⑧ — predictions back
@@ -110,3 +183,34 @@ class DataProcessor:
         )
         self.db.store_prediction(entry)
         return entry
+
+    def receive_predictions_batch(
+        self,
+        updates: Sequence[Tuple[tuple, int, int]],
+        votes: np.ndarray,
+    ) -> List[PredictionEntry]:
+        """Batched :meth:`receive_predictions` for one dispatched cycle.
+
+        ``votes`` is the ``(n_updates, n_active_models)`` 0/1 matrix
+        from :meth:`~repro.core.prediction.PredictionModule.predict_batch`.
+        Vote aggregation is vectorized across the batch and the per-vote
+        ``tuple(int(v) ...)`` conversion is hoisted into one
+        ``ndarray.tolist()`` call; the per-flow sliding windows are
+        still pushed in update order, so decision sequences match the
+        scalar path exactly.
+        """
+        votes = np.asarray(votes)
+        # Row-wise aggregate_votes: majority with ties flagged as attack.
+        labels = (votes.sum(axis=1) * 2 >= votes.shape[1]).astype(np.int64).tolist()
+        vote_rows = votes.tolist()
+        clock = self.clock
+        push = self.decision.push
+        store = self.db.store_prediction
+        fast = PredictionEntry.fast
+        entries: List[PredictionEntry] = []
+        for (key, ts_sim, wall_reg), label, row in zip(updates, labels, vote_rows):
+            final = push(key, label)
+            entry = fast(key, ts_sim, wall_reg, clock(), label, tuple(row), final)
+            store(entry)
+            entries.append(entry)
+        return entries

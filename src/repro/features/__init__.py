@@ -7,8 +7,9 @@ for the online pipeline, a vectorized bulk extractor
 feature schema (:mod:`~repro.features.schema`).
 """
 
+from .batch import FlowBatch, group_by_flow
 from .extract import FeatureMatrix, extract_features
-from .flow_record import FlowRecord
+from .flow_record import FEATURE_ORDER, FlowRecord
 from .io import from_npz, to_csv, to_npz
 from .flow_table import FlowTable
 from .keys import canonical_flow_key, canonical_key_arrays
@@ -19,7 +20,10 @@ from .welford import Welford
 __all__ = [
     "FeatureMatrix",
     "extract_features",
+    "FlowBatch",
+    "group_by_flow",
     "FlowRecord",
+    "FEATURE_ORDER",
     "to_csv",
     "to_npz",
     "from_npz",

@@ -24,9 +24,33 @@ from repro.int_telemetry.timestamps import delta32_signed, naive_delta32
 
 from .welford import Welford
 
-__all__ = ["FlowRecord"]
+__all__ = ["FlowRecord", "FEATURE_ORDER"]
 
 _NS = 1e-9
+
+#: Canonical order of every feature a record can produce, matching the
+#: keys of :meth:`FlowRecord.feature_vector`'s lookup.  The batched
+#: dispatch path materializes full rows in this order and column-selects
+#: the schema subset, so per-update dict construction disappears from
+#: the hot path while values stay bit-identical to the scalar path.
+FEATURE_ORDER = (
+    "protocol",
+    "packet_size",
+    "packet_size_cum",
+    "packet_size_avg",
+    "packet_size_std",
+    "inter_arrival",
+    "inter_arrival_cum",
+    "inter_arrival_avg",
+    "inter_arrival_std",
+    "queue_occupancy",
+    "queue_occupancy_avg",
+    "queue_occupancy_std",
+    "n_packets",
+    "packets_per_second",
+    "bytes_per_second",
+    "hop_latency",
+)
 
 
 class FlowRecord:
@@ -143,29 +167,35 @@ class FlowRecord:
         creation — the CentralServer skips these (§III-3)."""
         return self.n_packets <= 1
 
-    def feature_vector(self, names: Sequence[str]) -> np.ndarray:
-        """Features in schema order for the Prediction module."""
+    def feature_row(self) -> list:
+        """All features as floats in :data:`FEATURE_ORDER` — no dict,
+        no array allocation; the batched feature-matrix fill writes these
+        rows straight into a preallocated matrix."""
         dur = self.duration_s
         pps = self.n_packets / dur if dur > 0 else 0.0
         bps = self.total_bytes / dur if dur > 0 else 0.0
-        lookup = {
-            "protocol": float(self.protocol),
-            "packet_size": self.packet_size,
-            "packet_size_cum": self.total_bytes,
-            "packet_size_avg": self.size_stats.mean,
-            "packet_size_std": self.size_stats.std,
-            "inter_arrival": self.inter_arrival_s,
-            "inter_arrival_cum": dur,
-            "inter_arrival_avg": self.iat_stats.mean,
-            "inter_arrival_std": self.iat_stats.std,
-            "queue_occupancy": self.queue_occupancy,
-            "queue_occupancy_avg": self.occ_stats.mean,
-            "queue_occupancy_std": self.occ_stats.std,
-            "n_packets": float(self.n_packets),
-            "packets_per_second": pps,
-            "bytes_per_second": bps,
-            "hop_latency": self.hop_latency_s,
-        }
+        return [
+            float(self.protocol),
+            self.packet_size,
+            self.total_bytes,
+            self.size_stats.mean,
+            self.size_stats.std,
+            self.inter_arrival_s,
+            dur,
+            self.iat_stats.mean,
+            self.iat_stats.std,
+            self.queue_occupancy,
+            self.occ_stats.mean,
+            self.occ_stats.std,
+            float(self.n_packets),
+            pps,
+            bps,
+            self.hop_latency_s,
+        ]
+
+    def feature_vector(self, names: Sequence[str]) -> np.ndarray:
+        """Features in schema order for the Prediction module."""
+        lookup = dict(zip(FEATURE_ORDER, self.feature_row()))
         try:
             return np.array([lookup[n] for n in names], dtype=np.float64)
         except KeyError as exc:  # pragma: no cover - schema misuse

@@ -12,9 +12,16 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
+import numpy as np
+
+from repro.int_telemetry.timestamps import delta32_signed, naive_delta32
+
+from .batch import FlowBatch
 from .flow_record import FlowRecord
 
 __all__ = ["FlowTable"]
+
+_NS = 1e-9
 
 
 class FlowTable:
@@ -82,12 +89,225 @@ class FlowTable:
         rec.update(now_ns, ingress_ts32, length, protocol, queue_occupancy, hop_latency_ns)
         return rec
 
+    def update_batch(
+        self,
+        batch: FlowBatch,
+        now_ns: np.ndarray,
+        ingress_ts32: np.ndarray,
+        length: np.ndarray,
+        protocol: np.ndarray,
+        queue_occupancy: Optional[np.ndarray] = None,
+        hop_latency_ns: Optional[np.ndarray] = None,
+    ) -> int:
+        """Fold a grouped batch of packets into the table; returns the
+        number of newly created flows.
+
+        Column arrays are in *original record order* (``batch.order``
+        permutes them).  The fold is bit-identical to calling
+        :meth:`update` once per record in order: per-flow aggregates are
+        advanced by a vectorized loop over *packet position within
+        flow*, so every floating-point operation happens in the same
+        order (and therefore rounds identically) as the scalar path,
+        while the Python-level iteration count drops from
+        ``n_records`` to ``max(packets per flow in batch)``.
+
+        The final LRU order also matches the scalar path (untouched
+        flows keep their relative order; touched flows move to the back
+        ordered by their last packet in the batch).  When ``max_flows``
+        could force an eviction mid-batch — the one case where grouping
+        is unsound, because an evicted flow may be re-created by a later
+        packet of the same batch — the fold falls back to the scalar
+        loop, which is identical by construction.
+        """
+        if batch.n == 0:
+            return 0
+        if queue_occupancy is None:
+            queue_occupancy = np.zeros(batch.n)
+        if hop_latency_ns is None:
+            hop_latency_ns = np.zeros(batch.n)
+
+        recs = [self._flows.get(k) for k in batch.keys]
+        n_new = sum(1 for r in recs if r is None)
+        if self.max_flows is not None and len(self._flows) + n_new > self.max_flows:
+            # Eviction pressure: replay the exact scalar path.
+            gid_sorted = np.repeat(np.arange(batch.n_groups), batch.counts)
+            gid = np.empty(batch.n, np.int64)
+            gid[batch.order] = gid_sorted
+            keys = batch.keys
+            for i, g in enumerate(gid.tolist()):
+                self.update(
+                    keys[g],
+                    int(now_ns[i]),
+                    int(ingress_ts32[i]),
+                    float(length[i]),
+                    int(protocol[i]),
+                    float(queue_occupancy[i]),
+                    float(hop_latency_ns[i]),
+                )
+            return n_new
+
+        # -- gather per-group state ------------------------------------
+        G = batch.n_groups
+        npk = np.zeros(G, np.int64)
+        upd = np.zeros(G, np.int64)
+        tot = np.zeros(G)
+        dur = np.zeros(G)
+        last_ts = np.zeros(G, np.int64)
+        created = np.zeros(G, np.int64)
+        s_n = np.zeros(G, np.int64)
+        s_mean = np.zeros(G)
+        s_m2 = np.zeros(G)
+        i_n = np.zeros(G, np.int64)
+        i_mean = np.zeros(G)
+        i_m2 = np.zeros(G)
+        o_n = np.zeros(G, np.int64)
+        o_mean = np.zeros(G)
+        o_m2 = np.zeros(G)
+        for g, rec in enumerate(recs):
+            if rec is None:
+                rec = FlowRecord(batch.keys[g], wrap_aware=self.wrap_aware)
+                self._flows[batch.keys[g]] = rec
+                recs[g] = rec
+                self.created += 1
+                continue
+            npk[g] = rec.n_packets
+            upd[g] = rec.updates
+            tot[g] = rec.total_bytes
+            dur[g] = rec.duration_s
+            last_ts[g] = rec._last_ts32 if rec._last_ts32 is not None else 0
+            created[g] = rec.created_ns
+            s_n[g], s_mean[g], s_m2[g] = rec.size_stats.state()
+            i_n[g], i_mean[g], i_m2[g] = rec.iat_stats.state()
+            o_n[g], o_mean[g], o_m2[g] = rec.occ_stats.state()
+
+        # -- permute columns to (flow, arrival) order ------------------
+        o = batch.order
+        ts32_s = ingress_ts32[o].astype(np.int64)
+        now_s = np.asarray(now_ns)[o].astype(np.int64)
+        len_s = np.asarray(length, dtype=np.float64)[o]
+        occ_s = np.asarray(queue_occupancy, dtype=np.float64)[o]
+
+        # Groups sorted by size descending: at fold step j the active
+        # groups are exactly a prefix, so per-step masking is a slice.
+        gorder = np.argsort(-batch.counts, kind="stable")
+        starts_d = batch.starts[gorder]
+        counts_d = batch.counts[gorder]
+        maxc = int(counts_d[0])
+        # Number of active groups at step j: groups with count > j.
+        cum = np.cumsum(np.bincount(batch.counts, minlength=maxc + 1))
+
+        # Views over the state arrays in size-descending group order.
+        npk_d = npk[gorder]
+        upd_d = upd[gorder]
+        tot_d = tot[gorder]
+        dur_d = dur[gorder]
+        last_ts_d = last_ts[gorder]
+        created_d = created[gorder]
+        s_n_d, s_mean_d, s_m2_d = s_n[gorder], s_mean[gorder], s_m2[gorder]
+        i_n_d, i_mean_d, i_m2_d = i_n[gorder], i_mean[gorder], i_m2[gorder]
+        o_n_d, o_mean_d, o_m2_d = o_n[gorder], o_mean[gorder], o_m2[gorder]
+        last_gap = np.zeros(G)
+        diff32 = delta32_signed if self.wrap_aware else naive_delta32
+
+        # -- vectorized fold, one step per within-flow packet position --
+        for j in range(maxc):
+            a = G - int(cum[j])  # active prefix length
+            rows = starts_d[:a] + j
+            ts32 = ts32_s[rows]
+            ln = len_s[rows]
+            oc = occ_s[rows]
+
+            # inter-arrival (skipped for a record's very first packet)
+            gap = np.zeros(a)
+            if j == 0:
+                fresh = npk_d[:a] == 0
+                created_d[:a][fresh] = now_s[rows][fresh]
+                m = np.flatnonzero(~fresh)
+            else:
+                m = slice(None)
+            gap_ns = np.maximum(diff32(ts32[m], last_ts_d[:a][m]), 0)
+            gap[m] = gap_ns * _NS
+            i_n_d[:a][m] += 1
+            gm = gap[m]
+            d_i = gm - i_mean_d[:a][m]
+            i_mean_d[:a][m] += d_i / i_n_d[:a][m]
+            i_m2_d[:a][m] += d_i * (gm - i_mean_d[:a][m])
+            dur_d[:a][m] += gm
+            last_gap[:a] = gap
+            last_ts_d[:a] = ts32
+
+            # packet size / queue occupancy moments (every packet)
+            s_n_d[:a] += 1
+            d_s = ln - s_mean_d[:a]
+            s_mean_d[:a] += d_s / s_n_d[:a]
+            s_m2_d[:a] += d_s * (ln - s_mean_d[:a])
+            o_n_d[:a] += 1
+            d_o = oc - o_mean_d[:a]
+            o_mean_d[:a] += d_o / o_n_d[:a]
+            o_m2_d[:a] += d_o * (oc - o_mean_d[:a])
+
+            npk_d[:a] += 1
+            upd_d[:a] += 1
+            tot_d[:a] += ln
+
+        # -- scatter state + packet-level values back into records -----
+        last_rows = (starts_d + counts_d - 1).tolist()
+        proto_l = np.asarray(protocol)[o].tolist()
+        hop_l = np.asarray(hop_latency_ns, dtype=np.float64)[o].tolist()
+        now_l = now_s.tolist()
+        len_l = len_s.tolist()
+        occ_l = occ_s.tolist()
+        npk_l, upd_l = npk_d.tolist(), upd_d.tolist()
+        tot_l, dur_l = tot_d.tolist(), dur_d.tolist()
+        last_ts_l, created_l = last_ts_d.tolist(), created_d.tolist()
+        gap_l = last_gap.tolist()
+        s_state = (s_n_d.tolist(), s_mean_d.tolist(), s_m2_d.tolist())
+        i_state = (i_n_d.tolist(), i_mean_d.tolist(), i_m2_d.tolist())
+        o_state = (o_n_d.tolist(), o_mean_d.tolist(), o_m2_d.tolist())
+        gorder_l = gorder.tolist()
+        for d, g in enumerate(gorder_l):
+            rec = recs[g]
+            r_last = last_rows[d]
+            rec.created_ns = created_l[d]
+            rec.updated_ns = now_l[r_last]
+            rec.protocol = proto_l[r_last]
+            rec.packet_size = len_l[r_last]
+            rec.inter_arrival_s = gap_l[d]
+            rec.queue_occupancy = occ_l[r_last]
+            rec.hop_latency_s = hop_l[r_last] * _NS
+            rec.n_packets = npk_l[d]
+            rec.total_bytes = tot_l[d]
+            rec.duration_s = dur_l[d]
+            rec._last_ts32 = last_ts_l[d]
+            rec.updates = upd_l[d]
+            rec.size_stats.set_state(s_state[0][d], s_state[1][d], s_state[2][d])
+            rec.iat_stats.set_state(i_state[0][d], i_state[1][d], i_state[2][d])
+            rec.occ_stats.set_state(o_state[0][d], o_state[1][d], o_state[2][d])
+
+        # -- replicate the scalar path's LRU order ---------------------
+        # Touched flows end up at the back, ordered by last occurrence.
+        move = self._flows.move_to_end
+        for g in np.argsort(batch.last_pos, kind="stable").tolist():
+            move(batch.keys[g])
+        return n_new
+
     def expire_idle(self, now_ns: int) -> int:
-        """Evict flows idle longer than ``idle_timeout_ns``; returns count."""
+        """Evict flows idle longer than ``idle_timeout_ns``; returns count.
+
+        The table is LRU-ordered (every update moves its flow to the
+        back), and update timestamps are non-decreasing in any replayed
+        or live feed, so the scan walks from the least-recently-updated
+        end and stops at the first non-stale record instead of visiting
+        the whole table.
+        """
         if self.idle_timeout_ns is None:
             return 0
         cutoff = now_ns - self.idle_timeout_ns
-        stale = [k for k, rec in self._flows.items() if rec.updated_ns < cutoff]
+        stale = []
+        for key, rec in self._flows.items():
+            if rec.updated_ns >= cutoff:
+                break
+            stale.append(key)
         for k in stale:
             del self._flows[k]
         self.expired += len(stale)

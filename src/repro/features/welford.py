@@ -40,6 +40,21 @@ class Welford:
         self.mean += delta / self.n
         self._m2 += delta * (x - self.mean)
 
+    def state(self) -> tuple:
+        """``(n, mean, m2)`` — the raw accumulator triple.
+
+        Used by the batched flow-table fold to gather per-flow moments
+        into flat arrays, run the vectorized update, and scatter back
+        via :meth:`set_state` without losing a bit.
+        """
+        return (self.n, self.mean, self._m2)
+
+    def set_state(self, n: int, mean: float, m2: float) -> None:
+        """Restore an accumulator triple captured by :meth:`state`."""
+        self.n = int(n)
+        self.mean = float(mean)
+        self._m2 = float(m2)
+
     @property
     def variance(self) -> float:
         """Population variance (0.0 with fewer than two observations)."""

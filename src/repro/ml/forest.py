@@ -9,11 +9,18 @@ paper ranks in Table V.
 training on captures with hundreds of thousands of packets without
 sacrificing the ensemble's behaviour (each tree still sees an unbiased
 bootstrap draw).
+
+Training parallelizes across trees (``n_jobs``): every tree draws its
+bootstrap and split randomness from its own spawned generator stream, so
+the fitted forest is a pure function of ``seed`` — bit-identical for any
+worker count, including serial.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -23,6 +30,49 @@ from .base import ClassifierMixin
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
+
+#: Bootstrap redraws allowed before a class-incomplete draw is an error.
+_BOOTSTRAP_ATTEMPTS = 8
+
+
+def _fit_tree_chunk(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_classes: int,
+    bootstrap_size: int,
+    tree_params: Dict[str, object],
+    rngs: List[np.random.Generator],
+) -> List[DecisionTreeClassifier]:
+    """Fit one contiguous chunk of trees.
+
+    Module-level so it pickles into :class:`ProcessPoolExecutor`
+    workers; each tree consumes only its own generator, so chunk
+    boundaries (and therefore ``n_jobs``) cannot change the result.
+    """
+    n = X.shape[0]
+    trees: List[DecisionTreeClassifier] = []
+    for rng in rngs:
+        # A bootstrap draw can miss a class entirely on tiny or very
+        # unbalanced data; redraw a few times, then fail loudly — a
+        # silently class-blind tree poisons the ensemble's probabilities.
+        for _attempt in range(_BOOTSTRAP_ATTEMPTS):
+            idx = rng.integers(0, n, size=bootstrap_size)
+            yb = y[idx]
+            if np.unique(yb).size == n_classes:
+                break
+        else:
+            raise ValueError(
+                f"bootstrap draw missed a class {_BOOTSTRAP_ATTEMPTS} times "
+                f"in a row (n={n}, max_samples={bootstrap_size}, "
+                f"classes={n_classes}); the training set is too small or "
+                "too unbalanced — raise max_samples or rebalance"
+            )
+        tree = DecisionTreeClassifier(seed=rng, **tree_params)
+        # Trees see encoded labels directly; bypass re-encoding by
+        # fitting through the public API on the encoded targets.
+        tree.fit(X[idx], yb)
+        trees.append(tree)
+    return trees
 
 
 class RandomForestClassifier(ClassifierMixin):
@@ -42,6 +92,10 @@ class RandomForestClassifier(ClassifierMixin):
         training set, or ``None`` for the full size.
     min_samples_split, min_samples_leaf : int
         Passed to each tree.
+    n_jobs : int
+        Worker processes for training (``-1`` = CPU count).  The fitted
+        forest is identical for every value — each tree owns a spawned
+        RNG stream, so parallelism only moves work, never randomness.
     seed : int | numpy.random.Generator | None
     """
 
@@ -53,16 +107,20 @@ class RandomForestClassifier(ClassifierMixin):
         max_samples=None,
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
+        n_jobs: int = 1,
         seed=None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError(f"n_estimators must be >= 1: {n_estimators}")
+        if n_jobs == 0:
+            raise ValueError("n_jobs must be >= 1 or -1")
         self.n_estimators = int(n_estimators)
         self.max_depth = max_depth
         self.max_features = max_features
         self.max_samples = max_samples
         self.min_samples_split = int(min_samples_split)
         self.min_samples_leaf = int(min_samples_leaf)
+        self.n_jobs = int(n_jobs)
         self.seed = seed
 
     def _bootstrap_size(self, n: int) -> int:
@@ -77,30 +135,38 @@ class RandomForestClassifier(ClassifierMixin):
             raise ValueError(f"max_samples must be >= 1: {self.max_samples}")
         return min(size, n)
 
+    def _resolve_jobs(self) -> int:
+        jobs = self.n_jobs if self.n_jobs > 0 else (os.cpu_count() or 1)
+        return max(1, min(jobs, self.n_estimators))
+
     def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
-        rng = as_generator(self.seed)
-        n = X.shape[0]
-        m = self._bootstrap_size(n)
-        self.estimators_ = []
-        for _ in range(self.n_estimators):
-            # A bootstrap draw can miss a class entirely on tiny or very
-            # unbalanced data; redraw a few times before giving up.
-            for _attempt in range(8):
-                idx = rng.integers(0, n, size=m)
-                yb = y[idx]
-                if np.unique(yb).size == self.classes_.size:
-                    break
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                seed=rng,
-            )
-            # Trees see encoded labels directly; bypass re-encoding by
-            # fitting through the public API on the encoded targets.
-            tree.fit(X[idx], yb)
-            self.estimators_.append(tree)
+        m = self._bootstrap_size(X.shape[0])
+        k = self.classes_.size
+        # One independent generator stream per tree: tree i's randomness
+        # depends only on (seed, i), never on which worker fits it or on
+        # how many trees precede it in a chunk.
+        rngs = as_generator(self.seed).spawn(self.n_estimators)
+        params: Dict[str, object] = dict(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+        )
+        jobs = self._resolve_jobs()
+        if jobs == 1:
+            self.estimators_ = _fit_tree_chunk(X, y, k, m, params, rngs)
+        else:
+            bounds = np.linspace(0, self.n_estimators, jobs + 1).astype(int)
+            chunks = [rngs[a:b] for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(_fit_tree_chunk, X, y, k, m, params, c)
+                    for c in chunks
+                ]
+                # Collect in submission order: estimators_[i] is tree i
+                # regardless of which worker finished first.
+                self.estimators_ = [t for fut in futures for t in fut.result()]
+        self._tree_values_ = None  # invalidate the predict cache on refit
 
         imps = [
             t.feature_importances_
@@ -112,16 +178,41 @@ class RandomForestClassifier(ClassifierMixin):
         else:  # all trees degenerate (e.g. constant features)
             self.feature_importances_ = np.zeros(X.shape[1])
 
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _padded_tree_values(self) -> List[np.ndarray]:
+        """Per-tree leaf-value matrices aligned to the forest's class
+        columns, built once and cached.
+
+        Trees fitted on a (rare) class-incomplete bootstrap carry fewer
+        probability columns than the forest; padding them up front turns
+        the per-predict column scatter into a plain row gather.
+        """
+        cached = getattr(self, "_tree_values_", None)
+        if cached is not None:
+            return cached
+        k = self.classes_.size
+        values: List[np.ndarray] = []
+        for tree in self.estimators_:
+            cols = tree.classes_.astype(np.int64)
+            if cols.size == k:
+                values.append(tree.value_)
+            else:
+                padded = np.zeros((tree.value_.shape[0], k))
+                padded[:, cols] = tree.value_
+                values.append(padded)
+        self._tree_values_ = values
+        return values
+
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
         k = self.classes_.size
         acc = np.zeros((X.shape[0], k))
-        for tree in self.estimators_:
-            proba = tree.predict_proba(X)
-            # Trees are fitted on already-encoded targets, so a tree's
-            # classes_ are integers in [0, k) and directly index the
-            # forest's probability columns (a rare class-incomplete
-            # bootstrap simply leaves its missing column at zero).
-            cols = tree.classes_.astype(np.int64)
-            acc[:, cols] += proba
+        buf = np.empty((X.shape[0], k))
+        for tree, values in zip(self.estimators_, self._padded_tree_values()):
+            # One validated-input descent + one preallocated row gather
+            # per tree; no per-tree allocation beyond the leaf indices.
+            np.take(values, tree._apply(X), axis=0, out=buf)
+            acc += buf
         acc /= len(self.estimators_)
         return acc

@@ -211,7 +211,11 @@ class DecisionTreeClassifier(ClassifierMixin):
     # ------------------------------------------------------------------
     def apply(self, X) -> np.ndarray:
         """Leaf index reached by each sample (vectorized descent)."""
-        X = self._check_predict_input(X)
+        return self._apply(self._check_predict_input(X))
+
+    def _apply(self, X: np.ndarray) -> np.ndarray:
+        """:meth:`apply` minus input validation, for callers (the forest,
+        :meth:`_predict_proba`) whose input is already validated."""
         node = np.zeros(X.shape[0], dtype=np.int64)
         while True:
             feat = self.feature_[node]
@@ -230,8 +234,8 @@ class DecisionTreeClassifier(ClassifierMixin):
             node[rows] = nxt
 
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
-        # apply() revalidates cheaply; acceptable for clarity.
-        leaves = self.apply(X)
+        # X is already validated by the public predict_proba entry.
+        leaves = self._apply(X)
         return self.value_[leaves]
 
     @property
@@ -242,16 +246,19 @@ class DecisionTreeClassifier(ClassifierMixin):
 
     @property
     def depth(self) -> int:
-        """Maximum root-to-leaf depth of the fitted tree."""
+        """Maximum root-to-leaf depth of the fitted tree.
+
+        Level-by-level frontier walk: one vectorized gather per tree
+        level instead of a Python loop over every node.
+        """
         if not hasattr(self, "feature_"):
             raise RuntimeError("tree is not fitted")
-        depths = np.zeros(self.node_count, dtype=np.int64)
-        out = 0
-        for nid in range(self.node_count):
-            if self.feature_[nid] != _LEAF:
-                d = depths[nid] + 1
-                depths[self.children_left_[nid]] = d
-                depths[self.children_right_[nid]] = d
-            else:
-                out = max(out, int(depths[nid]))
-        return out
+        frontier = np.zeros(1, dtype=np.int64)  # root
+        levels = -1
+        while frontier.size:
+            levels += 1
+            internal = frontier[self.feature_[frontier] != _LEAF]
+            frontier = np.concatenate(
+                (self.children_left_[internal], self.children_right_[internal])
+            )
+        return levels

@@ -229,12 +229,48 @@ class FaultInjector:
             self.inner.feed_record(out_row)
         self._index += 1
 
-    def flush(self) -> int:
-        """Release every held (reordered) report; returns the count."""
+    def feed_batch(self, records: np.ndarray) -> None:
+        """Interpose on a record slice; forwards survivors as one batch.
+
+        The fault pipeline still runs row-by-row, so the RNG draw
+        sequence — and therefore every drop/corrupt/duplicate/reorder
+        decision — is identical to streaming the same rows through
+        :meth:`feed_record`.  Only the downstream hand-off is batched:
+        emissions are buffered in delivery order and forwarded with one
+        ``inner.feed_batch`` call per slice.
+        """
+        if self.inner is None:
+            raise RuntimeError("streaming mode needs an inner collection module")
+        rows: List[np.void] = []
+        for i in range(records.shape[0]):
+            for out_row, _ in self._step(records[i], self._index):
+                rows.append(out_row)
+            self._index += 1
+        self._forward_batch(rows, records.dtype)
+
+    def _forward_batch(self, rows: List[np.void], dtype: np.dtype) -> None:
+        if not rows:
+            return
+        out = np.empty(len(rows), dtype=dtype)
+        for i, r in enumerate(rows):
+            out[i] = r
+        self.inner.feed_batch(out)
+
+    def flush(self, batched: bool = False) -> int:
+        """Release every held (reordered) report; returns the count.
+
+        With ``batched`` set, the released reports go downstream as one
+        ``feed_batch`` slice instead of per-record calls.
+        """
         released = self._drain()
-        if self.inner is not None:
-            for out_row, _ in released:
-                self.inner.feed_record(out_row)
+        if self.inner is not None and released:
+            if batched:
+                self._forward_batch(
+                    [row for row, _ in released], released[0][0].dtype
+                )
+            else:
+                for out_row, _ in released:
+                    self.inner.feed_record(out_row)
         return len(released)
 
     # ------------------------------------------------------------------

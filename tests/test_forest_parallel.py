@@ -1,0 +1,140 @@
+"""Parallel forest training and the batched-inference fast paths.
+
+The contract: ``n_jobs`` moves work, never randomness.  A forest fitted
+with any worker count is bit-identical to the serial fit — same trees,
+same importances, same probabilities — because every tree draws from its
+own spawned generator stream keyed only by (seed, tree index).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.database import PredictionEntry
+from repro.ml import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier, _LEAF
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 8))
+    y = (X[:, 0] + 0.5 * X[:, 3] > 0).astype(int)
+    return X, y
+
+
+def assert_forests_identical(a, b, X):
+    assert len(a.estimators_) == len(b.estimators_)
+    for ta, tb in zip(a.estimators_, b.estimators_):
+        assert np.array_equal(ta.feature_, tb.feature_)
+        assert np.array_equal(ta.threshold_, tb.threshold_)
+        assert np.array_equal(ta.children_left_, tb.children_left_)
+        assert np.array_equal(ta.children_right_, tb.children_right_)
+        assert np.array_equal(ta.value_, tb.value_)
+    assert np.array_equal(a.feature_importances_, b.feature_importances_)
+    assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+    assert np.array_equal(a.predict(X), b.predict(X))
+
+
+class TestParallelTraining:
+    @pytest.mark.parametrize("jobs", [2, 4, -1])
+    def test_n_jobs_is_bit_identical(self, data, jobs):
+        X, y = data
+        serial = RandomForestClassifier(
+            n_estimators=7, max_depth=6, seed=0).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=7, max_depth=6, seed=0, n_jobs=jobs).fit(X, y)
+        assert_forests_identical(serial, parallel, X)
+
+    def test_more_jobs_than_trees(self, data):
+        X, y = data
+        serial = RandomForestClassifier(n_estimators=2, seed=3).fit(X, y)
+        wide = RandomForestClassifier(n_estimators=2, seed=3, n_jobs=8).fit(X, y)
+        assert_forests_identical(serial, wide, X)
+
+    def test_refit_is_deterministic(self, data):
+        X, y = data
+        clf = RandomForestClassifier(n_estimators=4, seed=1, n_jobs=2)
+        first = clf.fit(X, y).predict_proba(X)
+        second = clf.fit(X, y).predict_proba(X)
+        assert np.array_equal(first, second)
+
+    def test_n_jobs_zero_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_jobs=0)
+
+
+class TestBootstrapRedraw:
+    def test_class_incomplete_bootstrap_raises(self, data):
+        X, _ = data
+        # 39:1 imbalance with 2-sample bootstraps: a class-complete draw
+        # is nearly impossible, so the 8 redraws exhaust and fail loudly.
+        y = np.array([0] * 39 + [1])
+        with pytest.raises(ValueError, match="missed a class"):
+            RandomForestClassifier(
+                n_estimators=3, max_samples=2, seed=0).fit(X[:40], y)
+
+    def test_raises_from_worker_too(self, data):
+        X, _ = data
+        y = np.array([0] * 39 + [1])
+        with pytest.raises(ValueError, match="missed a class"):
+            RandomForestClassifier(
+                n_estimators=4, max_samples=2, seed=0, n_jobs=2).fit(X[:40], y)
+
+
+class TestTreeFastPaths:
+    def test_depth_matches_per_node_reference(self, data):
+        X, y = data
+        for seed in range(4):
+            tree = DecisionTreeClassifier(max_depth=5, seed=seed).fit(X, y)
+            depths = np.zeros(tree.node_count, dtype=np.int64)
+            expect = 0
+            for nid in range(tree.node_count):
+                if tree.feature_[nid] != _LEAF:
+                    depths[tree.children_left_[nid]] = depths[nid] + 1
+                    depths[tree.children_right_[nid]] = depths[nid] + 1
+                else:
+                    expect = max(expect, int(depths[nid]))
+            assert tree.depth == expect
+
+    def test_depth_of_stump_is_zero(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier(min_samples_split=10**6, seed=0).fit(X, y)
+        assert tree.node_count == 1
+        assert tree.depth == 0
+
+    def test_apply_equals_validated_apply(self, data):
+        X, y = data
+        tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        Xq = np.ascontiguousarray(X[:50], dtype=np.float64)
+        assert np.array_equal(tree.apply(Xq), tree._apply(Xq))
+
+    def test_forest_proba_matches_column_scatter(self, data):
+        X, y = data
+        clf = RandomForestClassifier(n_estimators=6, max_depth=5, seed=2).fit(X, y)
+        ref = np.zeros((X.shape[0], clf.classes_.size))
+        for tree in clf.estimators_:
+            ref[:, tree.classes_.astype(np.int64)] += tree.predict_proba(X)
+        ref /= len(clf.estimators_)
+        assert np.array_equal(clf.predict_proba(X), ref)
+
+
+class TestPredictionEntryFast:
+    def test_fast_equals_init(self):
+        args = dict(
+            key=(1, 2, 3, 4, 6), ts_registered_ns=10, wall_registered_ns=20,
+            wall_predicted_ns=35, label=1, votes=(1, 0), final_decision=1,
+        )
+        normal = PredictionEntry(**args)
+        fast = PredictionEntry.fast(
+            args["key"], args["ts_registered_ns"], args["wall_registered_ns"],
+            args["wall_predicted_ns"], args["label"], args["votes"],
+            args["final_decision"],
+        )
+        assert fast == normal
+        assert fast.latency_ns == normal.latency_ns == 15
+        assert isinstance(fast, PredictionEntry)
+
+    def test_fast_still_frozen(self):
+        entry = PredictionEntry.fast((1,), 0, 0, 1, 0, (0,), None)
+        with pytest.raises(Exception):
+            entry.label = 1
