@@ -105,7 +105,7 @@ class CentralServer:
         self.poll_failures = 0
 
     # ------------------------------------------------------------------
-    def _poll(self, limit: Optional[int]) -> List[Tuple[tuple, int, int]]:
+    def _poll(self, limit: Optional[int]) -> List[Tuple[tuple, int, int, int]]:
         """Database poll with bounded exponential-backoff retries."""
 
         def note_retry(attempt: int, exc: BaseException) -> None:
@@ -157,7 +157,7 @@ class CentralServer:
         updates = self._poll(max_updates)
         if batched if batched is not None else self.batched:
             return self._dispatch_batched(updates, budget, started)
-        for i, (key, ts_sim, wall_reg) in enumerate(updates):
+        for i, (key, ts_sim, wall_reg, seq) in enumerate(updates):
             if budget is not None and self.clock() - started > budget:
                 shed = len(updates) - i
                 self.updates_shed += shed
@@ -182,7 +182,7 @@ class CentralServer:
                 if self.watchdog is not None:
                     self.watchdog.failed("prediction", str(exc))
                 return len(updates)
-            self.processor.receive_predictions(key, ts_sim, wall_reg, votes)
+            self.processor.receive_predictions(key, ts_sim, wall_reg, votes, seq)
             self.updates_dispatched += 1
         if self.watchdog is not None and updates:
             self.watchdog.healthy("central")

@@ -79,9 +79,15 @@ class IntDataCollection:
         )
         self.reports_consumed += 1
 
-    def feed_batch(self, records: np.ndarray) -> None:
+    def feed_batch(
+        self, records: np.ndarray, seqs: Optional[np.ndarray] = None
+    ) -> None:
         """Consume a REPORT_DTYPE slice through the vectorized ingest
-        path (one grouping pass per slice instead of per-packet calls)."""
+        path (one grouping pass per slice instead of per-packet calls).
+
+        ``seqs`` carries coordinator-assigned global sequence numbers in
+        sharded runs; omitted, the processor numbers records itself.
+        """
         n = records.shape[0]
         if n == 0:
             return
@@ -94,6 +100,7 @@ class IntDataCollection:
             protocol=records["protocol"].astype(np.int64),
             queue_occupancy=records["queue_occupancy"].astype(np.float64),
             hop_latency_ns=records["hop_latency"].astype(np.float64),
+            seqs=seqs,
         )
         self.reports_consumed += n
 
@@ -124,7 +131,9 @@ class SFlowDataCollection:
         )
         self.samples_consumed += 1
 
-    def feed_batch(self, records: np.ndarray) -> None:
+    def feed_batch(
+        self, records: np.ndarray, seqs: Optional[np.ndarray] = None
+    ) -> None:
         """Consume a SAMPLE_DTYPE slice through the vectorized ingest
         path (queue metadata stays zero, as in the scalar path)."""
         n = records.shape[0]
@@ -137,5 +146,6 @@ class SFlowDataCollection:
             ingress_ts32=records["ts_sample"].astype(np.int64) % (2**32),
             length=records["length"].astype(np.float64),
             protocol=records["protocol"].astype(np.int64),
+            seqs=seqs,
         )
         self.samples_consumed += n

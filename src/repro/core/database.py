@@ -31,7 +31,16 @@ __all__ = ["FlowDatabase", "PredictionEntry"]
 
 @dataclass(frozen=True)
 class PredictionEntry:
-    """One aggregated prediction stored back into the database (step ⑧)."""
+    """One aggregated prediction stored back into the database (step ⑧).
+
+    ``seq`` is the update's position in the *delivered* telemetry stream
+    (post-chaos, pre-shard): packet ``seq`` of the run produced this
+    update.  It is the merge key of the sharded execution mode — every
+    delivered packet registers exactly one update, so ``seq`` is unique
+    per entry and a merge ordered by ``(seq, shard)`` is deterministic
+    for any worker count.  Entries created outside a detector run (e.g.
+    hand-built in tests) default to ``-1``.
+    """
 
     key: tuple
     ts_registered_ns: int
@@ -40,6 +49,7 @@ class PredictionEntry:
     label: int
     votes: tuple
     final_decision: Optional[int]
+    seq: int = -1
 
     @property
     def latency_ns(self) -> int:
@@ -57,6 +67,7 @@ class PredictionEntry:
         label: int,
         votes: tuple,
         final_decision: Optional[int],
+        seq: int = -1,
     ) -> "PredictionEntry":
         """Construct without the frozen-dataclass ``__init__`` overhead.
 
@@ -76,6 +87,7 @@ class PredictionEntry:
         d["label"] = label
         d["votes"] = votes
         d["final_decision"] = final_decision
+        d["seq"] = seq
         return self
 
 
@@ -103,7 +115,8 @@ class FlowDatabase:
         # Pending-update bookkeeping.  The dirty dict maps flow key to the
         # registration stamps of not-yet-predicted updates (a flow may
         # receive several packets between polls; each is one update).
-        self._dirty: Dict[tuple, List[Tuple[int, int]]] = {}
+        # Each stamp is ``(ts_sim_ns, wall_ns, seq)``.
+        self._dirty: Dict[tuple, List[Tuple[int, int, int]]] = {}
         self.predictions: List[PredictionEntry] = []
         self.updates_registered = 0
         self.polls = 0
@@ -113,14 +126,18 @@ class FlowDatabase:
     # Data Processor side (steps ③ and ⑧)
     # ------------------------------------------------------------------
     def register_update(
-        self, key: tuple, ts_sim_ns: int, wall_ns: int
+        self, key: tuple, ts_sim_ns: int, wall_ns: int, seq: int = -1
     ) -> None:
         """Mark a flow's record as updated (step ③)."""
-        self._dirty.setdefault(key, []).append((ts_sim_ns, wall_ns))
+        self._dirty.setdefault(key, []).append((ts_sim_ns, wall_ns, seq))
         self.updates_registered += 1
 
     def register_update_batch(
-        self, batch: FlowBatch, ts_sim_ns: np.ndarray, wall_ns: Sequence[int]
+        self,
+        batch: FlowBatch,
+        ts_sim_ns: np.ndarray,
+        wall_ns: Sequence[int],
+        seqs: Optional[Sequence[int]] = None,
     ) -> None:
         """Batched :meth:`register_update` for one grouped telemetry
         slice — one dict probe per *flow* instead of one per packet.
@@ -129,15 +146,20 @@ class FlowDatabase:
         groups are visited in first-occurrence order (so a flow newly
         dirtied by this batch lands in the dirty dict exactly where the
         scalar path would have inserted it) and each group's stamps are
-        appended in arrival order.
+        appended in arrival order.  ``seqs`` carries the per-record
+        delivered-stream sequence numbers (``-1`` when absent).
         """
         ts_list = np.asarray(ts_sim_ns).tolist()
+        if seqs is None:
+            seq_list: Sequence[int] = [-1] * batch.n
+        else:
+            seq_list = np.asarray(seqs).tolist()
         dirty = self._dirty
         for g in np.argsort(batch.first_pos, kind="stable").tolist():
             rows = batch.group_rows(g).tolist()
             lst = dirty.setdefault(batch.keys[g], [])
             for r in rows:
-                lst.append((ts_list[r], wall_ns[r]))
+                lst.append((ts_list[r], wall_ns[r], seq_list[r]))
         self.updates_registered += batch.n
 
     def store_prediction(self, entry: PredictionEntry) -> None:
@@ -147,10 +169,12 @@ class FlowDatabase:
     # ------------------------------------------------------------------
     # CentralServer side (step ④)
     # ------------------------------------------------------------------
-    def poll_updates(self, limit: Optional[int] = None) -> List[Tuple[tuple, int, int]]:
+    def poll_updates(
+        self, limit: Optional[int] = None
+    ) -> List[Tuple[tuple, int, int, int]]:
         """Collect pending updates, oldest-first per flow.
 
-        Returns tuples ``(key, ts_sim_ns, wall_registered_ns)``.
+        Returns tuples ``(key, ts_sim_ns, wall_registered_ns, seq)``.
 
         With ``skip_new_flows`` set, records holding a single packet are
         withheld (a literal reading of §III-3's "does not consider new
@@ -163,7 +187,7 @@ class FlowDatabase:
         flows would never be predicted at all.
         """
         self.polls += 1
-        out: List[Tuple[tuple, int, int]] = []
+        out: List[Tuple[tuple, int, int, int]] = []
         if self.fast_poll:
             candidates = list(self._dirty.keys())
         else:
@@ -184,8 +208,8 @@ class FlowDatabase:
             if self.skip_new_flows and rec.is_new:
                 continue  # wait for the first real update (§III-3 literal)
             stamps = self._dirty.pop(key)
-            for i, (ts_sim, wall) in enumerate(stamps):
-                out.append((key, ts_sim, wall))
+            for i, (ts_sim, wall, seq) in enumerate(stamps):
+                out.append((key, ts_sim, wall, seq))
                 if limit is not None and len(out) >= limit:
                     rest = stamps[i + 1 :]  # requeue what didn't fit
                     if rest:

@@ -104,6 +104,24 @@ class AutomatedDDoSDetector:
         watchdog: Optional[Watchdog] = None,
         batched: bool = False,
     ) -> None:
+        self.bundle = bundle
+        # Construction recipe for shard workers: everything needed to
+        # rebuild an equivalent detector in another process.  The clock
+        # is deliberately excluded (injected clocks are closures, and a
+        # worker's wall stamps are per-process anyway), as is chaos —
+        # the sharded coordinator injects faults on the unified stream.
+        self._worker_config = dict(
+            source=source,
+            decision_window=decision_window,
+            emit_partial=emit_partial,
+            skip_new_flows=skip_new_flows,
+            max_flows=max_flows,
+            wrap_aware=wrap_aware,
+            fast_poll=fast_poll,
+            cycle_deadline_ns=cycle_deadline_ns,
+        )
+        #: Per-worker stats dicts of the last sharded run (None before).
+        self.shard_stats: Optional[list] = None
         flow_table = FlowTable(max_flows=max_flows, wrap_aware=wrap_aware)
         self.db = FlowDatabase(
             flow_table, fast_poll=fast_poll, skip_new_flows=skip_new_flows
@@ -158,12 +176,17 @@ class AutomatedDDoSDetector:
     # ------------------------------------------------------------------
     # execution modes
     # ------------------------------------------------------------------
+    def worker_config(self) -> Dict[str, object]:
+        """Picklable construction recipe for shard workers."""
+        return dict(self._worker_config)
+
     def run_stream(
         self,
         records: np.ndarray,
         poll_every: int = 64,
         cycle_budget: int = 128,
         batched: Optional[bool] = None,
+        shards: Optional[int] = None,
     ) -> FlowDatabase:
         """Consume a telemetry record array in capture order.
 
@@ -176,9 +199,26 @@ class AutomatedDDoSDetector:
         through the vectorized ingest and cycles after each full slice —
         the same cadence as the scalar per-record loop, so poll
         boundaries (and everything downstream of them) line up exactly.
+
+        ``shards=N`` switches to the shard-parallel mode: telemetry is
+        partitioned by canonical-flow hash across ``N`` worker
+        processes (each running the batched pipeline over a shared-
+        memory ring) and the merged prediction log — result-identical
+        to ``batched=True`` in the no-backlog regime, see
+        :mod:`repro.core.sharding` — lands in this detector's database.
         """
         if poll_every < 1 or cycle_budget < 1:
             raise ValueError("poll_every and cycle_budget must be >= 1")
+        if shards is not None:
+            from .sharding import run_sharded
+
+            return run_sharded(
+                self,
+                records,
+                n_shards=shards,
+                poll_every=poll_every,
+                cycle_budget=cycle_budget,
+            )
         if batched is not None:
             self.central.batched = bool(batched)
         if self.central.batched:
@@ -254,6 +294,8 @@ class AutomatedDDoSDetector:
         out.update(self.central.stats())
         if self.fault_injector is not None:
             out["faults"] = self.fault_injector.stats.as_dict()
+        if self.shard_stats is not None:
+            out["shards"] = list(self.shard_stats)
         return out
 
 

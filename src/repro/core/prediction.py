@@ -186,3 +186,17 @@ class PredictionModule:
             )
         self.predictions_served += X.shape[0]
         return np.column_stack(cols)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Counters for the mechanism's stats surface; shard workers
+        report this dict so the coordinator can aggregate panel health
+        across the fleet."""
+        return {
+            "predictions_served": self.predictions_served,
+            "active_models": self.active_model_names,
+            "quarantined_models": dict(self.quarantined),
+            "model_failures": dict(self.model_failures),
+        }

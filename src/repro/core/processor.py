@@ -78,14 +78,23 @@ class DataProcessor:
         protocol: int,
         queue_occupancy: float = 0.0,
         hop_latency_ns: float = 0.0,
+        seq: Optional[int] = None,
     ) -> FlowRecord:
-        """Fold one packet into its flow record and register the update."""
+        """Fold one packet into its flow record and register the update.
+
+        ``seq`` is the packet's delivered-stream sequence number; when
+        omitted it defaults to this processor's running packet count,
+        which *is* the delivered index in single-process runs.  Shard
+        workers pass the coordinator-assigned global value instead.
+        """
         wall = self.clock()
+        if seq is None:
+            seq = self.packets_processed
         rec = self.db.flows.update(
             key, ts_sim_ns, ingress_ts32, length, protocol,
             queue_occupancy, hop_latency_ns,
         )
-        self.db.register_update(key, ts_sim_ns, wall)
+        self.db.register_update(key, ts_sim_ns, wall, seq)
         self.packets_processed += 1
         return rec
 
@@ -98,6 +107,7 @@ class DataProcessor:
         protocol: np.ndarray,
         queue_occupancy: Optional[np.ndarray] = None,
         hop_latency_ns: Optional[np.ndarray] = None,
+        seqs: Optional[np.ndarray] = None,
     ) -> int:
         """Batched :meth:`ingest_packet`: fold a grouped slice of
         records into the flow table and register every update.
@@ -105,18 +115,22 @@ class DataProcessor:
         The wall clock is still read once per record, in record order,
         so registration stamps — and therefore measured prediction
         latencies — are identical to the scalar path under any injected
-        deterministic clock.
+        deterministic clock.  ``seqs`` overrides the per-record sequence
+        numbers (shard workers pass global values); the default matches
+        the scalar path's running count.
         """
         n = batch.n
         if n == 0:
             return 0
         clock = self.clock
         wall = [clock() for _ in range(n)]
+        if seqs is None:
+            seqs = np.arange(self.packets_processed, self.packets_processed + n)
         self.db.flows.update_batch(
             batch, ts_sim_ns, ingress_ts32, length, protocol,
             queue_occupancy, hop_latency_ns,
         )
-        self.db.register_update_batch(batch, ts_sim_ns, wall)
+        self.db.register_update_batch(batch, ts_sim_ns, wall, seqs)
         self.packets_processed += n
         return n
 
@@ -168,6 +182,7 @@ class DataProcessor:
         ts_sim_ns: int,
         wall_registered_ns: int,
         votes: np.ndarray,
+        seq: int = -1,
     ) -> PredictionEntry:
         """Aggregate model votes, apply the sliding window, store."""
         label = aggregate_votes(votes)
@@ -180,13 +195,14 @@ class DataProcessor:
             label=label,
             votes=tuple(int(v) for v in votes),
             final_decision=final,
+            seq=seq,
         )
         self.db.store_prediction(entry)
         return entry
 
     def receive_predictions_batch(
         self,
-        updates: Sequence[Tuple[tuple, int, int]],
+        updates: Sequence[Tuple[tuple, int, int, int]],
         votes: np.ndarray,
     ) -> List[PredictionEntry]:
         """Batched :meth:`receive_predictions` for one dispatched cycle.
@@ -208,9 +224,9 @@ class DataProcessor:
         store = self.db.store_prediction
         fast = PredictionEntry.fast
         entries: List[PredictionEntry] = []
-        for (key, ts_sim, wall_reg), label, row in zip(updates, labels, vote_rows):
+        for (key, ts_sim, wall_reg, seq), label, row in zip(updates, labels, vote_rows):
             final = push(key, label)
-            entry = fast(key, ts_sim, wall_reg, clock(), label, tuple(row), final)
+            entry = fast(key, ts_sim, wall_reg, clock(), label, tuple(row), final, seq)
             store(entry)
             entries.append(entry)
         return entries

@@ -1,0 +1,376 @@
+"""Shard-parallel execution of the detection mechanism.
+
+The single-process detector tops out at one core; AmLight-scale rates
+(80 M packets/minute, §V) need horizontal scaling.  This module adds it
+without touching the per-flow math: telemetry is partitioned by the
+*canonical five-tuple* hash (:func:`~repro.features.keys.shard_arrays`),
+so every flow's entire packet sequence — and therefore all of its state:
+Welford moments, dirty stamps, sliding decision window — lives on exactly
+one worker.  Each worker runs a full, ordinary
+:class:`~repro.core.mechanism.AutomatedDDoSDetector` over its shard of
+the stream; flow-state disjointness is what makes the merged output
+*result-identical* to a single-process batched run.
+
+Data plane
+----------
+One :class:`~repro.common.buffers.SharedRing` per worker.  The
+coordinator packs delivered telemetry into ring slots — the raw record
+bytes plus a global sequence number and a ``kind`` tag — so the hot path
+never pickles.  Control flows in-band through the same ring:
+
+* ``kind=DATA``  — one telemetry record, carrying its global ``seq``;
+* ``kind=CYCLE`` — a poll-cycle barrier: the coordinator emits one to
+  every ring at each ``poll_every`` boundary of the *original* stream,
+  and the worker runs exactly one CentralServer cycle per marker.  That
+  reproduces the single-process cycle cadence, so each flow sees the
+  same sequence of (packets folded) → (poll) → (predict) transitions
+  for any worker count;
+* ``kind=EOF``   — end of stream: the worker drains its backlog, packs
+  its prediction log into a structured array, ships it back over a
+  pipe, and exits.
+
+Fault injection runs at the coordinator on the *unified* stream
+(:meth:`~repro.resilience.chaos.FaultInjector.transform_batch`), before
+sequence numbers are assigned and before partitioning — a chaos replay
+is a property of the run, not of the worker count.
+
+Determinism
+-----------
+The merged log is sorted by ``(seq, shard)``.  ``seq`` is the record's
+index in the delivered stream and every delivered record registers
+exactly one update, so the order is total and identical to the
+single-process run's — the shard-equivalence suite asserts byte-equal
+digests over the deterministic entry fields for shards ∈ {1, 2, 4},
+clean and under chaos.  Wall-clock stamps are per-process and excluded
+from the digest (latency *measurement* still works per worker; latency
+*identity* across process boundaries is meaningless).
+
+Equivalence holds in the no-backlog regime (``cycle_budget`` at least
+the updates a slice can register): a binding budget sheds different
+tails in different partitions, just as it sheds different tails under
+different wall-clock speeds in a single process.  A shared ``max_flows``
+cap is likewise per-worker in sharded mode.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.buffers import SharedRing
+from repro.features.keys import canonical_key_arrays, shard_arrays
+
+from .database import FlowDatabase, PredictionEntry
+
+__all__ = [
+    "run_sharded",
+    "prediction_log_digest",
+    "pack_predictions",
+    "unpack_predictions",
+]
+
+#: Slot tags (in-band control protocol).
+KIND_DATA = 0
+KIND_CYCLE = 1
+KIND_EOF = 2
+
+#: Result-array schema a worker ships back: the deterministic
+#: PredictionEntry fields plus both wall stamps (for per-worker latency
+#: stats).  Votes travel as a bitmask + count; ``final`` uses -1 for the
+#: not-yet-decided ``None``.
+RESULT_DTYPE = np.dtype([
+    ("k0", "i8"), ("k1", "i8"), ("k2", "i8"), ("k3", "i8"), ("k4", "i8"),
+    ("ts_registered_ns", "i8"),
+    ("wall_registered_ns", "i8"),
+    ("wall_predicted_ns", "i8"),
+    ("label", "i1"),
+    ("votes_mask", "u8"),
+    ("votes_n", "i1"),
+    ("final", "i1"),
+    ("seq", "i8"),
+])
+
+
+def slot_dtype_for(record_dtype: np.dtype) -> np.dtype:
+    """Ring-slot dtype: control header + the raw record fields."""
+    return np.dtype([("kind", "i8"), ("seq", "i8")] + record_dtype.descr)
+
+
+# ---------------------------------------------------------------------------
+# prediction-log packing (worker → coordinator, and digests)
+# ---------------------------------------------------------------------------
+def pack_predictions(entries: List[PredictionEntry]) -> np.ndarray:
+    """Pack a prediction log into :data:`RESULT_DTYPE` rows."""
+    out = np.zeros(len(entries), dtype=RESULT_DTYPE)
+    for i, e in enumerate(entries):
+        row = out[i]
+        row["k0"], row["k1"], row["k2"], row["k3"], row["k4"] = e.key
+        row["ts_registered_ns"] = e.ts_registered_ns
+        row["wall_registered_ns"] = e.wall_registered_ns
+        row["wall_predicted_ns"] = e.wall_predicted_ns
+        row["label"] = e.label
+        mask = 0
+        for b, v in enumerate(e.votes):
+            mask |= (int(v) & 1) << b
+        row["votes_mask"] = mask
+        row["votes_n"] = len(e.votes)
+        row["final"] = -1 if e.final_decision is None else int(e.final_decision)
+        row["seq"] = e.seq
+    return out
+
+
+def unpack_predictions(packed: np.ndarray) -> List[PredictionEntry]:
+    """Inverse of :func:`pack_predictions`."""
+    fast = PredictionEntry.fast
+    out: List[PredictionEntry] = []
+    for row in packed:
+        mask = int(row["votes_mask"])
+        votes = tuple((mask >> b) & 1 for b in range(int(row["votes_n"])))
+        final = int(row["final"])
+        out.append(fast(
+            (int(row["k0"]), int(row["k1"]), int(row["k2"]),
+             int(row["k3"]), int(row["k4"])),
+            int(row["ts_registered_ns"]),
+            int(row["wall_registered_ns"]),
+            int(row["wall_predicted_ns"]),
+            int(row["label"]),
+            votes,
+            None if final < 0 else final,
+            int(row["seq"]),
+        ))
+    return out
+
+
+def prediction_log_digest(db: FlowDatabase) -> str:
+    """SHA-256 over the run's *deterministic* prediction outcome.
+
+    Entries are canonically ordered by ``(seq, key)`` and serialized
+    over the fields that must agree across execution modes: flow key,
+    telemetry timestamp, label, votes, final decision, and seq.  Wall
+    stamps are excluded — they come from per-process clocks.  Two runs
+    are result-identical iff their digests match.
+    """
+    lines = []
+    for e in sorted(db.predictions, key=lambda e: (e.seq, e.key)):
+        lines.append(
+            f"{e.key}|{e.ts_registered_ns}|{e.label}|{e.votes}|"
+            f"{e.final_decision}|{e.seq}"
+        )
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# worker
+# ---------------------------------------------------------------------------
+def _extract_records(slab: np.ndarray, record_dtype: np.dtype) -> np.ndarray:
+    """Field-wise copy of the payload columns out of a slot run."""
+    out = np.empty(slab.shape[0], dtype=record_dtype)
+    for name in record_dtype.names:
+        out[name] = slab[name]
+    return out
+
+
+def _shard_worker_main(spec: Dict[str, object], conn) -> None:
+    """Worker entry point: consume one ring until EOF, ship results.
+
+    ``spec`` is a plain picklable dict (spawn-compatible even though the
+    default start method is fork): ring coordinates, the trained bundle,
+    and the detector configuration.  The worker runs a completely
+    ordinary batched detector — sharding lives entirely outside it.
+    """
+    # Local import: the mechanism module imports this one.
+    from .mechanism import AutomatedDDoSDetector
+
+    record_dtype = np.dtype(spec["record_dtype"])
+    slot_dtype = slot_dtype_for(record_dtype)
+    ring = SharedRing.attach(str(spec["ring_name"]), slot_dtype,
+                             int(spec["capacity"]))
+    det = AutomatedDDoSDetector(
+        bundle=spec["bundle"], batched=True, **spec["config"]
+    )
+    cycle_budget = int(spec["cycle_budget"])
+    timeout_s = float(spec["idle_timeout_s"])
+
+    def feed(run: np.ndarray) -> None:
+        if run.shape[0]:
+            det.collection.feed_batch(
+                _extract_records(run, record_dtype),
+                seqs=run["seq"].astype(np.int64),
+            )
+
+    try:
+        done = False
+        while not done:
+            slab = ring.pop(timeout=timeout_s)
+            if slab.shape[0] == 0:
+                raise TimeoutError(
+                    f"shard {spec['shard']} starved for {timeout_s:.0f}s"
+                )
+            kinds = slab["kind"]
+            pos = 0
+            for m in np.flatnonzero(kinds != KIND_DATA).tolist():
+                feed(slab[pos:m])
+                pos = m + 1
+                if kinds[m] == KIND_CYCLE:
+                    det.central.cycle(max_updates=cycle_budget)
+                else:  # KIND_EOF
+                    det.central.drain(batch=cycle_budget)
+                    done = True
+                    break
+            if not done:
+                feed(slab[pos:])
+        conn.send((pack_predictions(det.db.predictions), det.stats()))
+    except BaseException as exc:  # noqa: BLE001 - report, then die
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        raise
+    finally:
+        conn.close()
+        ring.close()
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+def run_sharded(
+    detector,
+    records: np.ndarray,
+    n_shards: int,
+    poll_every: int = 64,
+    cycle_budget: int = 128,
+    ring_capacity: Optional[int] = None,
+    start_method: str = "fork",
+    idle_timeout_s: float = 60.0,
+) -> FlowDatabase:
+    """Fan a record stream out over ``n_shards`` worker processes.
+
+    The coordinator walks the original stream in ``poll_every`` slices —
+    the same slicing as the single-process batched loop — applying the
+    detector's fault injector (if any) to each slice, assigning global
+    sequence numbers to the delivered rows, partitioning them by
+    canonical-key hash, and pushing each partition into its worker's
+    ring.  Slice boundaries become CYCLE markers on *every* ring; EOF
+    follows the final flush.  Results merge into ``detector.db`` sorted
+    by ``(seq, shard)`` and the per-worker stats land on
+    ``detector.shard_stats``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1: {n_shards}")
+    if poll_every < 1 or cycle_budget < 1:
+        raise ValueError("poll_every and cycle_budget must be >= 1")
+    record_dtype = records.dtype
+    slot_dtype = slot_dtype_for(record_dtype)
+    if ring_capacity is None:
+        # Room for several slices per shard so a briefly-stalled worker
+        # does not immediately backpressure the coordinator.
+        ring_capacity = max(8 * poll_every, 1024)
+
+    ctx = mp.get_context(start_method)
+    rings: List[SharedRing] = []
+    procs = []
+    conns = []
+    marker = np.zeros(1, dtype=slot_dtype)
+
+    try:
+        for shard in range(n_shards):
+            ring = SharedRing(slot_dtype, ring_capacity)
+            rings.append(ring)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            spec = {
+                "shard": shard,
+                "ring_name": ring.name,
+                "capacity": ring_capacity,
+                "record_dtype": record_dtype,
+                "bundle": detector.bundle,
+                "config": detector.worker_config(),
+                "cycle_budget": cycle_budget,
+                "idle_timeout_s": idle_timeout_s,
+            }
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(spec, child_conn),
+                name=f"shard-{shard}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            procs.append(proc)
+            conns.append(parent_conn)
+
+        injector = detector.fault_injector
+        seq_base = 0
+
+        def dispatch(delivered: np.ndarray) -> None:
+            nonlocal seq_base
+            n = delivered.shape[0]
+            if n == 0:
+                return
+            seqs = np.arange(seq_base, seq_base + n, dtype=np.int64)
+            seq_base += n
+            shards = shard_arrays(
+                *canonical_key_arrays(delivered), n_shards
+            )
+            for shard in range(n_shards):
+                sel = np.flatnonzero(shards == shard)
+                if sel.size == 0:
+                    continue
+                slots = np.zeros(sel.size, dtype=slot_dtype)
+                slots["kind"] = KIND_DATA
+                slots["seq"] = seqs[sel]
+                part = delivered[sel]
+                for name in record_dtype.names:
+                    slots[name] = part[name]
+                rings[shard].push(slots, timeout=idle_timeout_s)
+
+        def broadcast(kind: int) -> None:
+            marker["kind"] = kind
+            for ring in rings:
+                ring.push(marker, timeout=idle_timeout_s)
+
+        for start in range(0, records.shape[0], poll_every):
+            chunk = records[start : start + poll_every]
+            if injector is not None:
+                dispatch(injector.transform_batch(chunk))
+            else:
+                dispatch(chunk)
+            if chunk.shape[0] == poll_every:
+                broadcast(KIND_CYCLE)
+        if injector is not None:
+            dispatch(injector.transform_flush())
+        broadcast(KIND_EOF)
+
+        shard_results: List[Tuple[np.ndarray, dict]] = []
+        for shard, conn in enumerate(conns):
+            msg = conn.recv()
+            if isinstance(msg[0], str) and msg[0] == "error":
+                raise RuntimeError(f"shard {shard} failed: {msg[1]}")
+            shard_results.append(msg)
+        for proc in procs:
+            proc.join(timeout=idle_timeout_s)
+
+        merged: List[Tuple[int, int, PredictionEntry]] = []
+        for shard, (packed, _stats) in enumerate(shard_results):
+            for entry in unpack_predictions(packed):
+                merged.append((entry.seq, shard, entry))
+        merged.sort(key=lambda t: (t[0], t[1]))
+        db = detector.db
+        for _, _, entry in merged:
+            db.store_prediction(entry)
+        detector.shard_stats = [stats for _, stats in shard_results]
+        return db
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for ring in rings:
+            try:
+                ring.close()
+                ring.unlink()
+            except Exception:
+                pass

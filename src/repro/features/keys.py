@@ -23,7 +23,12 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["canonical_flow_key", "canonical_key_arrays"]
+__all__ = [
+    "canonical_flow_key",
+    "canonical_key_arrays",
+    "shard_of_key",
+    "shard_arrays",
+]
 
 
 def canonical_flow_key(
@@ -63,3 +68,49 @@ def canonical_key_arrays(records: np.ndarray):
     port_a = np.where(swap, dst_port, src_port)
     port_b = np.where(swap, src_port, dst_port)
     return ip_a, ip_b, port_a, port_b, proto
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment (horizontal scaling)
+# ---------------------------------------------------------------------------
+# The sharded detector partitions telemetry by flow so every worker owns a
+# disjoint slice of the flow space: all state a flow ever accumulates
+# (Welford moments, sliding decision window) lives on exactly one worker.
+# The hash runs on the *canonical* key, so both packet directions of a
+# conversation land on the same shard by construction — the property the
+# shard-stability suite checks.  splitmix64's finalizer gives the avalanche
+# a plain modulo over the packed tuple lacks (sequential IPs from one
+# subnet would otherwise pile onto few shards).
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of_key(key: Tuple[int, int, int, int, int], n_shards: int) -> int:
+    """Shard index of one canonical five-tuple (splitmix64 finalizer)."""
+    ip_a, ip_b, port_a, port_b, proto = key
+    x = ((ip_a << 32) | ip_b) & _MASK64
+    x ^= ((port_a << 24) | (port_b << 8) | proto) * 0x9E3779B97F4A7C15 & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return int(x % n_shards)
+
+
+def shard_arrays(ip_a, ip_b, port_a, port_b, proto, n_shards: int) -> np.ndarray:
+    """Vectorized :func:`shard_of_key` over canonical key columns.
+
+    Bit-for-bit the same hash as the scalar version (uint64 wraparound
+    arithmetic), so the coordinator's batch partitioning and any scalar
+    re-check agree on every record.
+    """
+    x = ip_a.astype(np.uint64) << np.uint64(32) | ip_b.astype(np.uint64)
+    pk = (
+        port_a.astype(np.uint64) << np.uint64(24)
+        | port_b.astype(np.uint64) << np.uint64(8)
+        | proto.astype(np.uint64)
+    )
+    x = x ^ pk * np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    x = x ^ (x >> np.uint64(31))
+    return (x % np.uint64(n_shards)).astype(np.int64)

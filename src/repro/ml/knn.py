@@ -44,8 +44,34 @@ class KNeighborsClassifier(ClassifierMixin):
         self._tree = cKDTree(X)
         self._y = y
 
+    #: Query rows per kd-tree call.  One monolithic query materializes
+    #: the full (n, k) distance/index result while the tree walk runs;
+    #: chunking keeps the working set cache-sized without changing any
+    #: output (queries are row-independent).
+    QUERY_CHUNK = 65536
+
+    def _query(self, X: np.ndarray):
+        """kd-tree lookup: all cores, cache-sized chunks.
+
+        ``workers=-1`` fans the tree walk over every core (scipy
+        releases the GIL per worker); results are deterministic — worker
+        count only partitions the query rows.
+        """
+        k = self.n_neighbors
+        n = X.shape[0]
+        if n <= self.QUERY_CHUNK:
+            return self._tree.query(X, k=k, workers=-1)
+        dist = np.empty((n, k) if k > 1 else (n,), dtype=np.float64)
+        idx = np.empty((n, k) if k > 1 else (n,), dtype=np.intp)
+        for start in range(0, n, self.QUERY_CHUNK):
+            end = min(start + self.QUERY_CHUNK, n)
+            dist[start:end], idx[start:end] = self._tree.query(
+                X[start:end], k=k, workers=-1
+            )
+        return dist, idx
+
     def _predict_proba(self, X: np.ndarray) -> np.ndarray:
-        dist, idx = self._tree.query(X, k=self.n_neighbors)
+        dist, idx = self._query(X)
         if self.n_neighbors == 1:
             dist = dist[:, None]
             idx = idx[:, None]

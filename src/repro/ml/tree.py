@@ -91,11 +91,26 @@ class DecisionTreeClassifier(ClassifierMixin):
             raise ValueError(f"max_features out of range: {self.max_features}")
         return mf
 
-    def _best_split(self, X, y_onehot, idx, features):
+    def _best_split(self, X, y_onehot, idx, features, presort=None, ranks=None):
         """Best (feature, threshold, gain) over the candidate features.
 
         Returns ``(feature, threshold, impurity_decrease, left_mask)`` or
         ``None`` when no valid split exists.
+
+        ``presort``/``ranks`` are the fit-time per-feature sort caches.
+        Dense nodes (holding at least 1/4 of the samples — the root and
+        the top levels, where the sort work concentrates) don't sort at
+        all: they *filter* the feature's global presorted order by node
+        membership, an O(n_samples) vectorized scan replacing an
+        O(n log n) argsort.  Small, deep nodes sort the gathered int32
+        ranks — distinct integer keys, so the unstable default sort
+        yields the stable value-order permutation.  Both reuses are
+        exact, not approximate: a node's index set is ascending
+        (children inherit parent order), so ordering by (value, global
+        position) — what the filtered order and the ranks both encode —
+        tie-breaks exactly like the stable value-sort of the node's
+        column, and thresholds/prefix counts come out bit-for-bit the
+        same as the direct argsort.
         """
         n = idx.size
         msl = self.min_samples_leaf
@@ -104,14 +119,30 @@ class DecisionTreeClassifier(ClassifierMixin):
         if parent_gini == 0.0:
             return None
 
+        is_root = n == X.shape[0]
+        use_filter = presort is not None and n * 4 >= X.shape[0]
+        node_mask = None
+        if use_filter and not is_root:
+            node_mask = np.zeros(X.shape[0], dtype=bool)
+            node_mask[idx] = True
         best = None
         best_score = parent_gini  # must strictly improve
         for f in features:
-            xs = X[idx, f]
-            order = np.argsort(xs, kind="stable")
-            xs_sorted = xs[order]
-            # Prefix class counts after each position i (split between i and i+1).
-            onehot_sorted = y_onehot[idx[order]]
+            if use_filter:
+                og = presort[:, f]
+                sub = og if is_root else og[node_mask[og]]
+                xs_sorted = X[sub, f]
+                onehot_sorted = y_onehot[sub]
+            else:
+                xs = X[idx, f]
+                if ranks is not None:
+                    order = np.argsort(ranks[idx, f])
+                else:
+                    order = np.argsort(xs, kind="stable")
+                xs_sorted = xs[order]
+                # Prefix class counts after each position i (split
+                # between i and i+1).
+                onehot_sorted = y_onehot[idx[order]]
             left_counts = np.cumsum(onehot_sorted, axis=0)[:-1]  # (n-1, k)
             nl = np.arange(1, n)
             nr = n - nl
@@ -143,6 +174,20 @@ class DecisionTreeClassifier(ClassifierMixin):
         y_onehot = np.zeros((n_samples, k), dtype=np.float64)
         y_onehot[np.arange(n_samples), y] = 1.0
 
+        # Per-feature sort caches, computed once per fit: the stable
+        # value order (reused verbatim by the root split search) and its
+        # inverse permutation as int32 ranks (interior nodes sort these
+        # instead of re-sorting float64 columns at every node).
+        # Column-major: the split search reads one feature column at a
+        # time, so F-order keeps each gather contiguous.
+        presort = np.empty((n_samples, n_features), dtype=np.int32, order="F")
+        ranks = np.empty((n_samples, n_features), dtype=np.int32, order="F")
+        pos = np.arange(n_samples, dtype=np.int32)
+        for f in range(n_features):
+            order = np.argsort(X[:, f], kind="stable").astype(np.int32)
+            presort[:, f] = order
+            ranks[order, f] = pos
+
         feature, threshold = [], []
         left, right = [], []
         value, n_node = [], []
@@ -172,7 +217,7 @@ class DecisionTreeClassifier(ClassifierMixin):
                     cand = rng.choice(n_features, size=mf, replace=False)
                 else:
                     cand = np.arange(n_features)
-                split = self._best_split(X, y_onehot, idx, cand)
+                split = self._best_split(X, y_onehot, idx, cand, presort, ranks)
             if split is None:
                 continue  # stays a leaf
 

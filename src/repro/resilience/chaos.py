@@ -10,12 +10,16 @@ of those failure modes between the telemetry source and the
 collection module, driven by a declarative :class:`ChaosSchedule` and a
 seeded RNG so every chaos run is exactly reproducible.
 
-The injector has two modes sharing one fault pipeline:
+The injector has three modes sharing one fault pipeline:
 
 * **streaming** — wrap a collection module (anything with
   ``feed_record``) and interpose on every record, the way
   :meth:`~repro.core.mechanism.AutomatedDDoSDetector.run_stream`
   consumes telemetry;
+* **transform** — :meth:`FaultInjector.transform_batch` runs slices
+  through the same per-row pipeline but *returns* the delivered rows;
+  the sharded coordinator uses it to inject faults before partitioning
+  so fault replay is independent of the worker count;
 * **batch** — :meth:`FaultInjector.apply` transforms a whole record
   array at once, for offline ablations that retrain on degraded
   captures.
@@ -248,13 +252,55 @@ class FaultInjector:
             self._index += 1
         self._forward_batch(rows, records.dtype)
 
-    def _forward_batch(self, rows: List[np.void], dtype: np.dtype) -> None:
-        if not rows:
-            return
+    @staticmethod
+    def _materialize(rows: List[np.void], dtype: np.dtype) -> np.ndarray:
         out = np.empty(len(rows), dtype=dtype)
         for i, r in enumerate(rows):
             out[i] = r
-        self.inner.feed_batch(out)
+        return out
+
+    def _forward_batch(self, rows: List[np.void], dtype: np.dtype) -> None:
+        if not rows:
+            return
+        self.inner.feed_batch(self._materialize(rows, dtype))
+
+    # ------------------------------------------------------------------
+    # transform mode (sharded coordinator)
+    # ------------------------------------------------------------------
+    def transform_batch(self, records: np.ndarray) -> np.ndarray:
+        """Run a record slice through the fault pipeline and *return* the
+        delivered rows instead of forwarding them downstream.
+
+        This is the sharded coordinator's mode: chaos must run on the
+        unified stream *before* partitioning, so the injected fault
+        sequence is a property of the run — not of the worker count —
+        and any shard layout replays the identical delivered stream.
+        The per-row ``_step`` walk is shared with :meth:`feed_batch`,
+        so the RNG draw sequence (and therefore every fault decision)
+        matches a single-process run of the same slices exactly.  No
+        inner module is required.
+        """
+        self._last_dtype = records.dtype
+        rows: List[np.void] = []
+        for i in range(records.shape[0]):
+            for out_row, _ in self._step(records[i], self._index):
+                rows.append(out_row)
+            self._index += 1
+        return self._materialize(rows, records.dtype)
+
+    def transform_flush(self) -> np.ndarray:
+        """Release held (reordered) reports as an array; the transform
+        counterpart of :meth:`flush`."""
+        released = self._drain()
+        dtype = getattr(self, "_last_dtype", None)
+        if dtype is None:
+            if not released:
+                raise RuntimeError(
+                    "transform_flush before any transform_batch: "
+                    "record dtype unknown"
+                )
+            dtype = released[0][0].dtype
+        return self._materialize([row for row, _ in released], dtype)
 
     def flush(self, batched: bool = False) -> int:
         """Release every held (reordered) report; returns the count.

@@ -1,11 +1,13 @@
-"""Tests for the growable structured-array record buffer."""
+"""Tests for the record buffers (growable and shared-memory ring)."""
+
+import multiprocessing as mp
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.buffers import GrowableRecordBuffer
+from repro.common.buffers import GrowableRecordBuffer, SharedRing
 
 DT = np.dtype([("a", np.int64), ("b", np.float64)])
 
@@ -63,6 +65,102 @@ class TestGrowableRecordBuffer:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             GrowableRecordBuffer(DT, initial_capacity=0)
+
+
+def _block(lo, n):
+    out = np.zeros(n, dtype=DT)
+    out["a"] = np.arange(lo, lo + n)
+    out["b"] = out["a"] * 0.5
+    return out
+
+
+def _producer_main(name, capacity, total, chunk):
+    """Child-process producer for the cross-process ring test."""
+    ring = SharedRing.attach(name, DT, capacity)
+    try:
+        sent = 0
+        while sent < total:
+            n = min(chunk, total - sent)
+            ring.push(_block(sent, n), timeout=30.0)
+            sent += n
+    finally:
+        ring.close()
+
+
+class TestSharedRing:
+    def test_roundtrip_in_process(self):
+        with SharedRing(DT, capacity=8) as ring:
+            ring.push(_block(0, 5))
+            out = ring.pop()
+            assert out["a"].tolist() == [0, 1, 2, 3, 4]
+            assert len(ring) == 0
+
+    def test_wraparound_preserves_order(self):
+        with SharedRing(DT, capacity=4) as ring:
+            got = []
+            for start in range(0, 30, 3):
+                ring.push(_block(start, 3))
+                got.extend(ring.pop()["a"].tolist())
+            assert got == list(range(30))
+
+    def test_push_larger_than_capacity_streams_through(self):
+        # With a same-process consumer the oversized push cannot drain
+        # itself, so feed in ring-sized pieces and verify the cursors
+        # stay monotonic across many wraps.
+        with SharedRing(DT, capacity=4) as ring:
+            got = []
+            for start in range(0, 40, 4):
+                assert ring.push(_block(start, 4)) == 4
+                got.extend(ring.pop()["a"].tolist())
+            assert got == list(range(40))
+
+    def test_pop_max_records(self):
+        with SharedRing(DT, capacity=8) as ring:
+            ring.push(_block(0, 6))
+            assert ring.pop(max_records=4)["a"].tolist() == [0, 1, 2, 3]
+            assert ring.pop()["a"].tolist() == [4, 5]
+
+    def test_empty_pop_nonblocking(self):
+        with SharedRing(DT, capacity=4) as ring:
+            assert ring.pop().shape == (0,)
+
+    def test_full_push_times_out(self):
+        with SharedRing(DT, capacity=2) as ring:
+            ring.push(_block(0, 2))
+            with pytest.raises(TimeoutError):
+                ring.push(_block(2, 1), timeout=0.05)
+
+    def test_pop_returns_owning_copy(self):
+        with SharedRing(DT, capacity=4) as ring:
+            ring.push(_block(0, 2))
+            out = ring.pop()
+            ring.push(_block(100, 4))  # reuses the slots just released
+            assert out["a"].tolist() == [0, 1]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SharedRing(DT, capacity=0)
+
+    def test_cross_process_transfer(self):
+        """A child producer streams 10x the ring capacity through it."""
+        total, capacity = 640, 64
+        ring = SharedRing(DT, capacity=capacity)
+        try:
+            ctx = mp.get_context("fork")
+            proc = ctx.Process(
+                target=_producer_main,
+                args=(ring.name, capacity, total, 48),
+            )
+            proc.start()
+            got = []
+            while len(got) < total:
+                got.extend(ring.pop(timeout=5.0)["a"].tolist())
+            proc.join(timeout=10.0)
+            assert proc.exitcode == 0
+            assert got == list(range(total))
+        finally:
+            ring.close()
+            ring.unlink()
 
 
 @given(st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=300))

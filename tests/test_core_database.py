@@ -51,7 +51,7 @@ class TestPolling:
         db = FlowDatabase()
         feed(db, KEY_A, 3)
         out = db.poll_updates()
-        stamps = [ts for _, ts, _ in out]
+        stamps = [ts for _, ts, _, _ in out]
         assert stamps == sorted(stamps)
 
     def test_evicted_flow_updates_dropped(self):
@@ -60,7 +60,7 @@ class TestPolling:
         feed(db, KEY_A, 1)
         feed(db, KEY_B, 1)  # evicts KEY_A
         out = db.poll_updates()
-        assert [k for k, _, _ in out] == [KEY_B]
+        assert [k for k, _, _, _ in out] == [KEY_B]
 
     def test_fast_poll_equivalent_results(self):
         slow = FlowDatabase(fast_poll=False)

@@ -6,6 +6,8 @@ same importances, same probabilities — because every tree draws from its
 own spawned generator stream keyed only by (seed, tree index).
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -116,6 +118,61 @@ class TestTreeFastPaths:
             ref[:, tree.classes_.astype(np.int64)] += tree.predict_proba(X)
         ref /= len(clf.estimators_)
         assert np.array_equal(clf.predict_proba(X), ref)
+
+
+class _NoCacheTree(DecisionTreeClassifier):
+    """Reference tree: split search without the fit-time sort caches
+    (re-argsorts every candidate feature at every node, the pre-presort
+    behaviour)."""
+
+    def _best_split(self, X, y_onehot, idx, features, presort=None, ranks=None):
+        return super()._best_split(X, y_onehot, idx, features, None, None)
+
+
+class TestPresortSplitSearch:
+    def test_presorted_fit_is_bit_identical(self, data):
+        """The sort caches change where permutations come from, never
+        what they are: same splits, same thresholds, same leaves."""
+        X, y = data
+        for seed in range(4):
+            cached = DecisionTreeClassifier(
+                max_depth=6, max_features="sqrt", seed=seed).fit(X, y)
+            plain = _NoCacheTree(
+                max_depth=6, max_features="sqrt", seed=seed).fit(X, y)
+            assert np.array_equal(cached.feature_, plain.feature_)
+            assert np.array_equal(cached.threshold_, plain.threshold_)
+            assert np.array_equal(cached.children_left_, plain.children_left_)
+            assert np.array_equal(cached.children_right_, plain.children_right_)
+            assert np.array_equal(cached.value_, plain.value_)
+            assert np.array_equal(
+                cached.feature_importances_, plain.feature_importances_
+            )
+
+    def test_fit_time_delta_recorded(self):
+        """Timing-tolerant presort check: the cached split search must
+        not regress fit time.  The delta is printed for the record; the
+        assertion only guards against a blow-up (shared CI boxes make a
+        strict speedup assertion flaky)."""
+        rng = np.random.default_rng(42)
+        X = rng.normal(size=(4000, 10))
+        y = (X[:, 0] + 0.3 * X[:, 2] - 0.5 * X[:, 7] > 0).astype(int)
+
+        def fit_time(cls):
+            best = np.inf
+            for _ in range(3):
+                t0 = time.perf_counter()
+                cls(max_depth=8, seed=0).fit(X, y)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        t_plain = fit_time(_NoCacheTree)
+        t_cached = fit_time(DecisionTreeClassifier)
+        print(
+            f"\ntree fit 4000x10 depth-8: re-argsort {t_plain * 1e3:.1f} ms, "
+            f"presorted {t_cached * 1e3:.1f} ms "
+            f"({t_plain / t_cached:.2f}x)"
+        )
+        assert t_cached <= t_plain * 1.5 + 0.05
 
 
 class TestPredictionEntryFast:
