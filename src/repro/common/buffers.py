@@ -65,7 +65,7 @@ class GrowableRecordBuffer:
         new[: self._size] = self._data[: self._size]
         self._data = new
 
-    def append(self, **fields) -> None:
+    def append(self, **fields: object) -> None:
         """Append one record given as keyword arguments (one per field)."""
         if self._size >= self.capacity:
             self._grow(self._size + 1)
@@ -177,9 +177,13 @@ class SharedRing:
             except Exception:
                 pass
         buf = self._shm.buf
-        self._head = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=0)
-        self._tail = np.ndarray((1,), dtype=np.int64, buffer=buf, offset=64)
-        self._slots = np.ndarray(
+        self._head: np.ndarray = np.ndarray(
+            (1,), dtype=np.int64, buffer=buf, offset=0
+        )
+        self._tail: np.ndarray = np.ndarray(
+            (1,), dtype=np.int64, buffer=buf, offset=64
+        )
+        self._slots: np.ndarray = np.ndarray(
             (self.capacity,), dtype=self.dtype, buffer=buf,
             offset=self.HEADER_BYTES,
         )
@@ -287,7 +291,7 @@ class SharedRing:
         """Unmap this process's view (does not destroy the segment)."""
         # ndarray views pin the exported buffer; drop them first or
         # SharedMemory.close() raises BufferError.
-        self._head = self._tail = self._slots = None
+        self._head = self._tail = self._slots = None  # type: ignore[assignment]
         self._shm.close()
 
     def unlink(self) -> None:
@@ -307,7 +311,7 @@ class SharedRing:
     def __enter__(self) -> "SharedRing":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
         if self._owner:
             self.unlink()

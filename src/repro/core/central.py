@@ -94,7 +94,9 @@ class CentralServer:
         self.poll_attempts = int(poll_attempts)
         self.poll_backoff_s = float(poll_backoff_s)
         self.watchdog = watchdog
+        # repro: allow[DET002] injectable default; wall stamps are excluded from digests
         self.clock = clock if clock is not None else time.perf_counter_ns
+        # repro: allow[DET002] injectable default; tests pass a no-op sleep
         self.sleep = sleep if sleep is not None else time.sleep
         self.cycles = 0
         self.updates_dispatched = 0

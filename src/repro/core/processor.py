@@ -54,6 +54,7 @@ class DataProcessor:
         self.db = database
         self.feature_names = list(feature_names)
         self.decision = SlidingDecision(decision_window, emit_partial=emit_partial)
+        # repro: allow[DET002] injectable default; wall stamps are excluded from digests
         self.clock = clock if clock is not None else time.perf_counter_ns
         self.packets_processed = 0
         # Column selection for the batched feature-matrix fill; None

@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing as mp
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,11 @@ from repro.common.buffers import SharedRing
 from repro.features.keys import canonical_key_arrays, shard_arrays
 
 from .database import FlowDatabase, PredictionEntry
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from .mechanism import AutomatedDDoSDetector
 
 __all__ = [
     "run_sharded",
@@ -173,7 +178,7 @@ def _extract_records(slab: np.ndarray, record_dtype: np.dtype) -> np.ndarray:
     return out
 
 
-def _shard_worker_main(spec: Dict[str, object], conn) -> None:
+def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
     """Worker entry point: consume one ring until EOF, ship results.
 
     ``spec`` is a plain picklable dict (spawn-compatible even though the
@@ -238,7 +243,7 @@ def _shard_worker_main(spec: Dict[str, object], conn) -> None:
 # coordinator
 # ---------------------------------------------------------------------------
 def run_sharded(
-    detector,
+    detector: "AutomatedDDoSDetector",
     records: np.ndarray,
     n_shards: int,
     poll_every: int = 64,

@@ -1,0 +1,357 @@
+"""Lint framework: module model, suppressions, baseline, runner.
+
+The engine is deliberately tiny and dependency-free.  A *rule* is an
+object with an ``id``, a ``summary`` and a ``check(module)`` generator
+yielding :class:`Finding`\\ s; the engine walks the target tree, parses
+each file once into a :class:`ModuleInfo`, fans it through every rule,
+then subtracts inline suppressions and the checked-in baseline.
+
+Suppression syntax (reason **required**)::
+
+    x = time.perf_counter_ns  # repro: allow[DET002] injectable default
+
+A suppression comment on its own line applies to the next code line.
+Multiple IDs may share a comment: ``allow[DET002,CONC003] why``.
+A suppression without a reason is itself a finding (``QUAL001``), and a
+suppression that matches nothing is flagged too (``QUAL002``) so stale
+annotations cannot accumulate.
+
+Baseline entries are matched by ``(package-relative path, rule id,
+stripped source line)`` — line *content*, not line number, so unrelated
+edits above a grandfathered finding do not invalidate it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Packages whose hot paths carry the bit-identity contract; the
+#: determinism rules DET001–DET006 apply only beneath these prefixes.
+DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "repro.core",
+    "repro.ml",
+    "repro.features",
+    "repro.resilience",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(.*?)\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: ``path:line: RULE-ID message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow[...]`` comment."""
+
+    line: int          # line the suppression *covers* (the code line)
+    comment_line: int  # line the comment itself sits on
+    rules: Tuple[str, ...]
+    reason: str
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file, as seen by every rule."""
+
+    path: str            # path as reported in findings (user-facing)
+    module: str          # dotted module name, e.g. "repro.core.sharding"
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    is_package: bool = False  # True for __init__.py (relative-import anchor)
+
+    @property
+    def in_determinism_scope(self) -> bool:
+        return self.module.startswith(DETERMINISM_SCOPE)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule(Protocol):
+    """Interface every lint rule implements."""
+
+    id: str
+    summary: str
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]: ...
+
+
+# ---------------------------------------------------------------------------
+# module loading
+# ---------------------------------------------------------------------------
+def module_name_for(path: Path) -> str:
+    """Dotted module name from a file path, anchored at ``repro``.
+
+    Files outside a ``repro`` package root (e.g. lint-test fixtures) get
+    a synthetic ``_external.<stem>`` name, which no scoped rule matches.
+    """
+    parts = list(path.parts)
+    name = parts[-1]
+    stem = name[:-3] if name.endswith(".py") else name
+    dirs = parts[:-1]
+    try:
+        anchor = len(dirs) - 1 - dirs[::-1].index("repro")
+    except ValueError:
+        return f"_external.{stem}"
+    dotted = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+    return ".".join(dotted)
+
+
+def _parse_suppressions(source: str, lines: Sequence[str]) -> List[Suppression]:
+    """Extract ``# repro: allow[...]`` comments via the tokenizer.
+
+    Using :mod:`tokenize` (not a per-line regex) keeps a ``# repro:``
+    sequence inside a string literal from being misread as a directive.
+    """
+    out: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(iter(lines).__next__)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = tuple(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            comment_line = tok.start[0]
+            # A comment with only whitespace before it covers the next
+            # line of code; a trailing comment covers its own line.
+            prefix = lines[comment_line - 1][: tok.start[1]]
+            covers = comment_line + 1 if prefix.strip() == "" else comment_line
+            out.append(Suppression(covers, comment_line, rules, m.group(2)))
+    except tokenize.TokenError:
+        pass  # syntax errors surface via ast.parse instead
+    return out
+
+
+def load_module(path: Path, display_path: Optional[str] = None) -> ModuleInfo:
+    source = path.read_text(encoding="utf-8")
+    return lint_module_info(
+        source,
+        module=module_name_for(path),
+        path=display_path if display_path is not None else str(path),
+        is_package=path.name == "__init__.py",
+    )
+
+
+def lint_module_info(
+    source: str, module: str, path: str, is_package: bool = False
+) -> ModuleInfo:
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines(keepends=True)
+    return ModuleInfo(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        lines=[ln.rstrip("\n") for ln in lines],
+        suppressions=_parse_suppressions(source, lines),
+        is_package=is_package,
+    )
+
+
+# ---------------------------------------------------------------------------
+# rule registry
+# ---------------------------------------------------------------------------
+def all_rules() -> List[Rule]:
+    """Instantiate the full rule catalogue (stable ID order)."""
+    from . import rules_concurrency, rules_determinism, rules_layering
+
+    rules: List[Rule] = [
+        *rules_determinism.RULES,
+        *rules_concurrency.RULES,
+        *rules_layering.RULES,
+    ]
+    return sorted(rules, key=lambda r: r.id)
+
+
+# ---------------------------------------------------------------------------
+# suppression + baseline subtraction
+# ---------------------------------------------------------------------------
+@dataclass
+class LintResult:
+    """Outcome of a lint run after suppression/baseline subtraction."""
+
+    findings: List[Finding] = field(default_factory=list)        # actionable
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _apply_suppressions(
+    module: ModuleInfo, raw: List[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split raw findings into (kept, suppressed); emit QUAL meta-findings.
+
+    QUAL001: suppression without a reason (reason is mandatory).
+    QUAL002: suppression that matched no finding (stale annotation).
+    """
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    used = [False] * len(module.suppressions)
+
+    for f in raw:
+        hit = None
+        for i, sup in enumerate(module.suppressions):
+            if f.line == sup.line and f.rule in sup.rules and sup.reason:
+                hit = i
+                break
+        if hit is None:
+            kept.append(f)
+        else:
+            used[hit] = True
+            suppressed.append(f)
+
+    for i, sup in enumerate(module.suppressions):
+        if not sup.reason:
+            kept.append(Finding(
+                module.path, sup.comment_line, "QUAL001",
+                "suppression is missing a reason: write "
+                f"'# repro: allow[{','.join(sup.rules)}] <why>'",
+            ))
+        elif not used[i]:
+            kept.append(Finding(
+                module.path, sup.comment_line, "QUAL002",
+                f"unused suppression for {','.join(sup.rules)} "
+                "(nothing to allow here — delete it)",
+            ))
+    return kept, suppressed
+
+
+def baseline_key(module: ModuleInfo, f: Finding) -> Tuple[str, str, str]:
+    # Anchor the path at the package so the key survives cwd changes.
+    rel = module.module.replace(".", "/") + ".py"
+    return (rel, f.rule, module.line_text(f.line))
+
+
+def load_baseline(path: Path) -> List[dict]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return list(data.get("entries", []))
+
+
+def write_baseline(path: Path, entries: Iterable[Tuple[str, str, str]]) -> None:
+    payload = {
+        "version": 1,
+        "entries": [
+            {"path": p, "rule": r, "content": c}
+            for p, r, c in sorted(set(entries))
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_source(
+    source: str,
+    module: str = "_external.snippet",
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint a source string (test fixtures); returns post-suppression
+    findings."""
+    info = lint_module_info(source, module=module, path=path)
+    active = list(rules) if rules is not None else all_rules()
+    raw: List[Finding] = []
+    for rule in active:
+        raw.extend(rule.check(info))
+    kept, _ = _apply_suppressions(info, sorted(raw, key=lambda f: (f.line, f.rule)))
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    baseline: Optional[List[dict]] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint files/trees and subtract the baseline.  The workhorse behind
+    the CLI."""
+    active = list(rules) if rules is not None else all_rules()
+    remaining: Dict[Tuple[str, str, str], int] = {}
+    for e in baseline or []:
+        key = (e["path"], e["rule"], e["content"])
+        remaining[key] = remaining.get(key, 0) + 1
+
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        try:
+            module = load_module(file_path)
+        except SyntaxError as exc:
+            result.findings.append(Finding(
+                str(file_path), exc.lineno or 1, "QUAL000",
+                f"file does not parse: {exc.msg}",
+            ))
+            continue
+        raw: List[Finding] = []
+        for rule in active:
+            raw.extend(rule.check(module))
+        kept, suppressed = _apply_suppressions(
+            module, sorted(raw, key=lambda f: (f.line, f.rule))
+        )
+        result.suppressed.extend(suppressed)
+        for f in kept:
+            key = baseline_key(module, f)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.baselined.append(f)
+            else:
+                result.findings.append(f)
+
+    for (p, r, c), n in sorted(remaining.items()):
+        for _ in range(n):
+            result.stale_baseline.append({"path": p, "rule": r, "content": c})
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result

@@ -1,0 +1,168 @@
+"""Command-line entry point: ``python -m repro.quality.lint [paths]``.
+
+Exit status: 0 when no actionable findings remain after inline
+suppressions and the baseline; 1 when findings remain; 2 on usage or
+internal errors.  The CI ``lint`` job runs this over ``src/repro`` and
+gates merges on it, next to tier-1 and perf-quick.
+
+Typical invocations::
+
+    python -m repro.quality.lint src/repro           # the CI gate
+    python -m repro.quality.lint --list-rules        # rule catalogue
+    python -m repro.quality.lint --rule DET001 src/  # one rule only
+    python -m repro.quality.lint --write-baseline src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import (
+    all_rules,
+    baseline_key,
+    iter_python_files,
+    lint_paths,
+    load_baseline,
+    load_module,
+    write_baseline,
+)
+
+__all__ = ["main"]
+
+#: The checked-in baseline of grandfathered findings rides next to the
+#: package so its location is independent of the invocation directory.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _default_target() -> Path:
+    """``src/repro`` when run from the repo root, else the installed
+    package tree this module lives in."""
+    candidate = Path("src/repro")
+    if candidate.is_dir():
+        return candidate
+    return Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.quality.lint",
+        description=(
+            "reprolint: AST-based determinism, concurrency and layering "
+            "checks for this repository"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="baseline JSON of grandfathered findings "
+             "(default: the checked-in src/repro/quality/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings "
+             "and exit 0",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="RULE-ID",
+        help="run only the given rule(s); repeatable",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also show suppressed and baselined findings",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.summary}")
+        print("QUAL001  suppression comment is missing its mandatory reason")
+        print("QUAL002  suppression comment matches no finding (stale)")
+        return 0
+
+    if args.rule:
+        wanted = set(args.rule)
+        known = {r.id for r in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [r for r in rules if r.id in wanted]
+
+    paths: List[Path] = list(args.paths) or [_default_target()]
+    for p in paths:
+        if not p.exists():
+            print(f"no such path: {p}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        result = lint_paths(paths, baseline=None, rules=rules)
+        entries = []
+        for f in result.findings:
+            module = load_module(Path(f.path))
+            entries.append(baseline_key(module, f))
+        write_baseline(args.baseline, entries)
+        print(
+            f"wrote {len(entries)} baseline entr"
+            f"{'y' if len(entries) == 1 else 'ies'} to {args.baseline}"
+        )
+        return 0
+
+    baseline = None if args.no_baseline else load_baseline(args.baseline)
+    result = lint_paths(paths, baseline=baseline, rules=rules)
+
+    for f in result.findings:
+        print(f.render())
+    if args.verbose:
+        for f in result.suppressed:
+            print(f"{f.render()}  [suppressed]")
+        for f in result.baselined:
+            print(f"{f.render()}  [baselined]")
+    for entry in result.stale_baseline:
+        print(
+            f"note: stale baseline entry {entry['rule']} at "
+            f"{entry['path']} ({entry['content']!r}) — finding is gone; "
+            "refresh with --write-baseline",
+            file=sys.stderr,
+        )
+
+    checked = sum(1 for _ in iter_python_files(paths))
+    summary = (
+        f"{checked} file{'s' if checked != 1 else ''} checked: "
+        f"{len(result.findings)} finding"
+        f"{'s' if len(result.findings) != 1 else ''}"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    print(summary, file=sys.stderr)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,278 @@
+"""Concurrency rules (CONC001–CONC004).
+
+CONC001/CONC002 encode the :class:`~repro.common.buffers.SharedRing`
+SPSC publication protocol.  The ring's only memory-ordering guarantee is
+*program order within one process*: the producer must fully write slot
+data before advancing ``tail``, the consumer must fully copy slot data
+out before advancing ``head``, and both cursors are monotonic counters.
+A refactor that hoists a cursor store above the data transfer — or
+resets a cursor mid-stream — compiles, passes small unit tests, and
+corrupts records only under load.  These rules recognize the cursor
+idiom structurally (a subscripted ``_head``/``_tail`` store next to
+``_slots`` traffic) so any future ring-like class is covered too.
+
+CONC003/CONC004 guard the ``multiprocessing`` spawn boundary used by
+:mod:`repro.core.sharding`: mutable module globals silently fork into
+divergent per-process copies, and closure-captured functions do not
+survive a spawn pickle at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from .engine import Finding, ModuleInfo
+
+__all__ = ["RULES"]
+
+_CURSORS = ("_head", "_tail")
+_SLOTS = "_slots"
+
+
+def _cursor_store(node: ast.stmt) -> Optional[Tuple[str, ast.Assign]]:
+    """Match ``<expr>._head[0] = …`` / ``<expr>._tail[0] = …``."""
+    if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+        return None
+    t = node.targets[0]
+    if (
+        isinstance(t, ast.Subscript)
+        and isinstance(t.value, ast.Attribute)
+        and t.value.attr in _CURSORS
+    ):
+        return t.value.attr, node
+    return None
+
+
+def _touches_slots(node: ast.AST, ctx: type) -> bool:
+    """Does this statement read (ctx=Load) or write (ctx=Store) a
+    ``._slots[...]`` subscript?"""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Attribute)
+            and sub.value.attr == _SLOTS
+            and isinstance(sub.ctx, ctx)
+        ):
+            return True
+    return False
+
+
+def _blocks(fn: ast.AST) -> Iterator[List[ast.stmt]]:
+    """Every straight-line statement block inside a function."""
+    for node in ast.walk(fn):
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                yield block
+
+
+class RingPublishOrderRule:
+    id = "CONC001"
+    summary = (
+        "SharedRing cursor published before its slot data transfer "
+        "completed (SPSC protocol: data first, cursor last)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for block in _blocks(fn):
+                published_at: Optional[Tuple[str, int]] = None
+                for stmt in block:
+                    hit = _cursor_store(stmt)
+                    if hit is not None:
+                        published_at = (hit[0], stmt.lineno)
+                        continue
+                    if published_at is None:
+                        continue
+                    cursor, pub_line = published_at
+                    # tail publish hands slots to the consumer: no later
+                    # slot *write* may follow in the same block.  head
+                    # publish hands slots back to the producer: no later
+                    # slot *read* may follow.
+                    bad = _touches_slots(
+                        stmt, ast.Store if cursor == "_tail" else ast.Load
+                    )
+                    if bad:
+                        verb = "written" if cursor == "_tail" else "read"
+                        yield Finding(
+                            module.path, stmt.lineno, self.id,
+                            f"slot data {verb} after the {cursor}[0] store "
+                            f"on line {pub_line} — the peer process may "
+                            "already own these slots; move the cursor "
+                            "store after the data transfer",
+                        )
+
+
+class RingCursorMonotonicRule:
+    id = "CONC002"
+    summary = (
+        "SharedRing cursor store is not a monotonic advance "
+        "(must be `cursor + n`; zero-reset allowed only in __init__)"
+    )
+
+    #: functions in which a constant-zero cursor reset is legitimate
+    _INIT_FNS = ("__init__", "reset", "clear")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.stmt):
+                    continue
+                hit = _cursor_store(node)
+                if hit is None:
+                    continue
+                cursor, assign = hit
+                rhs = assign.value
+                if isinstance(rhs, ast.BinOp) and isinstance(rhs.op, ast.Add):
+                    continue  # cursor + n: monotonic advance
+                if (
+                    isinstance(rhs, ast.Constant)
+                    and rhs.value == 0
+                    and fn.name in self._INIT_FNS
+                ):
+                    continue  # zero init before the ring is shared
+                yield Finding(
+                    module.path, node.lineno, self.id,
+                    f"{cursor}[0] = {ast.unparse(rhs)} — cursors are "
+                    "monotonic counters (`cursor + n`); any other store "
+                    "can regress the peer's view of the fill level",
+                )
+
+
+def _imports_multiprocessing(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                a.name.split(".")[0] in ("multiprocessing", "concurrent")
+                for a in node.names
+            ):
+                return True
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if (node.module or "").split(".")[0] in (
+                "multiprocessing", "concurrent",
+            ):
+                return True
+    return False
+
+
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "deque", "Counter")
+
+
+class MutableGlobalRule:
+    id = "CONC003"
+    summary = (
+        "mutable module-level global in a multiprocessing module — "
+        "each process mutates its own copy (fork) or a re-imported one "
+        "(spawn); pass state explicitly"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not _imports_multiprocessing(module.tree):
+            return
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            names = [
+                t.id for t in targets
+                if isinstance(t, ast.Name)
+                and not (t.id.startswith("__") and t.id.endswith("__"))
+            ]
+            if not names:
+                continue
+            mutable = isinstance(
+                value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                        ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_CALLS
+            )
+            if mutable:
+                yield Finding(
+                    module.path, stmt.lineno, self.id,
+                    f"module-level mutable global {', '.join(names)} in a "
+                    "module that spawns processes — worker copies diverge "
+                    "silently; pass state through the worker spec instead",
+                )
+
+
+class SpawnClosureRule:
+    id = "CONC004"
+    summary = (
+        "closure or lambda handed across a process boundary — "
+        "unpicklable under spawn, and captured state diverges under fork"
+    )
+
+    _SPAWN_FUNCS = ("Process",)
+    _SUBMIT_METHODS = ("submit", "apply", "apply_async", "map", "map_async",
+                       "starmap", "imap", "imap_unordered")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        # Names bound by module-level defs are spawn-safe targets.
+        top_level = {
+            n.name for n in module.tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for fn in ast.walk(module.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local_defs = {
+                n.name for n in ast.walk(fn)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and n is not fn
+            }
+            for call in ast.walk(fn):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                name = (
+                    func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None
+                )
+                candidates: List[ast.expr] = []
+                if name in self._SPAWN_FUNCS:
+                    candidates = [
+                        kw.value for kw in call.keywords if kw.arg == "target"
+                    ]
+                elif name in self._SUBMIT_METHODS and isinstance(
+                    func, ast.Attribute
+                ):
+                    candidates = list(call.args[:1])
+                for cand in candidates:
+                    if isinstance(cand, ast.Lambda):
+                        yield Finding(
+                            module.path, cand.lineno, self.id,
+                            "lambda passed across a process boundary — "
+                            "not picklable under spawn; use a module-level "
+                            "function",
+                        )
+                    elif (
+                        isinstance(cand, ast.Name)
+                        and cand.id in local_defs
+                        and cand.id not in top_level
+                    ):
+                        yield Finding(
+                            module.path, cand.lineno, self.id,
+                            f"nested function {cand.id!r} passed across a "
+                            "process boundary — closures are not picklable "
+                            "under spawn; hoist it to module level",
+                        )
+
+
+RULES = [
+    RingPublishOrderRule(),
+    RingCursorMonotonicRule(),
+    MutableGlobalRule(),
+    SpawnClosureRule(),
+]

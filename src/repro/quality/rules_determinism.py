@@ -1,0 +1,371 @@
+"""Determinism rules (DET001–DET008).
+
+DET001–DET006 apply only inside the determinism-scoped packages
+(``repro.core``, ``repro.ml``, ``repro.features``, ``repro.resilience``
+— see :data:`~repro.quality.engine.DETERMINISM_SCOPE`): those packages
+carry the bit-identity contract that the batch- and shard-equivalence
+suites enforce end to end.  DET007/DET008 (order-dependent set folds,
+bare float equality) apply everywhere — they are wrong in any layer.
+
+Name resolution is import-aware but static: ``import numpy as np``
+makes ``np.random.rand`` resolve to ``numpy.random.rand``; an RNG
+reached through an arbitrary variable is out of scope (that is what the
+digest tests are for).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .engine import Finding, ModuleInfo
+
+__all__ = ["RULES"]
+
+
+# ---------------------------------------------------------------------------
+# import-aware qualified-name resolution
+# ---------------------------------------------------------------------------
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted names they import.
+
+    ``import numpy as np``            → ``{"np": "numpy"}``
+    ``from time import time as now``  → ``{"now": "time.time"}``
+    ``from datetime import datetime`` → ``{"datetime": "datetime.datetime"}``
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[(a.asname or a.name).split(".")[0]] = a.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def qualified_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to a dotted name, applying
+    import aliases to the root."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _iter_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class _NameRule:
+    """Shared machinery: flag references (or calls) to banned dotted
+    names."""
+
+    #: dotted name -> short explanation appended to the message
+    banned: Dict[str, str] = {}
+    calls_only = True
+    scoped = True  # determinism scope only
+
+    def _applies(self, module: ModuleInfo) -> bool:
+        return module.in_determinism_scope if self.scoped else True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self._applies(module):
+            return
+        aliases = import_aliases(module.tree)
+        if self.calls_only:
+            targets = [c.func for c in _iter_calls(module.tree)]
+        else:
+            # Flag any load of the name — a bare reference stored as a
+            # default callable is just as nondeterministic as a call.
+            targets = [
+                n for n in ast.walk(module.tree)
+                if isinstance(n, (ast.Attribute, ast.Name))
+                and isinstance(getattr(n, "ctx", None), ast.Load)
+            ]
+        seen: set = set()
+        for t in targets:
+            qn = qualified_name(t, aliases)
+            if qn is None or qn not in self.banned:
+                continue
+            # An Attribute chain yields nested candidate nodes; dedupe
+            # per (line, name) so one reference reports once.
+            key = (t.lineno, qn)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Finding(
+                module.path, t.lineno, self.id,
+                f"{qn} — {self.banned[qn]}",
+            )
+
+
+class WallClockRule(_NameRule):
+    id = "DET001"
+    summary = (
+        "wall-clock time source inside a determinism-scoped package "
+        "(core/ml/features/resilience)"
+    )
+    calls_only = False
+    banned = {
+        name: "wall-clock read; replays stop being bit-identical"
+        for name in (
+            "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+            "time.ctime", "time.asctime", "time.strftime",
+            "datetime.datetime.now", "datetime.datetime.utcnow",
+            "datetime.datetime.today", "datetime.date.today",
+        )
+    }
+
+
+class InjectableClockRule(_NameRule):
+    id = "DET002"
+    summary = (
+        "time-dependent primitive (monotonic clock / sleep) in a "
+        "determinism-scoped package; must be injectable and carry an "
+        "allow[] with the reason"
+    )
+    calls_only = False
+    banned = {
+        name: (
+            "time-dependent primitive; keep it an injectable default and "
+            "suppress with the reason"
+        )
+        for name in (
+            "time.perf_counter", "time.perf_counter_ns",
+            "time.monotonic", "time.monotonic_ns",
+            "time.process_time", "time.process_time_ns",
+            "time.sleep",
+        )
+    }
+
+
+class StdlibRandomRule:
+    id = "DET003"
+    summary = (
+        "stdlib random module inside a determinism-scoped package "
+        "(use repro.common.rng.as_generator)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_determinism_scope:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+                if any(n == "random" or n.startswith("random.") for n in names):
+                    yield Finding(
+                        module.path, node.lineno, self.id,
+                        "import random — stdlib RNG is process-global and "
+                        "unseedable per-component; use "
+                        "repro.common.rng.as_generator",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").split(".")[0] == "random":
+                    yield Finding(
+                        module.path, node.lineno, self.id,
+                        f"from {node.module} import … — stdlib RNG is "
+                        "process-global; use repro.common.rng.as_generator",
+                    )
+
+
+#: Legacy numpy global-state RNG entry points (seeded or not, they share
+#: one hidden global stream).
+_NP_GLOBAL_RNG = (
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "normal", "uniform",
+    "poisson", "exponential", "binomial", "bytes",
+)
+
+
+class UnseededRngRule:
+    id = "DET004"
+    summary = (
+        "unseeded or global-state NumPy RNG inside a determinism-scoped "
+        "package (thread seeds through repro.common.rng.as_generator)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_determinism_scope:
+            return
+        aliases = import_aliases(module.tree)
+        for call in _iter_calls(module.tree):
+            qn = qualified_name(call.func, aliases)
+            if qn is None:
+                continue
+            if qn in ("numpy.random.default_rng", "numpy.random.RandomState"):
+                if not call.args and not call.keywords:
+                    yield Finding(
+                        module.path, call.lineno, self.id,
+                        f"{qn}() without a seed draws OS entropy — thread "
+                        "the run seed through as_generator",
+                    )
+            elif (
+                qn.startswith("numpy.random.")
+                and qn.rsplit(".", 1)[1] in _NP_GLOBAL_RNG
+            ):
+                yield Finding(
+                    module.path, call.lineno, self.id,
+                    f"{qn}() uses numpy's hidden global stream — draw from "
+                    "an explicit Generator instead",
+                )
+
+
+class OsEntropyRule(_NameRule):
+    id = "DET005"
+    summary = (
+        "OS entropy source inside a determinism-scoped package"
+    )
+    calls_only = False
+    banned = {
+        "os.urandom": "raw OS entropy; not replayable",
+        "secrets.token_bytes": "OS entropy; not replayable",
+        "secrets.token_hex": "OS entropy; not replayable",
+        "secrets.token_urlsafe": "OS entropy; not replayable",
+        "secrets.randbelow": "OS entropy; not replayable",
+        "secrets.choice": "OS entropy; not replayable",
+        "uuid.uuid1": "host/time-dependent UUID; not replayable",
+        "uuid.uuid4": "OS-entropy UUID; not replayable",
+    }
+
+
+class IdHashRule:
+    id = "DET006"
+    summary = (
+        "id() inside a determinism-scoped package — addresses vary per "
+        "process, so any id()-derived key/hash breaks replay and "
+        "cross-shard identity"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_determinism_scope:
+            return
+        aliases = import_aliases(module.tree)
+        for call in _iter_calls(module.tree):
+            if qualified_name(call.func, aliases) == "id":
+                yield Finding(
+                    module.path, call.lineno, self.id,
+                    "id() is an object address — unstable across runs and "
+                    "processes; key on canonical flow keys or explicit ids",
+                )
+
+
+# ---------------------------------------------------------------------------
+# DET007: set iteration feeding order-dependent consumers
+# ---------------------------------------------------------------------------
+def _is_set_expr(node: ast.AST, aliases: Dict[str, str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        qn = qualified_name(node.func, aliases)
+        if qn in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union", "intersection", "difference", "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value, aliases)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, aliases) or _is_set_expr(
+            node.right, aliases
+        )
+    return False
+
+
+#: Reductions whose float result depends on iteration order, plus
+#: materializers that bake the order into a sequence.
+_ORDER_SENSITIVE = {
+    "sum", "math.fsum", "functools.reduce",
+    "numpy.sum", "numpy.prod", "numpy.cumsum", "numpy.mean", "numpy.std",
+    "numpy.asarray", "numpy.array", "numpy.fromiter",
+    "list", "tuple",
+}
+
+
+class SetOrderRule:
+    id = "DET007"
+    summary = (
+        "set iteration feeding an order-dependent reduction or "
+        "materialization (wrap in sorted())"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for call in _iter_calls(module.tree):
+            qn = qualified_name(call.func, aliases)
+            is_join = (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "join"
+            )
+            if qn not in _ORDER_SENSITIVE and not is_join:
+                continue
+            if not call.args:
+                continue
+            arg = call.args[0]
+            if isinstance(arg, ast.GeneratorExp):
+                seeds = [gen.iter for gen in arg.generators]
+            else:
+                seeds = [arg]
+            if any(_is_set_expr(s, aliases) for s in seeds):
+                what = qn if qn is not None else f"str.{call.func.attr}"
+                yield Finding(
+                    module.path, call.lineno, self.id,
+                    f"{what}() over a set — iteration order is not part of "
+                    "the contract (hash-randomized for str/object "
+                    "elements); sort first",
+                )
+
+
+class FloatEqualityRule:
+    id = "DET008"
+    summary = (
+        "equality comparison against a nonzero float literal "
+        "(use an explicit tolerance)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            for comp in [node.left, *node.comparators]:
+                neg = isinstance(comp, ast.UnaryOp) and isinstance(
+                    comp.op, ast.USub
+                )
+                lit = comp.operand if neg else comp  # type: ignore[attr-defined]
+                if (
+                    isinstance(lit, ast.Constant)
+                    and isinstance(lit.value, float)
+                    and lit.value != 0.0
+                ):
+                    yield Finding(
+                        module.path, node.lineno, self.id,
+                        f"== against float literal {ast.unparse(comp)} — "
+                        "computed floats rarely compare exactly equal; "
+                        "compare with a tolerance (0.0 sentinels are "
+                        "exempt)",
+                    )
+                    break
+
+
+RULES = [
+    WallClockRule(),
+    InjectableClockRule(),
+    StdlibRandomRule(),
+    UnseededRngRule(),
+    OsEntropyRule(),
+    IdHashRule(),
+    SetOrderRule(),
+    FloatEqualityRule(),
+]

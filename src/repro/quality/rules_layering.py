@@ -1,0 +1,217 @@
+"""Layering rules (LAY001–LAY002): the import contract for ``repro``.
+
+The package stack, lowest layer first::
+
+    0  repro.common            shared substrate (buffers, RNG plumbing)
+    1  repro.dataplane         discrete-event switches/links/topology
+    2  repro.int_telemetry | repro.sflow | repro.traffic
+       repro.ml | repro.baselines          peer leaf stacks
+    3  repro.features          feature engineering over telemetry
+    4  repro.resilience        chaos + degradation primitives
+       (repro.resilience.harness is overridden to layer 8 — it drives
+       whole experiments and legitimately sits above core/analysis)
+    5  repro.datasets          campaign/testbed builders
+    6  repro.core              the four-module detection mechanism
+    7  repro.analysis          tables, figures, experiment drivers
+    8  repro.mitigation | repro.controlplane | repro.resilience.harness
+    9  repro.cli | repro.__main__
+
+A module may import strictly *down* the stack.  Imports inside one
+subpackage (``repro.core.x → repro.core.y``) are free; imports between
+different packages on the same layer are back-edges too — peers must
+not couple laterally.  ``repro.quality`` (this package) is pinned to
+layer 0 with no intra-repro imports at all, so the linter can never
+grow a dependency on the code it checks.
+
+LAY002 additionally keeps private modules private: ``repro.X._internal``
+may only be imported from inside ``repro.X``.
+
+Longest-prefix matching means new subpackages must be added to
+:data:`LAYERS` — an unknown ``repro.*`` module is itself a finding
+(LAY001), so the contract cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from .engine import Finding, ModuleInfo
+
+__all__ = ["RULES", "LAYERS", "layer_of"]
+
+#: Longest-prefix → layer rank.  Order within the dict is irrelevant.
+LAYERS = {
+    "repro": 10,          # package root + __main__ sit above everything
+    "repro.__main__": 10,
+    "repro.common": 0,
+    "repro.quality": 0,
+    "repro.dataplane": 1,
+    "repro.int_telemetry": 2,
+    "repro.sflow": 2,
+    "repro.traffic": 2,
+    "repro.ml": 2,
+    "repro.baselines": 2,
+    "repro.features": 3,
+    "repro.resilience": 4,
+    "repro.resilience.harness": 8,
+    "repro.datasets": 5,
+    "repro.core": 6,
+    "repro.analysis": 7,
+    "repro.mitigation": 8,
+    "repro.controlplane": 8,
+    "repro.cli": 9,
+}
+
+
+def layer_of(module: str) -> Optional[int]:
+    """Layer rank by longest matching prefix; ``None`` if unknown.
+
+    The bare ``"repro"`` entry matches only the package root itself —
+    otherwise it would swallow every unmapped subpackage and defeat the
+    add-new-packages-to-the-map check.
+    """
+    parts = module.split(".")
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        if prefix == "repro" and module != "repro":
+            continue
+        if prefix in LAYERS:
+            return LAYERS[prefix]
+    return None
+
+
+def _package_of(module: str) -> str:
+    """Subpackage granularity at which imports are free:
+    ``repro.core.sharding`` → ``repro.core``; ``repro.cli`` →
+    ``repro.cli``."""
+    parts = module.split(".")
+    return ".".join(parts[:2]) if len(parts) >= 2 else parts[0]
+
+
+def _resolve_relative(module: ModuleInfo, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute dotted base of a relative import, or ``None`` if the
+    import escapes the package tree.
+
+    Relative imports resolve against ``__package__``: the parent for a
+    regular module, the package itself for an ``__init__``.  ``level=1``
+    is ``__package__``; each further level walks one parent up.
+    """
+    parts = module.module.split(".")
+    pkg = parts if module.is_package else parts[:-1]
+    up = node.level - 1
+    if up > len(pkg):
+        return None
+    base = pkg[: len(pkg) - up]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def imported_repro_modules(
+    module: ModuleInfo,
+) -> Iterator[Tuple[int, str]]:
+    """Yield ``(lineno, target)`` for every intra-repro import edge.
+
+    ``from X import a, b`` expands to targets ``X.a`` and ``X.b`` — a
+    name may be a submodule or an attribute, and longest-prefix layer
+    lookup ranks both correctly.  Relative imports are resolved to
+    absolute names first.
+    """
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "repro" or a.name.startswith("repro."):
+                    yield node.lineno, a.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                base = _resolve_relative(module, node)
+            else:
+                base = node.module
+            if base is None:
+                continue
+            if base != "repro" and not base.startswith("repro."):
+                continue
+            for a in node.names:
+                if a.name == "*":
+                    yield node.lineno, base
+                else:
+                    yield node.lineno, f"{base}.{a.name}"
+
+
+class ImportContractRule:
+    id = "LAY001"
+    summary = (
+        "import contract back-edge: modules may only import strictly "
+        "lower layers (common → … → core → … → cli)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith("repro"):
+            return
+        src_layer = layer_of(module.module)
+        if src_layer is None:
+            yield Finding(
+                module.path, 1, self.id,
+                f"module {module.module} is not in the layer map — add it "
+                "to repro.quality.rules_layering.LAYERS",
+            )
+            return
+        src_pkg = _package_of(module.module)
+        if src_pkg == "repro.quality":
+            for lineno, target in imported_repro_modules(module):
+                if _package_of(target) != "repro.quality":
+                    yield Finding(
+                        module.path, lineno, self.id,
+                        f"repro.quality must not import {target} — the "
+                        "linter stays independent of the code it checks",
+                    )
+            return
+        for lineno, target in imported_repro_modules(module):
+            if _package_of(target) == src_pkg:
+                continue  # intra-package imports are free
+            dst_layer = layer_of(target)
+            if dst_layer is None:
+                yield Finding(
+                    module.path, lineno, self.id,
+                    f"import target {target} is not in the layer map — "
+                    "add it to repro.quality.rules_layering.LAYERS",
+                )
+            elif dst_layer >= src_layer:
+                kind = "lateral peer import" if dst_layer == src_layer \
+                    else "back-edge"
+                yield Finding(
+                    module.path, lineno, self.id,
+                    f"{kind}: {module.module} (layer {src_layer}) imports "
+                    f"{target} (layer {dst_layer}); the contract is "
+                    "common → dataplane → leaf stacks → features → "
+                    "resilience → datasets → core → analysis → "
+                    "drivers → cli",
+                )
+
+
+class PrivateImportRule:
+    id = "LAY002"
+    summary = (
+        "private module or name imported across a package boundary"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith("repro"):
+            return
+        src_pkg = _package_of(module.module)
+        for lineno, target in imported_repro_modules(module):
+            if _package_of(target) == src_pkg:
+                continue
+            for p in target.split("."):
+                if p.startswith("_") and not p.startswith("__"):
+                    yield Finding(
+                        module.path, lineno, self.id,
+                        f"{target} reaches into a private name ({p!r}) "
+                        "from outside its package; import through the "
+                        "package's public API",
+                    )
+                    break
+
+
+RULES = [ImportContractRule(), PrivateImportRule()]

@@ -107,6 +107,7 @@ class Watchdog:
         clock: Optional[Callable[[], int]] = None,
     ) -> None:
         self.sinks: List[HealthSink] = list(sinks) if sinks else []
+        # repro: allow[DET002] injectable default; deterministic tests inject a fake clock
         self.clock = clock if clock is not None else time.perf_counter_ns
         self._state: Dict[str, ModuleHealth] = {}
         self.alerts: List[HealthAlert] = []
@@ -167,6 +168,7 @@ def retry_with_backoff(
     factor: float = 2.0,
     max_delay_s: float = 0.25,
     retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    # repro: allow[DET002] injectable default; retry tests inject a recording sleep
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
 ):

@@ -1,0 +1,536 @@
+"""reprolint test suite: per-rule true/false-positive fixtures, the
+suppression & baseline machinery, and the repo-lints-clean gate.
+
+Every rule gets at least one flagged snippet and one clean snippet;
+fixtures lint through the real engine (all rules + suppression pass) and
+assert on the specific rule id so an unrelated rule firing on a fixture
+is caught too.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.quality.engine import (
+    all_rules,
+    lint_paths,
+    load_baseline,
+    module_name_for,
+)
+from repro.quality.lint import DEFAULT_BASELINE, main as lint_main
+from repro.quality.rules_layering import LAYERS, layer_of
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def run(src: str, module: str = "repro.core.fixture", rule: str | None = None,
+        is_package: bool = False):
+    """Lint a dedented snippet as ``module``; optionally filter one rule."""
+    from repro.quality.engine import lint_module_info, _apply_suppressions
+
+    info = lint_module_info(
+        textwrap.dedent(src), module=module, path="fixture.py",
+        is_package=is_package,
+    )
+    raw = []
+    for r in all_rules():
+        raw.extend(r.check(info))
+    kept, _ = _apply_suppressions(info, sorted(raw, key=lambda f: (f.line, f.rule)))
+    if rule is not None:
+        kept = [f for f in kept if f.rule == rule]
+    return kept
+
+
+def rules_hit(src: str, **kw):
+    return {f.rule for f in run(src, **kw)}
+
+
+# ---------------------------------------------------------------------------
+# DET001 — wall clock
+# ---------------------------------------------------------------------------
+def test_det001_flags_time_time_in_scope():
+    out = run("import time\nstamp = time.time()\n", rule="DET001")
+    assert len(out) == 1 and out[0].line == 2
+
+
+def test_det001_flags_datetime_now_and_from_import():
+    assert run(
+        "from datetime import datetime\nx = datetime.now()\n", rule="DET001"
+    )
+    assert run(
+        "import datetime\nx = datetime.datetime.utcnow()\n", rule="DET001"
+    )
+    # bare reference (stored as a default) is flagged too, not just calls
+    assert run("from time import time\nclock = time\n", rule="DET001")
+
+
+def test_det001_clean_outside_scope_and_for_injected_clock():
+    assert not run(
+        "import time\nstamp = time.time()\n",
+        module="repro.traffic.fixture", rule="DET001",
+    )
+    assert not run(
+        "def fold(clock):\n    return clock()\n", rule="DET001"
+    )
+
+
+# ---------------------------------------------------------------------------
+# DET002 — time-dependent primitives must be injectable + suppressed
+# ---------------------------------------------------------------------------
+def test_det002_flags_bare_perf_counter_reference():
+    out = run(
+        "import time\n"
+        "def f(clock=None):\n"
+        "    return clock or time.perf_counter_ns\n",
+        rule="DET002",
+    )
+    assert len(out) == 1 and out[0].line == 3
+
+
+def test_det002_clean_when_suppressed_with_reason():
+    src = (
+        "import time\n"
+        "def f(clock=None):\n"
+        "    # repro: allow[DET002] injectable default for wall stamps\n"
+        "    return clock or time.perf_counter_ns\n"
+    )
+    assert not run(src, rule="DET002")
+    assert not run(src, rule="QUAL001")
+    assert not run(src, rule="QUAL002")
+
+
+# ---------------------------------------------------------------------------
+# DET003 — stdlib random
+# ---------------------------------------------------------------------------
+def test_det003_flags_import_random_forms():
+    assert run("import random\n", rule="DET003")
+    assert run("from random import choice\n", rule="DET003")
+
+
+def test_det003_clean_for_as_generator_and_out_of_scope():
+    assert not run(
+        "from repro.common.rng import as_generator\n", rule="DET003"
+    )
+    assert not run("import random\n", module="repro.cli", rule="DET003")
+
+
+# ---------------------------------------------------------------------------
+# DET004 — unseeded / global-state numpy RNG
+# ---------------------------------------------------------------------------
+def test_det004_flags_unseeded_default_rng_and_global_stream():
+    assert run(
+        "import numpy as np\nrng = np.random.default_rng()\n", rule="DET004"
+    )
+    assert run(
+        "import numpy as np\nnp.random.shuffle(x)\n", rule="DET004"
+    )
+    assert run(
+        "import numpy as np\nnp.random.seed(0)\n", rule="DET004"
+    )
+
+
+def test_det004_clean_for_seeded_rng():
+    assert not run(
+        "import numpy as np\nrng = np.random.default_rng(1234)\n",
+        rule="DET004",
+    )
+    assert not run(
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        rule="DET004",
+    )
+
+
+# ---------------------------------------------------------------------------
+# DET005 — OS entropy
+# ---------------------------------------------------------------------------
+def test_det005_flags_urandom_and_uuid4():
+    assert run("import os\nsalt = os.urandom(8)\n", rule="DET005")
+    assert run("import uuid\nrun_id = uuid.uuid4()\n", rule="DET005")
+
+
+def test_det005_clean_for_os_path():
+    assert not run("import os\np = os.path.join('a', 'b')\n", rule="DET005")
+
+
+# ---------------------------------------------------------------------------
+# DET006 — id()
+# ---------------------------------------------------------------------------
+def test_det006_flags_id_call():
+    out = run("def k(sw, seen):\n    seen.add(id(sw))\n", rule="DET006")
+    assert len(out) == 1 and out[0].line == 2
+
+
+def test_det006_clean_for_similar_names_and_out_of_scope():
+    assert not run("def k(x):\n    return flow_id(x)\n", rule="DET006")
+    assert not run(
+        "seen.add(id(sw))\n", module="repro.mitigation.fixture", rule="DET006"
+    )
+
+
+# ---------------------------------------------------------------------------
+# DET007 — set order feeding reductions (applies everywhere)
+# ---------------------------------------------------------------------------
+def test_det007_flags_sum_and_list_over_sets():
+    assert run("total = sum({a, b, c})\n", rule="DET007")
+    assert run("total = sum(x * 2 for x in set(xs))\n", rule="DET007")
+    assert run("order = list(set(xs))\n", rule="DET007")
+    assert run(
+        "label = ','.join(set(names))\n",
+        module="repro.cli", rule="DET007",  # unscoped rule: fires anywhere
+    )
+
+
+def test_det007_clean_when_sorted_or_plain_sequence():
+    assert not run("total = sum(sorted(set(xs)))\n", rule="DET007")
+    assert not run("total = sum(xs)\n", rule="DET007")
+    assert not run("unique = set(xs)\n", rule="DET007")
+
+
+# ---------------------------------------------------------------------------
+# DET008 — bare float equality (applies everywhere)
+# ---------------------------------------------------------------------------
+def test_det008_flags_nonzero_float_literal_equality():
+    out = run("if ratio == 0.5:\n    pass\n", rule="DET008")
+    assert len(out) == 1 and out[0].line == 1
+    assert run("ok = x != -1.5\n", module="repro.cli", rule="DET008")
+
+
+def test_det008_clean_for_zero_sentinel_ints_and_tolerance():
+    assert not run("mask = std == 0.0\n", rule="DET008")
+    assert not run("if n == 1:\n    pass\n", rule="DET008")
+    assert not run("close = abs(x - 0.5) < 1e-9\n", rule="DET008")
+
+
+# ---------------------------------------------------------------------------
+# CONC001 — ring publish ordering
+# ---------------------------------------------------------------------------
+RING_BAD_PUSH = """
+class Ring:
+    def push(self, rec):
+        tail = int(self._tail[0])
+        self._tail[0] = tail + 1
+        self._slots[tail % self.capacity] = rec
+"""
+
+RING_GOOD_PUSH = """
+class Ring:
+    def push(self, rec):
+        tail = int(self._tail[0])
+        self._slots[tail % self.capacity] = rec
+        self._tail[0] = tail + 1
+"""
+
+RING_BAD_POP = """
+class Ring:
+    def pop(self):
+        head = int(self._head[0])
+        self._head[0] = head + 1
+        return self._slots[head % self.capacity].copy()
+"""
+
+
+def test_conc001_flags_publish_before_write_and_read_after_release():
+    out = run(RING_BAD_PUSH, rule="CONC001")
+    assert len(out) == 1 and "written after" in out[0].message
+    out = run(RING_BAD_POP, rule="CONC001")
+    assert len(out) == 1 and "read after" in out[0].message
+
+
+def test_conc001_clean_for_correct_protocol_and_real_sharedring():
+    assert not run(RING_GOOD_PUSH, rule="CONC001")
+    real = lint_paths([SRC_REPRO / "common" / "buffers.py"])
+    assert not [f for f in real.findings if f.rule == "CONC001"]
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — cursor monotonicity
+# ---------------------------------------------------------------------------
+def test_conc002_flags_reset_and_subtraction_outside_init():
+    assert run(
+        "class Ring:\n    def rewind(self):\n        self._tail[0] = 0\n",
+        rule="CONC002",
+    )
+    assert run(
+        "class Ring:\n"
+        "    def undo(self, n):\n"
+        "        self._tail[0] = int(self._tail[0]) - n\n",
+        rule="CONC002",
+    )
+
+
+def test_conc002_clean_for_advance_and_init_zero():
+    assert not run(
+        "class Ring:\n"
+        "    def __init__(self):\n"
+        "        self._head[0] = 0\n"
+        "    def push(self, take):\n"
+        "        self._tail[0] = int(self._tail[0]) + take\n",
+        rule="CONC002",
+    )
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — mutable module globals next to multiprocessing
+# ---------------------------------------------------------------------------
+def test_conc003_flags_mutable_global_in_mp_module():
+    out = run(
+        "import multiprocessing as mp\n_results = {}\n", rule="CONC003"
+    )
+    assert len(out) == 1 and out[0].line == 2
+
+
+def test_conc003_clean_without_mp_or_with_immutable_global():
+    assert not run("_results = {}\n", rule="CONC003")
+    assert not run(
+        "import multiprocessing as mp\nKINDS = (0, 1, 2)\n", rule="CONC003"
+    )
+    assert not run(
+        "import multiprocessing as mp\n__all__ = ['run']\n", rule="CONC003"
+    )
+
+
+# ---------------------------------------------------------------------------
+# CONC004 — closures across the spawn boundary
+# ---------------------------------------------------------------------------
+def test_conc004_flags_lambda_and_nested_def_targets():
+    assert run(
+        "import multiprocessing as mp\n"
+        "def launch(ctx):\n"
+        "    p = ctx.Process(target=lambda: None)\n",
+        rule="CONC004",
+    )
+    assert run(
+        "import multiprocessing as mp\n"
+        "def launch(ctx):\n"
+        "    def worker():\n"
+        "        pass\n"
+        "    p = ctx.Process(target=worker)\n",
+        rule="CONC004",
+    )
+
+
+def test_conc004_clean_for_module_level_target():
+    assert not run(
+        "import multiprocessing as mp\n"
+        "def worker(spec):\n"
+        "    pass\n"
+        "def launch(ctx, spec):\n"
+        "    p = ctx.Process(target=worker, args=(spec,))\n",
+        rule="CONC004",
+    )
+
+
+# ---------------------------------------------------------------------------
+# LAY001 — import contract
+# ---------------------------------------------------------------------------
+def test_lay001_flags_back_edge_and_lateral_peer():
+    out = run(
+        "from repro.core.mechanism import AutomatedDDoSDetector\n",
+        module="repro.features.fixture", rule="LAY001",
+    )
+    assert len(out) == 1 and "back-edge" in out[0].message
+    out = run(
+        "from repro.traffic.flows import FlowGenerator\n",
+        module="repro.sflow.fixture", rule="LAY001",
+    )
+    assert len(out) == 1 and "lateral peer" in out[0].message
+
+
+def test_lay001_resolves_relative_imports():
+    # `from ..core import mechanism` inside repro.features.* is the same
+    # back-edge as the absolute spelling.
+    out = run(
+        "from ..core import mechanism\n",
+        module="repro.features.fixture", rule="LAY001",
+    )
+    assert len(out) == 1 and "back-edge" in out[0].message
+    # A package __init__ importing its own submodules is intra-package.
+    assert not run(
+        "from . import chaos\n",
+        module="repro.resilience", rule="LAY001", is_package=True,
+    )
+
+
+def test_lay001_clean_for_downward_and_intra_package_imports():
+    assert not run(
+        "from repro.features.batch import group_by_flow\n"
+        "from .database import FlowDatabase\n",
+        module="repro.core.fixture", rule="LAY001",
+    )
+    # resilience.harness is explicitly overridden above core/analysis
+    assert not run(
+        "from repro.core.mechanism import AutomatedDDoSDetector\n"
+        "from repro.analysis.tables import render_table\n",
+        module="repro.resilience.harness", rule="LAY001",
+    )
+
+
+def test_lay001_flags_unknown_package():
+    out = run("x = 1\n", module="repro.newpkg.fixture", rule="LAY001")
+    assert len(out) == 1 and "layer map" in out[0].message
+
+
+def test_lay001_quality_must_stay_independent():
+    out = run(
+        "from repro.common.rng import as_generator\n",
+        module="repro.quality.fixture", rule="LAY001",
+    )
+    assert len(out) == 1 and "independent" in out[0].message
+
+
+def test_layer_map_is_total_over_the_repo():
+    for path in sorted(SRC_REPRO.rglob("*.py")):
+        mod = module_name_for(path)
+        assert layer_of(mod) is not None, f"{mod} missing from LAYERS"
+    assert LAYERS["repro.common"] == 0 and layer_of("repro.cli") > layer_of(
+        "repro.core"
+    )
+
+
+# ---------------------------------------------------------------------------
+# LAY002 — private cross-package imports
+# ---------------------------------------------------------------------------
+def test_lay002_flags_private_name_across_packages():
+    out = run(
+        "from repro.features.batch import _pack_keys\n",
+        module="repro.core.fixture", rule="LAY002",
+    )
+    assert len(out) == 1
+
+
+def test_lay002_clean_for_public_and_intra_package_private():
+    assert not run(
+        "from repro.features.batch import group_by_flow\n",
+        module="repro.core.fixture", rule="LAY002",
+    )
+    assert not run(
+        "from .database import _rebuild_index\n",
+        module="repro.core.fixture", rule="LAY002",
+    )
+
+
+# ---------------------------------------------------------------------------
+# suppression machinery
+# ---------------------------------------------------------------------------
+def test_suppression_requires_reason():
+    out = run(
+        "import time\n"
+        "stamp = time.time()  # repro: allow[DET001]\n",
+    )
+    assert {f.rule for f in out} == {"DET001", "QUAL001"}
+
+
+def test_unused_suppression_is_flagged():
+    out = run("x = 1  # repro: allow[DET001] no clock here really\n")
+    assert [f.rule for f in out] == ["QUAL002"]
+
+
+def test_suppression_inside_string_literal_is_not_a_directive():
+    out = run('DOC = "# repro: allow[DET001] not a comment"\n')
+    assert not out
+
+
+def test_multi_rule_suppression_and_trailing_form():
+    src = (
+        "import time\n"
+        "stamp = time.time()  # repro: allow[DET001,DET002] replay stamp only\n"
+    )
+    assert not run(src)
+
+
+# ---------------------------------------------------------------------------
+# baseline machinery
+# ---------------------------------------------------------------------------
+def _write_fixture_tree(tmp_path: Path) -> Path:
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "hot.py").write_text(
+        "import time\nSTAMP = time.time()\n", encoding="utf-8"
+    )
+    return tmp_path / "repro"
+
+
+def test_baseline_grandfathers_matching_findings(tmp_path):
+    root = _write_fixture_tree(tmp_path)
+    entry = {
+        "path": "repro/core/hot.py",
+        "rule": "DET001",
+        "content": "STAMP = time.time()",
+    }
+    dirty = lint_paths([root])
+    assert [f.rule for f in dirty.findings] == ["DET001"]
+    clean = lint_paths([root], baseline=[entry])
+    assert clean.ok and [f.rule for f in clean.baselined] == ["DET001"]
+    assert not clean.stale_baseline
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    root = _write_fixture_tree(tmp_path)
+    stale = {
+        "path": "repro/core/gone.py",
+        "rule": "DET004",
+        "content": "rng = np.random.default_rng()",
+    }
+    result = lint_paths([root], baseline=[stale])
+    assert result.stale_baseline == [stale]
+
+
+# ---------------------------------------------------------------------------
+# the repo itself + the CI gate behavior
+# ---------------------------------------------------------------------------
+def test_repo_lints_clean_against_checked_in_baseline():
+    result = lint_paths(
+        [SRC_REPRO], baseline=load_baseline(DEFAULT_BASELINE)
+    )
+    assert result.ok, "\n".join(f.render() for f in result.findings)
+    assert not result.stale_baseline
+
+
+def test_seeded_violation_fails_with_rule_and_line(tmp_path, capsys):
+    """Acceptance gate: a time.time() planted in core/processor.py must
+    turn the exit status non-zero and name DET001 at the right line."""
+    dest = tmp_path / "repro" / "core"
+    dest.mkdir(parents=True)
+    original = (SRC_REPRO / "core" / "processor.py").read_text()
+    needle = "self.packets_processed = 0"
+    assert needle in original
+    seeded = original.replace(
+        needle, needle + "\n        self.started_at = time.time()", 1
+    )
+    target = dest / "processor.py"
+    target.write_text(seeded, encoding="utf-8")
+    expected_line = (
+        seeded[: seeded.index("self.started_at")].count("\n") + 1
+    )
+
+    status = lint_main([str(target)])
+    out = capsys.readouterr().out
+    assert status == 1
+    assert f"processor.py:{expected_line}: DET001" in out
+
+
+def test_cli_list_rules_and_clean_exit(tmp_path, capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("DET001", "CONC001", "LAY001", "QUAL001"):
+        assert rid in out
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n", encoding="utf-8")
+    assert lint_main([str(clean)]) == 0
+
+
+def test_cli_unknown_rule_is_usage_error(capsys):
+    assert lint_main(["--rule", "NOPE999", "."]) == 2
+
+
+def test_every_rule_has_a_fixture_here():
+    """Keep this suite honest: adding a rule without fixtures fails."""
+    covered = set()
+    text = Path(__file__).read_text(encoding="utf-8")
+    for rule in all_rules():
+        assert text.count(rule.id) >= 2, f"no fixtures for {rule.id}"
+        covered.add(rule.id)
+    assert covered == {r.id for r in all_rules()}
