@@ -19,11 +19,21 @@ from __future__ import annotations
 
 import time
 from multiprocessing import resource_tracker, shared_memory
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-__all__ = ["GrowableRecordBuffer", "SharedRing"]
+__all__ = ["GrowableRecordBuffer", "PeerDead", "SharedRing"]
+
+
+class PeerDead(RuntimeError):
+    """The process on the other side of a :class:`SharedRing` is gone.
+
+    Raised by :meth:`SharedRing.push` / :meth:`SharedRing.pop` when a
+    ``peer_alive`` probe reports the peer dead while the call is blocked
+    waiting on it.  Distinct from ``TimeoutError`` (peer alive but slow)
+    so supervisors can respond with a respawn instead of a retry.
+    """
 
 
 class GrowableRecordBuffer:
@@ -133,7 +143,12 @@ class SharedRing:
     A full ring applies **backpressure**: :meth:`push` spins with short
     sleeps until space frees up, raising ``TimeoutError`` after
     ``timeout`` seconds so a dead consumer cannot hang the producer
-    forever.
+    forever.  Both waits are **peer-liveness aware**: pass
+    ``peer_alive`` (e.g. ``proc.is_alive``) and a blocked call probes it
+    periodically, raising :class:`PeerDead` the moment the other side is
+    gone instead of burning the whole timeout on a corpse.  ``on_wait``
+    is probed at the same cadence so a supervising producer can keep
+    draining control channels (and detect hung peers) while blocked.
 
     Parameters
     ----------
@@ -150,6 +165,10 @@ class SharedRing:
     #: Sleep between occupancy re-checks while waiting (spin would peg
     #: a core; 50 µs keeps wakeup latency far below a cycle's work).
     WAIT_SLEEP_S = 50e-6
+    #: Occupancy re-checks between ``peer_alive``/``on_wait`` probes —
+    #: liveness probes cost a syscall, so they run every ~3 ms of wait,
+    #: not every 50 µs.
+    PROBE_EVERY = 64
 
     def __init__(
         self,
@@ -209,18 +228,57 @@ class SharedRing:
         return self.capacity - len(self)
 
     # ------------------------------------------------------------------
-    def push(self, records: np.ndarray, timeout: float = 30.0) -> int:
+    def _wait_tick(
+        self,
+        ticks: int,
+        peer_alive: Optional[Callable[[], bool]],
+        on_wait: Optional[Callable[[], None]],
+    ) -> int:
+        """One blocked-wait iteration: sleep, and every
+        :data:`PROBE_EVERY` ticks probe liveness and the wait hook.
+
+        Raises :class:`PeerDead` when ``peer_alive`` reports the other
+        side gone.  ``on_wait`` may itself raise to abort the wait (a
+        supervisor uses that to declare an alive-but-hung peer dead).
+        """
+        if ticks % self.PROBE_EVERY == 0:
+            if peer_alive is not None and not peer_alive():
+                raise PeerDead(
+                    f"ring {self.name}: peer process died while this side "
+                    "was blocked waiting on it"
+                )
+            if on_wait is not None:
+                on_wait()
+        time.sleep(self.WAIT_SLEEP_S)
+        return ticks + 1
+
+    def push(
+        self,
+        records: np.ndarray,
+        timeout: float = 30.0,
+        peer_alive: Optional[Callable[[], bool]] = None,
+        on_wait: Optional[Callable[[], None]] = None,
+    ) -> int:
         """Copy a block of records into the ring (producer side).
 
         Blocks while the ring is full — that backpressure is what bounds
         coordinator memory when a worker falls behind.  Blocks larger
         than the whole ring are streamed through in capacity-sized
         pieces.  Returns the record count; raises ``TimeoutError`` if
-        the consumer frees no space for ``timeout`` seconds.
+        the consumer frees no space for ``timeout`` seconds, or
+        :class:`PeerDead` as soon as ``peer_alive`` (probed periodically
+        during the wait) reports the consumer process gone.
+
+        Either error can leave a **partial write** behind (earlier
+        pieces of a large block already published).  Callers that
+        recover by respawning the consumer must :meth:`reset` the ring
+        and replay from a checkpoint rather than re-pushing the same
+        block.
         """
         records = np.ascontiguousarray(records, dtype=self.dtype)
         n = records.shape[0]
         written = 0
+        ticks = 0
         deadline = time.monotonic() + timeout
         while written < n:
             tail = int(self._tail[0])
@@ -231,7 +289,7 @@ class SharedRing:
                         f"ring {self.name} full for {timeout:.1f}s "
                         f"({written}/{n} records written)"
                     )
-                time.sleep(self.WAIT_SLEEP_S)
+                ticks = self._wait_tick(ticks, peer_alive, on_wait)
                 continue
             take = min(space, n - written)
             start = tail % self.capacity
@@ -253,16 +311,22 @@ class SharedRing:
         self,
         max_records: Optional[int] = None,
         timeout: float = 0.0,
+        peer_alive: Optional[Callable[[], bool]] = None,
+        on_wait: Optional[Callable[[], None]] = None,
     ) -> np.ndarray:
         """Copy out and release up to ``max_records`` records (consumer
         side).
 
         With the default ``timeout=0`` the call is non-blocking and an
         empty ring returns an empty array; a positive timeout waits that
-        long for at least one record before giving up.  The returned
-        array owns its data — slots are reusable by the producer the
-        moment this method returns.
+        long for at least one record before giving up.  ``peer_alive``
+        is probed periodically during the wait and raises
+        :class:`PeerDead` when the producer is gone (a worker uses this
+        to notice its coordinator dying instead of spinning forever).
+        The returned array owns its data — slots are reusable by the
+        producer the moment this method returns.
         """
+        ticks = 0
         deadline = time.monotonic() + timeout
         while True:
             head = int(self._head[0])
@@ -271,7 +335,7 @@ class SharedRing:
                 break
             if time.monotonic() >= deadline:
                 return np.empty(0, dtype=self.dtype)
-            time.sleep(self.WAIT_SLEEP_S)
+            ticks = self._wait_tick(ticks, peer_alive, on_wait)
         take = used if max_records is None else min(used, int(max_records))
         start = head % self.capacity
         end = start + take
@@ -287,6 +351,23 @@ class SharedRing:
         return out
 
     # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Rewind both cursors to zero (owner-side rebind path).
+
+        Only safe once the consumer process is **dead** — the supervisor
+        calls this before respawning a worker so the fresh process sees
+        an empty ring and the checkpoint replay starts from a clean
+        slate (discarding any partial write a failed :meth:`push` left
+        behind).  Calling it with a live peer attached corrupts the SPSC
+        protocol.
+        """
+        if not self._owner:
+            raise RuntimeError(
+                f"ring {self.name}: only the owning side may reset"
+            )
+        self._head[0] = 0
+        self._tail[0] = 0
+
     def close(self) -> None:
         """Unmap this process's view (does not destroy the segment)."""
         # ndarray views pin the exported buffer; drop them first or

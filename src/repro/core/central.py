@@ -268,6 +268,31 @@ class CentralServer:
                 break
         return total
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Cycle/dispatch counters (the coordinator's only mutable
+        state — the modules it stitches together snapshot themselves)."""
+        return {
+            "cycles": self.cycles,
+            "updates_dispatched": self.updates_dispatched,
+            "skipped_evicted": self.skipped_evicted,
+            "updates_shed": self.updates_shed,
+            "deadline_hits": self.deadline_hits,
+            "poll_retries": self.poll_retries,
+            "poll_failures": self.poll_failures,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.cycles = int(state["cycles"])
+        self.updates_dispatched = int(state["updates_dispatched"])
+        self.skipped_evicted = int(state["skipped_evicted"])
+        self.updates_shed = int(state["updates_shed"])
+        self.deadline_hits = int(state["deadline_hits"])
+        self.poll_retries = int(state["poll_retries"])
+        self.poll_failures = int(state["poll_failures"])
+
     def stats(self) -> dict:
         """Counters for the mechanism's stats surface."""
         return {

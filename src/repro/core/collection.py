@@ -34,6 +34,12 @@ class IntDataCollection:
         self.processor = processor
         self.reports_consumed = 0
 
+    def state_snapshot(self) -> dict:
+        return {"reports_consumed": self.reports_consumed}
+
+    def state_restore(self, state: dict) -> None:
+        self.reports_consumed = int(state["reports_consumed"])
+
     # -- live mode -------------------------------------------------------
     def subscribe(self, collector: IntCollector) -> None:
         """Attach as the collector's live subscriber."""
@@ -111,6 +117,12 @@ class SFlowDataCollection:
     def __init__(self, processor: DataProcessor) -> None:
         self.processor = processor
         self.samples_consumed = 0
+
+    def state_snapshot(self) -> dict:
+        return {"samples_consumed": self.samples_consumed}
+
+    def state_restore(self, state: dict) -> None:
+        self.samples_consumed = int(state["samples_consumed"])
 
     def feed_record(self, row: np.void) -> None:
         """Consume one SAMPLE_DTYPE row."""

@@ -217,6 +217,33 @@ class FlowDatabase:
                     return out
         return out
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Database state as a plain picklable dict: the flow table,
+        the dirty map (in insertion order — poll order depends on it),
+        the prediction log, and the counters."""
+        return {
+            "flows": self.flows.state_snapshot(),
+            "dirty": [(k, list(v)) for k, v in self._dirty.items()],
+            "predictions": list(self.predictions),
+            "updates_registered": self.updates_registered,
+            "polls": self.polls,
+            "records_scanned": self.records_scanned,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Replace database contents with a :meth:`state_snapshot`
+        capture (configuration flags are not restored — construct with
+        the same recipe)."""
+        self.flows.state_restore(state["flows"])
+        self._dirty = {k: list(v) for k, v in state["dirty"]}
+        self.predictions = list(state["predictions"])
+        self.updates_registered = int(state["updates_registered"])
+        self.polls = int(state["polls"])
+        self.records_scanned = int(state["records_scanned"])
+
     @property
     def pending_updates(self) -> int:
         return sum(len(v) for v in self._dirty.values())

@@ -69,5 +69,28 @@ class SlidingDecision:
         """Drop a flow's history (eviction hook)."""
         self._history.pop(key, None)
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Window contents + counters as a plain picklable dict."""
+        return {
+            "history": [(k, list(h)) for k, h in self._history.items()],
+            "decisions_emitted": self.decisions_emitted,
+            "waiting": self.waiting,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Rebuild the per-flow windows captured by
+        :meth:`state_snapshot` (deques get this instance's ``maxlen``,
+        so the restoring process must be configured with the same
+        window size)."""
+        self._history = {
+            k: deque(labels, maxlen=self.window)
+            for k, labels in state["history"]
+        }
+        self.decisions_emitted = int(state["decisions_emitted"])
+        self.waiting = int(state["waiting"])
+
     def __len__(self) -> int:
         return len(self._history)

@@ -122,6 +122,10 @@ class AutomatedDDoSDetector:
         )
         #: Per-worker stats dicts of the last sharded run (None before).
         self.shard_stats: Optional[list] = None
+        #: Supervision counters of the last sharded run (None before):
+        #: worker deaths/respawns, checkpoints, lossy recoveries,
+        #: restore latencies.  See Supervisor.stats().
+        self.supervision_stats: Optional[Dict[str, object]] = None
         flow_table = FlowTable(max_flows=max_flows, wrap_aware=wrap_aware)
         self.db = FlowDatabase(
             flow_table, fast_poll=fast_poll, skip_new_flows=skip_new_flows
@@ -187,6 +191,11 @@ class AutomatedDDoSDetector:
         cycle_budget: int = 128,
         batched: Optional[bool] = None,
         shards: Optional[int] = None,
+        checkpoint_every: int = 16,
+        replay_buffer_records: Optional[int] = None,
+        heartbeat_timeout_s: float = 30.0,
+        process_chaos=None,
+        max_respawns: int = 3,
     ) -> FlowDatabase:
         """Consume a telemetry record array in capture order.
 
@@ -206,6 +215,11 @@ class AutomatedDDoSDetector:
         memory ring) and the merged prediction log — result-identical
         to ``batched=True`` in the no-backlog regime, see
         :mod:`repro.core.sharding` — lands in this detector's database.
+        The sharded mode is supervised: workers are checkpointed every
+        ``checkpoint_every`` cycles and crashed/hung workers (including
+        any scheduled by a ``process_chaos`` kill plan) are respawned
+        from the last checkpoint and replayed from the coordinator's
+        bounded replay buffer (``replay_buffer_records`` slots).
         """
         if poll_every < 1 or cycle_budget < 1:
             raise ValueError("poll_every and cycle_budget must be >= 1")
@@ -218,6 +232,11 @@ class AutomatedDDoSDetector:
                 n_shards=shards,
                 poll_every=poll_every,
                 cycle_budget=cycle_budget,
+                checkpoint_every=checkpoint_every,
+                replay_buffer_records=replay_buffer_records,
+                heartbeat_timeout_s=heartbeat_timeout_s,
+                process_chaos=process_chaos,
+                max_respawns=max_respawns,
             )
         if batched is not None:
             self.central.batched = bool(batched)
@@ -296,6 +315,8 @@ class AutomatedDDoSDetector:
             out["faults"] = self.fault_injector.stats.as_dict()
         if self.shard_stats is not None:
             out["shards"] = list(self.shard_stats)
+        if self.supervision_stats is not None:
+            out["supervision"] = dict(self.supervision_stats)
         return out
 
 

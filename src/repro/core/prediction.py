@@ -188,6 +188,25 @@ class PredictionModule:
         return np.column_stack(cols)
 
     # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Serving counters + failure-isolation state (strike counts and
+        quarantine reasons).  The models and scaler are *not* captured —
+        they are immutable after training and travel with the worker
+        spec, not the checkpoint."""
+        return {
+            "predictions_served": self.predictions_served,
+            "model_failures": dict(self.model_failures),
+            "quarantined": dict(self.quarantined),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.predictions_served = int(state["predictions_served"])
+        self.model_failures = dict(state["model_failures"])
+        self.quarantined = dict(state["quarantined"])
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:

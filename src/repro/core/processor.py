@@ -175,6 +175,21 @@ class DataProcessor:
         return full[:, sel], valid
 
     # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Processor-owned mutable state (the database snapshots its own
+        — including the shared flow table — separately)."""
+        return {
+            "decision": self.decision.state_snapshot(),
+            "packets_processed": self.packets_processed,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self.decision.state_restore(state["decision"])
+        self.packets_processed = int(state["packets_processed"])
+
+    # ------------------------------------------------------------------
     # steps ⑦/⑧ — predictions back
     # ------------------------------------------------------------------
     def receive_predictions(

@@ -34,6 +34,33 @@ Fault injection runs at the coordinator on the *unified* stream
 sequence numbers are assigned and before partitioning — a chaos replay
 is a property of the run, not of the worker count.
 
+Fault tolerance
+---------------
+The coordinator side is a :class:`Supervisor`: it spawns the workers,
+tracks their liveness (exit codes via ``peer_alive`` probes inside ring
+waits, missed-heartbeat deadlines for alive-but-hung workers), and
+recovers a dead shard without losing the run.  Recovery is
+checkpoint + replay:
+
+* every ``checkpoint_every`` CYCLE markers, a worker snapshots its full
+  deterministic state (:mod:`repro.core.checkpoint`) and ships the
+  content-hashed blob up the pipe;
+* the coordinator keeps every pushed slot block in a bounded per-shard
+  **replay buffer**, tagged with the number of CYCLE markers broadcast
+  before it; a checkpoint at cycle *c* prunes tags ``< c``;
+* on death, the ring is :meth:`~repro.common.buffers.SharedRing.reset`,
+  a fresh worker is spawned with the last checkpoint blob, and the
+  buffered suffix (tags ``>= c``, ending with the original EOF if it
+  was already sent) is replayed into the fresh ring.
+
+Because the worker pipeline is deterministic in the delivered slot
+sequence, the respawned worker reproduces the dead one's output
+bit-for-bit — the merged ``prediction_log_digest`` of a murdered run
+equals the unfaulted single-process digest.  A crash that outruns the
+replay buffer (the needed suffix was partly dropped to honour the
+bound) degrades *loudly*: the shard is marked FAILED on the watchdog,
+``lossy_recoveries`` is counted, and the run still completes.
+
 Determinism
 -----------
 The merged log is sorted by ``(seq, shard)``.  ``seq`` is the record's
@@ -56,13 +83,17 @@ from __future__ import annotations
 
 import hashlib
 import multiprocessing as mp
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+import os
+import time
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.common.buffers import SharedRing
+from repro.common.buffers import PeerDead, SharedRing
 from repro.features.keys import canonical_key_arrays, shard_arrays
+from repro.resilience.process_chaos import ProcessChaos
 
+from .checkpoint import restore_detector, snapshot_detector
 from .database import FlowDatabase, PredictionEntry
 
 if TYPE_CHECKING:
@@ -71,6 +102,7 @@ if TYPE_CHECKING:
     from .mechanism import AutomatedDDoSDetector
 
 __all__ = [
+    "Supervisor",
     "run_sharded",
     "prediction_log_digest",
     "pack_predictions",
@@ -183,8 +215,19 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
 
     ``spec`` is a plain picklable dict (spawn-compatible even though the
     default start method is fork): ring coordinates, the trained bundle,
-    and the detector configuration.  The worker runs a completely
-    ordinary batched detector — sharding lives entirely outside it.
+    the detector configuration, and — for supervised runs — the restore
+    blob, checkpoint cadence, and any worker-side chaos fault plan.
+    The worker runs a completely ordinary batched detector — sharding
+    lives entirely outside it.
+
+    Pipe protocol (worker → coordinator, all tuples):
+
+    * ``("hb", cycles_done)`` — liveness ping after every CYCLE marker
+      (and every drain round after EOF);
+    * ``("checkpoint", cycles_done, last_seq, blob)`` — content-hashed
+      state snapshot, every ``checkpoint_every`` markers;
+    * ``("result", packed, stats)`` — the shard's prediction log;
+    * ``("error", msg)`` — best-effort last words before dying.
     """
     # Local import: the mechanism module imports this one.
     from .mechanism import AutomatedDDoSDetector
@@ -198,18 +241,39 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
     )
     cycle_budget = int(spec["cycle_budget"])
     timeout_s = float(spec["idle_timeout_s"])
+    checkpoint_every = int(spec.get("checkpoint_every", 0))
+    raise_at = int(spec.get("raise_at_cycle", 0))
+    hang_at = int(spec.get("hang_at_cycle", 0))
+    parent_pid = int(spec.get("parent_pid", 0))
+
+    cycles_done = 0
+    last_seq = -1
+    restore_blob = spec.get("restore")
+    if restore_blob is not None:
+        payload = restore_detector(det, restore_blob)
+        cycles_done = int(payload["cycles_done"])
+        last_seq = int(payload["last_seq"])
+
+    def coordinator_alive() -> bool:
+        return os.getppid() == parent_pid
+
+    alive: Optional[Callable[[], bool]] = (
+        coordinator_alive if parent_pid else None
+    )
 
     def feed(run: np.ndarray) -> None:
+        nonlocal last_seq
         if run.shape[0]:
+            seqs = run["seq"].astype(np.int64)
             det.collection.feed_batch(
-                _extract_records(run, record_dtype),
-                seqs=run["seq"].astype(np.int64),
+                _extract_records(run, record_dtype), seqs=seqs
             )
+            last_seq = int(seqs[-1])
 
     try:
         done = False
         while not done:
-            slab = ring.pop(timeout=timeout_s)
+            slab = ring.pop(timeout=timeout_s, peer_alive=alive)
             if slab.shape[0] == 0:
                 raise TimeoutError(
                     f"shard {spec['shard']} starved for {timeout_s:.0f}s"
@@ -221,13 +285,32 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
                 pos = m + 1
                 if kinds[m] == KIND_CYCLE:
                     det.central.cycle(max_updates=cycle_budget)
+                    cycles_done += 1
+                    if raise_at and cycles_done == raise_at:
+                        raise RuntimeError(
+                            f"chaos: raise-in-worker at cycle {cycles_done}"
+                        )
+                    if hang_at and cycles_done == hang_at:
+                        # Simulated livelock: alive, silent, no progress.
+                        # Only the supervisor's missed-heartbeat deadline
+                        # can end this worker.
+                        while True:
+                            # repro: allow[DET002] chaos hang loop; killed externally by the supervisor
+                            time.sleep(0.05)
+                    conn.send(("hb", cycles_done))
+                    if checkpoint_every and cycles_done % checkpoint_every == 0:
+                        blob = snapshot_detector(det, cycles_done, last_seq)
+                        conn.send(("checkpoint", cycles_done, last_seq, blob))
                 else:  # KIND_EOF
-                    det.central.drain(batch=cycle_budget)
+                    # Manual drain (cycle until no progress) so liveness
+                    # pings keep flowing through a long final backlog.
+                    while det.central.cycle(max_updates=cycle_budget) > 0:
+                        conn.send(("hb", cycles_done))
                     done = True
                     break
             if not done:
                 feed(slab[pos:])
-        conn.send((pack_predictions(det.db.predictions), det.stats()))
+        conn.send(("result", pack_predictions(det.db.predictions), det.stats()))
     except BaseException as exc:  # noqa: BLE001 - report, then die
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -240,7 +323,466 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
 
 
 # ---------------------------------------------------------------------------
-# coordinator
+# coordinator / supervision
+# ---------------------------------------------------------------------------
+class _WorkerHung(RuntimeError):
+    """Internal: a worker is alive but missed its heartbeat deadline."""
+
+
+class Supervisor:
+    """Worker lifecycle manager for one sharded run.
+
+    Owns the rings, processes, and pipes; every push to a worker goes
+    through :meth:`send`, which (1) records the slot block in the
+    shard's bounded replay buffer *before* pushing and (2) waits with
+    liveness probes, so a dead consumer surfaces as
+    :class:`~repro.common.buffers.PeerDead` (never an infinite
+    backpressure hang) and triggers :meth:`recover` in place.
+
+    Parameters
+    ----------
+    detector :
+        The coordinator-side detector (supplies the bundle, the worker
+        config recipe, and the watchdog that receives shard lifecycle
+        health alerts).
+    record_dtype, n_shards, ring_capacity, cycle_budget, idle_timeout_s,
+    start_method :
+        Run layout, as in :func:`run_sharded`.
+    checkpoint_every : int
+        CYCLE markers between worker checkpoints; 0 disables
+        checkpointing (recovery then replays the whole stream).
+    replay_buffer_records : int
+        Per-shard replay-buffer bound in slots.  Oldest blocks are
+        dropped (and counted) past the bound; a recovery that needed a
+        dropped block is *lossy* and degrades loudly.
+    heartbeat_timeout_s : float
+        An alive worker that neither messages nor consumes ring slots
+        for this long (while the coordinator is waiting on it) is
+        declared hung, killed, and recovered.
+    process_chaos : ProcessChaos, optional
+        Worker-kill plan (initial spawns only; respawns are never
+        re-targeted).
+    max_respawns : int
+        Per-shard respawn budget; exceeding it aborts the run (a shard
+        that keeps dying is a systemic failure, not a transient one).
+    clock : callable() -> int, optional
+        Monotonic ns source for heartbeat deadlines and restore-latency
+        measurement; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        detector: "AutomatedDDoSDetector",
+        record_dtype: np.dtype,
+        n_shards: int,
+        ring_capacity: int,
+        cycle_budget: int,
+        idle_timeout_s: float,
+        start_method: str = "fork",
+        checkpoint_every: int = 16,
+        replay_buffer_records: Optional[int] = None,
+        heartbeat_timeout_s: float = 30.0,
+        process_chaos: Optional[ProcessChaos] = None,
+        max_respawns: int = 3,
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
+        self.detector = detector
+        self.record_dtype = record_dtype
+        self.slot_dtype = slot_dtype_for(record_dtype)
+        self.n_shards = int(n_shards)
+        self.ring_capacity = int(ring_capacity)
+        self.cycle_budget = int(cycle_budget)
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.checkpoint_every = int(checkpoint_every)
+        if replay_buffer_records is None:
+            # Default bound: several checkpoint intervals of slots, so a
+            # clean run never outruns it even if every record lands on
+            # one shard (checkpoints prune the buffer as they arrive).
+            per_interval = max(self.checkpoint_every, 1) * 64 + 64
+            replay_buffer_records = max(4 * per_interval, 4096)
+        self.replay_buffer_records = int(replay_buffer_records)
+        self.heartbeat_timeout_s = float(heartbeat_timeout_s)
+        self.process_chaos = process_chaos
+        self.max_respawns = int(max_respawns)
+        self.clock: Callable[[], int] = (
+            clock if clock is not None
+            else time.monotonic_ns  # repro: allow[DET002] injectable default; supervision deadlines are wall-clock by nature
+        )
+        self._ctx = mp.get_context(start_method)
+        self.rings: List[SharedRing] = []
+        self.procs: List[Any] = []
+        self.conns: List[Any] = []
+        # Replay buffer: per shard, list of (tag, slots) where tag is
+        # the number of CYCLE markers broadcast before the block.
+        self._replay: List[List[Tuple[int, np.ndarray]]] = []
+        self._replay_size: List[int] = []
+        self._max_dropped_tag: List[int] = []
+        # Last received checkpoint per shard: (cycle, last_seq, blob).
+        self._checkpoints: List[Optional[Tuple[int, int, bytes]]] = []
+        self._last_error: List[str] = []
+        self._results: List[Optional[Tuple[np.ndarray, dict]]] = []
+        self._progress_ns: List[int] = []
+        self._respawns: List[int] = []
+        self.cycles_sent = 0
+        # Counters for mechanism.stats().
+        self.workers_died = 0
+        self.workers_respawned = 0
+        self.checkpoints_taken = 0
+        self.lossy_recoveries = 0
+        self.replay_dropped_records = 0
+        self.restore_latencies_s: List[float] = []
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    def _spawn(
+        self, shard: int, restore: Optional[bytes], initial: bool = False
+    ) -> None:
+        """(Re)start one worker process on this shard's ring.
+
+        ``restore`` carries the checkpoint blob for respawns (``None``
+        when the shard died before its first checkpoint — the worker
+        then starts fresh and the coordinator replays everything).
+        Chaos fault plans are armed only on the ``initial`` spawn:
+        re-arming a raise/hang on a respawn would crash-loop recovery.
+        """
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        raise_at = hang_at = 0
+        if initial and self.process_chaos is not None:
+            raise_at, hang_at = self.process_chaos.worker_fault(shard)
+        spec: Dict[str, Any] = {
+            "shard": shard,
+            "ring_name": self.rings[shard].name,
+            "capacity": self.ring_capacity,
+            "record_dtype": self.record_dtype,
+            "bundle": self.detector.bundle,
+            "config": self.detector.worker_config(),
+            "cycle_budget": self.cycle_budget,
+            "idle_timeout_s": self.idle_timeout_s,
+            "checkpoint_every": self.checkpoint_every,
+            "restore": restore,
+            "raise_at_cycle": raise_at,
+            "hang_at_cycle": hang_at,
+            "parent_pid": os.getpid(),
+        }
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(spec, child_conn),
+            name=f"shard-{shard}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.procs[shard] = proc
+        self.conns[shard] = parent_conn
+        self._progress_ns[shard] = self.clock()
+
+    def start(self) -> None:
+        """Create the rings and launch every shard's initial worker."""
+        for shard in range(self.n_shards):
+            self.rings.append(SharedRing(self.slot_dtype, self.ring_capacity))
+            self.procs.append(None)
+            self.conns.append(None)
+            self._replay.append([])
+            self._replay_size.append(0)
+            self._max_dropped_tag.append(-1)
+            self._checkpoints.append(None)
+            self._last_error.append("")
+            self._results.append(None)
+            self._progress_ns.append(0)
+            self._respawns.append(0)
+            self._spawn(shard, restore=None, initial=True)
+
+    # ------------------------------------------------------------------
+    # pipe pumping (heartbeats, checkpoints, errors, results)
+    # ------------------------------------------------------------------
+    def _handle(self, shard: int, msg: Tuple[Any, ...]) -> None:
+        self._progress_ns[shard] = self.clock()
+        kind = msg[0]
+        if kind == "hb":
+            pass
+        elif kind == "checkpoint":
+            cycle, last_seq, blob = int(msg[1]), int(msg[2]), msg[3]
+            self._checkpoints[shard] = (cycle, last_seq, blob)
+            self.checkpoints_taken += 1
+            # Prune replay entries the checkpoint now covers.
+            buf = self._replay[shard]
+            keep = 0
+            while keep < len(buf) and buf[keep][0] < cycle:
+                self._replay_size[shard] -= int(buf[keep][1].shape[0])
+                keep += 1
+            if keep:
+                del buf[:keep]
+        elif kind == "result":
+            self._results[shard] = (msg[1], msg[2])
+        elif kind == "error":
+            self._last_error[shard] = str(msg[1])
+
+    def _pump(self) -> None:
+        """Drain every worker pipe without blocking.
+
+        Called from ring-wait loops and the collect loop: keeps
+        heartbeats fresh, prunes replay buffers as checkpoints land, and
+        — critically — unblocks a worker stuck sending a large
+        checkpoint blob while the coordinator is itself blocked pushing
+        into that worker's full ring.
+        """
+        for shard, conn in enumerate(self.conns):
+            if conn is None or self._results[shard] is not None:
+                continue
+            try:
+                while conn.poll(0):
+                    self._handle(shard, conn.recv())
+            except (EOFError, OSError):
+                continue  # worker died mid-send; liveness probes handle it
+
+    def _stale(self, shard: int) -> bool:
+        elapsed_s = (self.clock() - self._progress_ns[shard]) / 1e9
+        return elapsed_s > self.heartbeat_timeout_s
+
+    # ------------------------------------------------------------------
+    # guarded push + recovery
+    # ------------------------------------------------------------------
+    def _buffer(self, shard: int, slots: np.ndarray, tag: int) -> None:
+        """Append a block to the shard's replay buffer, enforcing the
+        bound by dropping oldest blocks (loudly counted)."""
+        buf = self._replay[shard]
+        buf.append((tag, slots))
+        self._replay_size[shard] += int(slots.shape[0])
+        while self._replay_size[shard] > self.replay_buffer_records and len(buf) > 1:
+            old_tag, old_slots = buf.pop(0)
+            self._replay_size[shard] -= int(old_slots.shape[0])
+            self.replay_dropped_records += int(old_slots.shape[0])
+            if old_tag > self._max_dropped_tag[shard]:
+                self._max_dropped_tag[shard] = old_tag
+
+    def _push(self, shard: int, slots: np.ndarray) -> None:
+        """Push with liveness probes; raises PeerDead/_WorkerHung."""
+        ring = self.rings[shard]
+        proc = self.procs[shard]
+        fill_before = len(ring)
+
+        def on_wait() -> None:
+            nonlocal fill_before
+            self._pump()
+            fill = len(ring)
+            if fill != fill_before:
+                fill_before = fill
+                self._progress_ns[shard] = self.clock()
+            elif self._stale(shard):
+                raise _WorkerHung(
+                    f"shard {shard} consumed nothing for "
+                    f"{self.heartbeat_timeout_s:.1f}s with a full ring"
+                )
+
+        ring.push(
+            slots,
+            timeout=self.idle_timeout_s,
+            peer_alive=proc.is_alive,
+            on_wait=on_wait,
+        )
+
+    def send(self, shard: int, slots: np.ndarray, tag: int) -> None:
+        """Record a slot block in the replay buffer, then push it.
+
+        On consumer death (``PeerDead``), a missed heartbeat deadline,
+        or a full-ring timeout, the shard is recovered in place — the
+        current block is already buffered, so the recovery replay
+        delivers it and this call returns with the stream intact.
+        """
+        self._buffer(shard, slots, tag)
+        try:
+            self._push(shard, slots)
+        except PeerDead:
+            self.recover(shard, self._death_reason(shard))
+        except (_WorkerHung, TimeoutError) as exc:
+            self._kill(shard)
+            self.recover(shard, f"hung: {exc}")
+
+    def _death_reason(self, shard: int) -> str:
+        proc = self.procs[shard]
+        proc.join(timeout=self.idle_timeout_s)
+        reason = f"exitcode {proc.exitcode}"
+        if self._last_error[shard]:
+            reason += f"; last error: {self._last_error[shard]}"
+        return reason
+
+    def _kill(self, shard: int) -> None:
+        proc = self.procs[shard]
+        try:
+            proc.kill()
+        except (ProcessLookupError, AttributeError):
+            pass
+        proc.join(timeout=self.idle_timeout_s)
+
+    def recover(self, shard: int, reason: str) -> None:
+        """Respawn a dead shard from its last checkpoint and replay the
+        buffered suffix.  Emits DEGRADED → HEALTHY watchdog transitions
+        (FAILED instead, when the crash outran the replay buffer)."""
+        t0 = self.clock()
+        watchdog = self.detector.watchdog
+        module = f"shard-{shard}"
+        self.workers_died += 1
+        watchdog.degraded(module, f"worker died ({reason})")
+        self._kill(shard)  # reap if not already gone
+        try:
+            self.conns[shard].close()
+        except Exception:
+            pass
+
+        ckpt = self._checkpoints[shard]
+        cycle, last_seq = (ckpt[0], ckpt[1]) if ckpt is not None else (0, -1)
+        blob = ckpt[2] if ckpt is not None else None
+        lossy = self._max_dropped_tag[shard] >= cycle
+        if lossy:
+            self.lossy_recoveries += 1
+            watchdog.failed(
+                module,
+                f"crash outran the replay buffer: checkpoint cycle {cycle} "
+                f"needs blocks up to tag {self._max_dropped_tag[shard]} that "
+                "were dropped; recovered state will diverge",
+            )
+
+        for attempt in range(self.max_respawns):
+            self._respawns[shard] += 1
+            if self._respawns[shard] > self.max_respawns:
+                raise RuntimeError(
+                    f"shard {shard} exceeded {self.max_respawns} respawns "
+                    f"({reason})"
+                )
+            # Fresh worker sees an empty ring (discards any partial
+            # write the failed push left) and the checkpointed state.
+            self.rings[shard].reset()
+            self._spawn(shard, restore=blob)
+            try:
+                for tag, slots in list(self._replay[shard]):
+                    if tag >= cycle:
+                        self._push(shard, slots)
+            except (PeerDead, _WorkerHung, TimeoutError):
+                self._kill(shard)
+                continue
+            break
+        else:
+            raise RuntimeError(
+                f"shard {shard} died {self.max_respawns} times during "
+                f"recovery ({reason})"
+            )
+
+        self.workers_respawned += 1
+        self.restore_latencies_s.append((self.clock() - t0) / 1e9)
+        if not lossy:
+            watchdog.healthy(
+                module,
+                f"respawned; restored from checkpoint cycle {cycle} "
+                f"(seq {last_seq})",
+            )
+
+    # ------------------------------------------------------------------
+    # stream driving
+    # ------------------------------------------------------------------
+    def dispatch(self, delivered: np.ndarray, seqs: np.ndarray) -> None:
+        """Partition a delivered slice by canonical-key hash and push
+        each partition to its shard (tagged for replay)."""
+        n = delivered.shape[0]
+        if n == 0:
+            return
+        shards = shard_arrays(*canonical_key_arrays(delivered), self.n_shards)
+        for shard in range(self.n_shards):
+            sel = np.flatnonzero(shards == shard)
+            if sel.size == 0:
+                continue
+            slots = np.zeros(sel.size, dtype=self.slot_dtype)
+            slots["kind"] = KIND_DATA
+            slots["seq"] = seqs[sel]
+            part = delivered[sel]
+            for name in self.record_dtype.names:
+                slots[name] = part[name]
+            self.send(shard, slots, tag=self.cycles_sent)
+        self._pump()
+
+    def broadcast(self, kind: int) -> None:
+        """Push a control marker to every ring; CYCLE markers advance
+        the replay tag and trigger any scheduled SIGKILL chaos."""
+        marker = np.zeros(1, dtype=self.slot_dtype)
+        marker["kind"] = kind
+        tag = self.cycles_sent
+        for shard in range(self.n_shards):
+            self.send(shard, marker, tag=tag)
+        if kind == KIND_CYCLE:
+            self.cycles_sent += 1
+            if self.process_chaos is not None:
+                for shard in self.process_chaos.sigkills_at(self.cycles_sent):
+                    self._kill(shard)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # result collection
+    # ------------------------------------------------------------------
+    def collect(self) -> List[Tuple[np.ndarray, dict]]:
+        """Wait for every shard's result, recovering any worker that
+        dies or hangs on the way out."""
+        for shard in range(self.n_shards):
+            while self._results[shard] is None:
+                self._pump()
+                if self._results[shard] is not None:
+                    break
+                proc = self.procs[shard]
+                if not proc.is_alive():
+                    self._pump()  # drain anything sent before death
+                    if self._results[shard] is not None:
+                        break
+                    self.recover(shard, self._death_reason(shard))
+                elif self._stale(shard):
+                    self._kill(shard)
+                    self.recover(
+                        shard,
+                        f"missed heartbeat deadline "
+                        f"({self.heartbeat_timeout_s:.1f}s) while draining",
+                    )
+                else:
+                    time.sleep(SharedRing.WAIT_SLEEP_S)  # repro: allow[DET002] coordinator wait loop; bounded by liveness probes above
+        out: List[Tuple[np.ndarray, dict]] = []
+        for shard in range(self.n_shards):
+            result = self._results[shard]
+            assert result is not None
+            out.append(result)
+        return out
+
+    def join_all(self) -> None:
+        for proc in self.procs:
+            if proc is not None:
+                proc.join(timeout=self.idle_timeout_s)
+
+    # ------------------------------------------------------------------
+    # teardown + observability
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Terminate anything still alive and destroy the rings."""
+        for proc in self.procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for ring in self.rings:
+            try:
+                ring.close()
+                ring.unlink()
+            except Exception:
+                pass
+
+    def stats(self) -> Dict[str, object]:
+        """Supervision counters for the mechanism's stats surface."""
+        return {
+            "workers_died": self.workers_died,
+            "workers_respawned": self.workers_respawned,
+            "checkpoints_taken": self.checkpoints_taken,
+            "lossy_recoveries": self.lossy_recoveries,
+            "replay_dropped_records": self.replay_dropped_records,
+            "restore_latencies_s": list(self.restore_latencies_s),
+        }
+
+
+# ---------------------------------------------------------------------------
+# entry point
 # ---------------------------------------------------------------------------
 def run_sharded(
     detector: "AutomatedDDoSDetector",
@@ -251,8 +793,13 @@ def run_sharded(
     ring_capacity: Optional[int] = None,
     start_method: str = "fork",
     idle_timeout_s: float = 60.0,
+    checkpoint_every: int = 16,
+    replay_buffer_records: Optional[int] = None,
+    heartbeat_timeout_s: float = 30.0,
+    process_chaos: Optional[ProcessChaos] = None,
+    max_respawns: int = 3,
 ) -> FlowDatabase:
-    """Fan a record stream out over ``n_shards`` worker processes.
+    """Fan a record stream out over ``n_shards`` supervised workers.
 
     The coordinator walks the original stream in ``poll_every`` slices —
     the same slicing as the single-process batched loop — applying the
@@ -261,52 +808,41 @@ def run_sharded(
     canonical-key hash, and pushing each partition into its worker's
     ring.  Slice boundaries become CYCLE markers on *every* ring; EOF
     follows the final flush.  Results merge into ``detector.db`` sorted
-    by ``(seq, shard)`` and the per-worker stats land on
-    ``detector.shard_stats``.
+    by ``(seq, shard)``; per-worker stats land on
+    ``detector.shard_stats`` and supervision counters on
+    ``detector.supervision_stats``.
+
+    Worker crashes (including any scheduled by ``process_chaos``) are
+    recovered transparently via checkpoint + replay — see
+    :class:`Supervisor`; the merged log is byte-identical to an
+    unfaulted run unless the crash outran the replay buffer, which is
+    loudly surfaced instead.
     """
     if n_shards < 1:
         raise ValueError(f"n_shards must be >= 1: {n_shards}")
     if poll_every < 1 or cycle_budget < 1:
         raise ValueError("poll_every and cycle_budget must be >= 1")
-    record_dtype = records.dtype
-    slot_dtype = slot_dtype_for(record_dtype)
     if ring_capacity is None:
         # Room for several slices per shard so a briefly-stalled worker
         # does not immediately backpressure the coordinator.
         ring_capacity = max(8 * poll_every, 1024)
 
-    ctx = mp.get_context(start_method)
-    rings: List[SharedRing] = []
-    procs = []
-    conns = []
-    marker = np.zeros(1, dtype=slot_dtype)
-
+    sup = Supervisor(
+        detector,
+        record_dtype=records.dtype,
+        n_shards=n_shards,
+        ring_capacity=ring_capacity,
+        cycle_budget=cycle_budget,
+        idle_timeout_s=idle_timeout_s,
+        start_method=start_method,
+        checkpoint_every=checkpoint_every,
+        replay_buffer_records=replay_buffer_records,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        process_chaos=process_chaos,
+        max_respawns=max_respawns,
+    )
     try:
-        for shard in range(n_shards):
-            ring = SharedRing(slot_dtype, ring_capacity)
-            rings.append(ring)
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            spec = {
-                "shard": shard,
-                "ring_name": ring.name,
-                "capacity": ring_capacity,
-                "record_dtype": record_dtype,
-                "bundle": detector.bundle,
-                "config": detector.worker_config(),
-                "cycle_budget": cycle_budget,
-                "idle_timeout_s": idle_timeout_s,
-            }
-            proc = ctx.Process(
-                target=_shard_worker_main,
-                args=(spec, child_conn),
-                name=f"shard-{shard}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            procs.append(proc)
-            conns.append(parent_conn)
-
+        sup.start()
         injector = detector.fault_injector
         seq_base = 0
 
@@ -317,25 +853,7 @@ def run_sharded(
                 return
             seqs = np.arange(seq_base, seq_base + n, dtype=np.int64)
             seq_base += n
-            shards = shard_arrays(
-                *canonical_key_arrays(delivered), n_shards
-            )
-            for shard in range(n_shards):
-                sel = np.flatnonzero(shards == shard)
-                if sel.size == 0:
-                    continue
-                slots = np.zeros(sel.size, dtype=slot_dtype)
-                slots["kind"] = KIND_DATA
-                slots["seq"] = seqs[sel]
-                part = delivered[sel]
-                for name in record_dtype.names:
-                    slots[name] = part[name]
-                rings[shard].push(slots, timeout=idle_timeout_s)
-
-        def broadcast(kind: int) -> None:
-            marker["kind"] = kind
-            for ring in rings:
-                ring.push(marker, timeout=idle_timeout_s)
+            sup.dispatch(delivered, seqs)
 
         for start in range(0, records.shape[0], poll_every):
             chunk = records[start : start + poll_every]
@@ -344,19 +862,13 @@ def run_sharded(
             else:
                 dispatch(chunk)
             if chunk.shape[0] == poll_every:
-                broadcast(KIND_CYCLE)
+                sup.broadcast(KIND_CYCLE)
         if injector is not None:
             dispatch(injector.transform_flush())
-        broadcast(KIND_EOF)
+        sup.broadcast(KIND_EOF)
 
-        shard_results: List[Tuple[np.ndarray, dict]] = []
-        for shard, conn in enumerate(conns):
-            msg = conn.recv()
-            if isinstance(msg[0], str) and msg[0] == "error":
-                raise RuntimeError(f"shard {shard} failed: {msg[1]}")
-            shard_results.append(msg)
-        for proc in procs:
-            proc.join(timeout=idle_timeout_s)
+        shard_results = sup.collect()
+        sup.join_all()
 
         merged: List[Tuple[int, int, PredictionEntry]] = []
         for shard, (packed, _stats) in enumerate(shard_results):
@@ -367,15 +879,7 @@ def run_sharded(
         for _, _, entry in merged:
             db.store_prediction(entry)
         detector.shard_stats = [stats for _, stats in shard_results]
+        detector.supervision_stats = sup.stats()
         return db
     finally:
-        for proc in procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=5.0)
-        for ring in rings:
-            try:
-                ring.close()
-                ring.unlink()
-            except Exception:
-                pass
+        sup.shutdown()

@@ -161,6 +161,58 @@ class FlowRecord:
         self.updates += 1
 
     # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> tuple:
+        """Full record state as a plain picklable tuple.
+
+        Everything :meth:`update` touches is captured — including the raw
+        Welford accumulator triples — so a restored record continues the
+        stream with bit-identical arithmetic.  ``created_ns`` /
+        ``updated_ns`` are *simulation* timestamps (they come from the
+        telemetry, not a wall clock), so checkpointing them is
+        deterministic.
+        """
+        return (
+            self.key,
+            self.wrap_aware,
+            self.created_ns,
+            self.updated_ns,
+            self.protocol,
+            self.packet_size,
+            self.inter_arrival_s,
+            self.queue_occupancy,
+            self.hop_latency_s,
+            self.n_packets,
+            self.total_bytes,
+            self.duration_s,
+            self._last_ts32,
+            self.size_stats.state(),
+            self.iat_stats.state(),
+            self.occ_stats.state(),
+            self.updates,
+        )
+
+    @classmethod
+    def from_state(cls, state: tuple) -> "FlowRecord":
+        """Rebuild a record captured by :meth:`state_snapshot`."""
+        rec = cls(state[0], wrap_aware=state[1])
+        (
+            _key, _wrap,
+            rec.created_ns, rec.updated_ns,
+            rec.protocol, rec.packet_size, rec.inter_arrival_s,
+            rec.queue_occupancy, rec.hop_latency_s,
+            rec.n_packets, rec.total_bytes, rec.duration_s,
+            rec._last_ts32,
+            size_state, iat_state, occ_state,
+            rec.updates,
+        ) = state
+        rec.size_stats.set_state(*size_state)
+        rec.iat_stats.set_state(*iat_state)
+        rec.occ_stats.set_state(*occ_state)
+        return rec
+
+    # ------------------------------------------------------------------
     @property
     def is_new(self) -> bool:
         """True until the record has been updated at least once beyond

@@ -313,6 +313,41 @@ class FlowTable:
         self.expired += len(stale)
         return len(stale)
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Table state as a plain picklable dict.
+
+        Records are captured **in LRU order** (the ``OrderedDict``
+        iteration order) — restore rebuilds the same order, so
+        ``max_flows`` evictions and :meth:`expire_idle` sweeps after a
+        restore hit exactly the flows they would have hit without the
+        checkpoint round-trip.
+        """
+        return {
+            "records": [rec.state_snapshot() for rec in self._flows.values()],
+            "created": self.created,
+            "evicted": self.evicted,
+            "expired": self.expired,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Replace table contents with a :meth:`state_snapshot` capture.
+
+        Configuration (``max_flows``, ``idle_timeout_ns``,
+        ``wrap_aware``) is *not* restored — the restoring process
+        constructs the table with the same recipe the checkpointed one
+        used.
+        """
+        self._flows.clear()
+        for rec_state in state["records"]:
+            rec = FlowRecord.from_state(rec_state)
+            self._flows[rec.key] = rec
+        self.created = int(state["created"])
+        self.evicted = int(state["evicted"])
+        self.expired = int(state["expired"])
+
     def items(self) -> Iterator[Tuple[tuple, FlowRecord]]:
         return iter(self._flows.items())
 

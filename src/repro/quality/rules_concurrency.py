@@ -1,4 +1,4 @@
-"""Concurrency rules (CONC001–CONC004).
+"""Concurrency rules (CONC001–CONC005).
 
 CONC001/CONC002 encode the :class:`~repro.common.buffers.SharedRing`
 SPSC publication protocol.  The ring's only memory-ordering guarantee is
@@ -15,6 +15,11 @@ CONC003/CONC004 guard the ``multiprocessing`` spawn boundary used by
 :mod:`repro.core.sharding`: mutable module globals silently fork into
 divergent per-process copies, and closure-captured functions do not
 survive a spawn pickle at all.
+
+CONC005 guards liveness at the same boundary: a ring ``push``/``pop``
+with neither a ``timeout=`` nor a ``peer_alive=`` guard blocks forever
+when the peer process dies — the exact infinite-backpressure hang the
+supervised runtime exists to prevent.
 """
 
 from __future__ import annotations
@@ -270,9 +275,58 @@ class SpawnClosureRule:
                         )
 
 
+def _receiver_name(expr: ast.expr) -> Optional[str]:
+    """Terminal identifier of a call receiver: ``ring`` for
+    ``ring.push``, ``rings`` for ``self.rings[shard].push``."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Subscript):
+        return _receiver_name(expr.value)
+    if isinstance(expr, ast.Call):
+        return _receiver_name(expr.func)
+    return None
+
+
+class UnboundedRingWaitRule:
+    id = "CONC005"
+    summary = (
+        "ring push/pop without a timeout or peer-liveness guard — "
+        "blocks forever if the peer process dies"
+    )
+
+    _WAIT_METHODS = ("push", "pop")
+    _GUARD_KWARGS = ("timeout", "peer_alive")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for call in ast.walk(module.tree):
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._WAIT_METHODS
+            ):
+                continue
+            receiver = _receiver_name(func.value)
+            if receiver is None or "ring" not in receiver.lower():
+                continue
+            kwargs = {kw.arg for kw in call.keywords}
+            if kwargs.intersection(self._GUARD_KWARGS):
+                continue
+            yield Finding(
+                module.path, call.lineno, self.id,
+                f"{receiver}.{func.attr}(...) has neither `timeout=` nor "
+                "`peer_alive=` — a dead peer process turns this wait into "
+                "an unbounded hang; pass a deadline or a liveness probe",
+            )
+
+
 RULES = [
     RingPublishOrderRule(),
     RingCursorMonotonicRule(),
     MutableGlobalRule(),
     SpawnClosureRule(),
+    UnboundedRingWaitRule(),
 ]

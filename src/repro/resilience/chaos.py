@@ -320,6 +320,34 @@ class FaultInjector:
         return len(released)
 
     # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Mid-stream injector state as a plain picklable dict: the RNG
+        position (``bit_generator.state``), the Gilbert-Elliott channel
+        state, the reorder hold buffer, the stream index, and the fault
+        counters.  A restored injector continues the fault walk with the
+        exact draw sequence the checkpointed one would have produced."""
+        return {
+            "rng_state": self.rng.bit_generator.state,
+            "bad_state": self._bad_state,
+            "held": [[c, row.copy(), i] for c, row, i in self._held],
+            "index": self._index,
+            "stats": {f.name: getattr(self.stats, f.name)
+                      for f in fields(self.stats)},
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Resume the fault walk from a :meth:`state_snapshot` capture
+        (the schedule itself is construction config, not state)."""
+        self.rng.bit_generator.state = state["rng_state"]
+        self._bad_state = bool(state["bad_state"])
+        self._held = [[c, row, i] for c, row, i in state["held"]]
+        self._index = int(state["index"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+
+    # ------------------------------------------------------------------
     # batch mode (offline ablations)
     # ------------------------------------------------------------------
     def apply(

@@ -151,6 +151,24 @@ class Watchdog:
             sink(alert)
         return alert
 
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Per-module health map + transition count.  Past alerts are
+        *not* captured — they were already delivered to the sinks, and
+        re-emitting them on restore would double-count transitions."""
+        return {
+            "state": {m: int(s) for m, s in self._state.items()},
+            "transitions": self.transitions,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        self._state = {
+            m: ModuleHealth(s) for m, s in state["state"].items()
+        }
+        self.transitions = int(state["transitions"])
+
     def healthy(self, module: str, reason: str = "") -> Optional[HealthAlert]:
         return self.report(module, ModuleHealth.HEALTHY, reason)
 

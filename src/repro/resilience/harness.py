@@ -11,7 +11,12 @@ degrade or crash".  :class:`ResilienceHarness` answers both:
   injector's fault accounting;
 * :meth:`ResilienceHarness.run_model_failure` poisons one ensemble
   member mid-replay and verifies the mechanism quarantines it (watchdog
-  alert, adjusted quorum) instead of crashing.
+  alert, adjusted quorum) instead of crashing;
+* :meth:`ResilienceHarness.run_worker_kill` murders a seeded-random
+  shard worker mid-replay (:class:`~repro.resilience.process_chaos.
+  ProcessChaos`) and verifies the supervised sharded runtime restores
+  it from checkpoint with a merged prediction log byte-identical to the
+  unfaulted single-process run.
 
 Both lean on the cached :func:`~repro.analysis.experiments.run_testbed_study`
 artifacts, so the expensive parts (campaign build, pre-training, DES
@@ -33,8 +38,14 @@ from repro.traffic.trace import AttackType
 
 from .chaos import ChaosSchedule
 from .degradation import HealthAlert, ModuleHealth
+from .process_chaos import ProcessChaos
 
-__all__ = ["ResilienceHarness", "ResilienceReport", "ModelFailureReport"]
+__all__ = [
+    "ResilienceHarness",
+    "ResilienceReport",
+    "ModelFailureReport",
+    "WorkerKillReport",
+]
 
 
 @dataclass
@@ -104,6 +115,31 @@ class ModelFailureReport:
             self.quarantined
             and self.predictions > 0
             and health.get("prediction") == ModuleHealth.DEGRADED.name
+        )
+
+
+@dataclass
+class WorkerKillReport:
+    """Outcome of a worker-kill chaos run against the sharded runtime."""
+
+    plan: ProcessChaos
+    shards: int
+    digest_reference: str
+    digest_recovered: str
+    supervision: dict
+    alerts: List[HealthAlert]
+    predictions: int
+
+    @property
+    def recovered_identically(self) -> bool:
+        """The acceptance property: at least one worker died and was
+        respawned, the recovery was not lossy, and the merged prediction
+        log is byte-identical to the unfaulted single-process run."""
+        return (
+            self.digest_recovered == self.digest_reference
+            and int(self.supervision.get("workers_died", 0)) >= 1
+            and int(self.supervision.get("workers_respawned", 0)) >= 1
+            and int(self.supervision.get("lossy_recoveries", 0)) == 0
         )
 
 
@@ -237,5 +273,62 @@ class ResilienceHarness:
             alerts=list(detector.watchdog.alerts),
             stats=detector.stats(),
             accuracy=accuracy,
+            predictions=len(db.predictions),
+        )
+
+    # ------------------------------------------------------------------
+    def run_worker_kill(
+        self,
+        shards: int = 2,
+        kill_seed: int = 0,
+        mode: str = "sigkill",
+        flow_type: str = "SYN Flood",
+        poll_every: int = 64,
+        cycle_budget: int = 256,
+        checkpoint_every: int = 8,
+        heartbeat_timeout_s: float = 30.0,
+    ) -> WorkerKillReport:
+        """Replay one flow type sharded, killing a seeded-random worker.
+
+        The victim shard and kill cycle are drawn from ``kill_seed``
+        (:meth:`ProcessChaos.seeded`), so a failing case replays
+        exactly.  The reference digest comes from an unfaulted
+        single-process batched run over the same records; a resilient
+        runtime respawns the victim from its last checkpoint, replays
+        the buffered suffix, and merges a byte-identical log.
+        """
+        from repro.core.sharding import prediction_log_digest
+
+        clean = self._study()
+        if clean.bundle is None or flow_type not in clean.test_records:
+            raise RuntimeError("clean study lacks replay artifacts")
+        records = clean.test_records[flow_type]
+        n_cycles = max(1, records.shape[0] // poll_every)
+        plan = ProcessChaos.seeded(
+            kill_seed, n_cycles=n_cycles, n_shards=shards, modes=(mode,)
+        )
+
+        ref = AutomatedDDoSDetector(clean.bundle, batched=True)
+        db_ref = ref.run_stream(
+            records, poll_every=poll_every, cycle_budget=cycle_budget
+        )
+
+        det = AutomatedDDoSDetector(clean.bundle, batched=True)
+        db = det.run_stream(
+            records,
+            poll_every=poll_every,
+            cycle_budget=cycle_budget,
+            shards=shards,
+            checkpoint_every=checkpoint_every,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            process_chaos=plan,
+        )
+        return WorkerKillReport(
+            plan=plan,
+            shards=shards,
+            digest_reference=prediction_log_digest(db_ref),
+            digest_recovered=prediction_log_digest(db),
+            supervision=dict(det.supervision_stats or {}),
+            alerts=list(det.watchdog.alerts),
             predictions=len(db.predictions),
         )

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.buffers import GrowableRecordBuffer, SharedRing
+from repro.common.buffers import GrowableRecordBuffer, PeerDead, SharedRing
 
 DT = np.dtype([("a", np.int64), ("b", np.float64)])
 
@@ -140,6 +140,54 @@ class TestSharedRing:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             SharedRing(DT, capacity=0)
+
+    def test_full_push_raises_peer_dead_before_timeout(self):
+        """A dead consumer surfaces as PeerDead within a probe interval,
+        not as a full-timeout hang (the PR-5 backpressure fix)."""
+        with SharedRing(DT, capacity=2) as ring:
+            ring.push(_block(0, 2))
+            with pytest.raises(PeerDead):
+                ring.push(_block(2, 1), timeout=60.0, peer_alive=lambda: False)
+
+    def test_empty_pop_raises_peer_dead_before_timeout(self):
+        with SharedRing(DT, capacity=2) as ring:
+            with pytest.raises(PeerDead):
+                ring.pop(timeout=60.0, peer_alive=lambda: False)
+
+    def test_on_wait_hook_fires_and_may_abort(self):
+        calls = []
+
+        class Abort(RuntimeError):
+            pass
+
+        def hook():
+            calls.append(1)
+            if len(calls) >= 2:
+                raise Abort()
+
+        with SharedRing(DT, capacity=2) as ring:
+            ring.push(_block(0, 2))
+            with pytest.raises(Abort):
+                ring.push(_block(2, 1), timeout=60.0, on_wait=hook)
+        assert len(calls) == 2
+
+    def test_reset_rewinds_cursors_and_discards_content(self):
+        with SharedRing(DT, capacity=4) as ring:
+            ring.push(_block(0, 3))
+            ring.pop(max_records=1)
+            ring.reset()
+            assert len(ring) == 0
+            ring.push(_block(10, 2))
+            assert ring.pop()["a"].tolist() == [10, 11]
+
+    def test_reset_is_owner_only(self):
+        with SharedRing(DT, capacity=4) as ring:
+            peer = SharedRing.attach(ring.name, DT, 4)
+            try:
+                with pytest.raises(RuntimeError):
+                    peer.reset()
+            finally:
+                peer.close()
 
     def test_cross_process_transfer(self):
         """A child producer streams 10x the ring capacity through it."""

@@ -323,6 +323,40 @@ def test_conc004_clean_for_module_level_target():
 
 
 # ---------------------------------------------------------------------------
+# CONC005 — unbounded ring waits
+# ---------------------------------------------------------------------------
+def test_conc005_flags_guardless_ring_push_and_pop():
+    out = run(
+        "def drive(ring, slots):\n"
+        "    ring.push(slots)\n"
+        "    return ring.pop()\n",
+        rule="CONC005",
+    )
+    assert [f.line for f in out] == [2, 3]
+    # receiver resolved through attribute + subscript chains too
+    assert run(
+        "def drive(self, shard, slots):\n"
+        "    self.rings[shard].push(slots)\n",
+        rule="CONC005",
+    )
+
+
+def test_conc005_clean_with_timeout_or_liveness_guard():
+    assert not run(
+        "def drive(ring, slots, alive):\n"
+        "    ring.push(slots, timeout=30.0)\n"
+        "    return ring.pop(timeout=5.0, peer_alive=alive)\n",
+        rule="CONC005",
+    )
+    # non-ring receivers (list.pop etc.) are out of scope
+    assert not run(
+        "def drain(buf):\n"
+        "    return buf.pop(0)\n",
+        rule="CONC005",
+    )
+
+
+# ---------------------------------------------------------------------------
 # LAY001 — import contract
 # ---------------------------------------------------------------------------
 def test_lay001_flags_back_edge_and_lateral_peer():
