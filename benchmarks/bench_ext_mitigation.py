@@ -1,23 +1,41 @@
 """Extension bench: the detect→mitigate closed loop (paper future work).
 
 Runs the live mechanism against a benign + spoofed-flood + scan mix
-twice — detection-only vs detector-driven ACL enforcement — and measures
-the attack load shed from the victim.  Quantifies what the paper's
-planned mitigation stage would buy on this workload.
+twice — detection-only vs the fault-tolerant mitigation control plane
+(:class:`~repro.mitigation.MitigationController` fed by an
+:class:`~repro.controlplane.EpisodeBridge`, enforcing through the edge
+switch's ACL) — and measures the attack load shed from the victim.
+Quantifies what the paper's planned mitigation stage would buy on this
+workload.
 """
 
-import numpy as np
-
 from repro.analysis.tables import render_table
+from repro.controlplane import EpisodeBridge
 from repro.core import AutomatedDDoSDetector, pretrain_from_records
 from repro.datasets import SERVER_IP, CampaignConfig, monitored_topology
 from repro.datasets.amlight import _build_truth_map, label_records
-from repro.mitigation import AclTable, MitigationEngine, MitigationPolicy, attach_acl
+from repro.mitigation import (
+    AclTable,
+    MitigationConfig,
+    MitigationController,
+    ThresholdRule,
+    attach_acl,
+)
 from repro.traffic import Replayer, generate_benign, merge_traces, syn_flood, syn_scan
 from repro.traffic.benign import BenignConfig
 
 SEC = 1_000_000_000
 ATTACKER = 0xCB007107
+
+POLICY = MitigationConfig(
+    rules=(
+        ThresholdRule(name="hot-flow-block", pps_above=50.0, packets_above=3,
+                      combine="and", scope="flow", action="block",
+                      ttl_ns=30 * SEC),
+    ),
+    episode_rate_pps=60.0,
+    episode_ttl_ns=60 * SEC,
+)
 
 
 def _workload(seed):
@@ -54,14 +72,11 @@ def _run(bundle, mitigate):
     acl = attach_acl(edge) if mitigate else AclTable()
     detector = AutomatedDDoSDetector(bundle, fast_poll=True)
     detector.attach_live(int_col)
-    engine = None
+    controller = None
     if mitigate:
-        engine = MitigationEngine(
-            [acl],
-            MitigationPolicy(host_flow_threshold=4, spoof_source_threshold=40,
-                             per_flow_rules=False),
-        )
-        engine.attach_to(detector)
+        controller = MitigationController(POLICY, tables=[acl])
+        controller.attach_to(detector)
+        EpisodeBridge(controller).attach_inline(detector)
     Replayer(
         topo,
         {"fwd": (edge, 1), "rev": (topo.switches["edge_server"], 2)},
@@ -71,7 +86,7 @@ def _run(bundle, mitigate):
         topo.run(max_events=2000)
         detector.live_cycle(budget=512)
     detector.finish()
-    return server.received, acl, engine
+    return server.received, acl, controller
 
 
 def test_ext_closed_loop_mitigation(benchmark):
@@ -79,29 +94,32 @@ def test_ext_closed_loop_mitigation(benchmark):
 
     def run_both():
         base, _, _ = _run(bundle, mitigate=False)
-        mitigated, acl, engine = _run(bundle, mitigate=True)
-        return base, mitigated, acl, engine
+        mitigated, acl, controller = _run(bundle, mitigate=True)
+        return base, mitigated, acl, controller
 
     # one round: each run simulates ~40k packets through the live loop
-    base, mitigated, acl, engine = benchmark.pedantic(
+    base, mitigated, acl, controller = benchmark.pedantic(
         run_both, rounds=1, iterations=1
     )
     shed = base - mitigated
+    counters = controller.counters
     print("\n" + render_table(
-        "Extension: closed-loop mitigation (detection -> ACL enforcement)",
+        "Extension: closed-loop mitigation (controller -> ACL enforcement)",
         ("Setup", "server packets", "dropped", "rate-limited", "rules"),
         [
             ("detection only", base, 0, 0, 0),
             ("closed loop", mitigated, acl.dropped, acl.rate_limited,
-             len(engine.rules_emitted)),
+             acl.installed),
         ],
         note=f"{shed / base:.0%} of the victim's load shed by "
-        f"{len(engine.rules_emitted)} rules (host block + prefix rate limit)",
+        f"{acl.installed} rules ({counters['episode_escalations']} episode "
+        "escalations: sweep-source block + service rate limit)",
     ))
 
     # the loop must shed a large share of the attack-dominated load...
     assert shed / base > 0.4
-    # ...via escalated rules, not per-flow whack-a-mole
-    assert engine.stats()["hosts_blocked"] >= 1
-    assert engine.stats()["services_rate_limited"] >= 1
-    assert len(engine.rules_emitted) < 10
+    # ...via escalated episode responses, not per-flow whack-a-mole
+    assert counters["episode_escalations"] >= 2
+    assert acl.installed < 10
+    # the enforcement actually fired both ways: hard drops and shaping
+    assert acl.dropped > 0 and acl.rate_limited > 0

@@ -2,16 +2,19 @@
 
 Commands
 --------
-``tables``   regenerate any/all of the paper's tables (I-VI)
-``figures``  regenerate any/all of the paper's figures (1-7)
-``dataset``  build a campaign profile and print its composition
-``schedule`` print the Table I episode schedule and its sim mapping
+``tables``     regenerate any/all of the paper's tables (I-VI)
+``figures``    regenerate any/all of the paper's figures (1-7)
+``dataset``    build a campaign profile and print its composition
+``schedule``   print the Table I episode schedule and its sim mapping
+``mitigation`` run the closed-loop worker-kill scenario and report
+               whether the mitigation action log survived byte-identically
 
 Examples
 --------
     python -m repro tables 3 4            # Tables III and IV
     python -m repro figures               # all figures
     python -m repro dataset --profile tiny
+    python -m repro mitigation --shards 2 --kill-seed 3
 """
 
 from __future__ import annotations
@@ -50,6 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("tiny", "small", "full"))
 
     sub.add_parser("schedule", help="print the Table I schedule")
+
+    m = sub.add_parser(
+        "mitigation",
+        help="closed-loop mitigation under worker-kill: verify the "
+        "action-log digest survives a mid-episode crash",
+    )
+    m.add_argument("--profile", default="tiny",
+                   choices=("tiny", "small", "full"))
+    m.add_argument("--seed", type=int, default=0, help="study seed")
+    m.add_argument("--shards", type=int, default=2)
+    m.add_argument("--kill-seed", type=int, default=0,
+                   help="seed for the victim/cycle kill plan")
+    m.add_argument("--mode", default="sigkill",
+                   choices=("sigkill", "raise", "hang"))
+    m.add_argument("--flow-type", default="SYN Flood")
 
     r = sub.add_parser(
         "report", help="write every table and figure to a directory"
@@ -126,6 +144,32 @@ def _run_schedule(_args) -> int:
     return 0
 
 
+def _run_mitigation(args) -> int:
+    from repro.resilience.harness import ResilienceHarness
+
+    harness = ResilienceHarness(profile=args.profile, seed=args.seed)
+    report = harness.run_mitigation_kill(
+        shards=args.shards,
+        kill_seed=args.kill_seed,
+        mode=args.mode,
+        flow_type=args.flow_type,
+    )
+    print(report.render())
+    counters = report.mitigation_stats.get("counters", {})
+    print(f"counters: installed={counters.get('rules_installed', 0)} "
+          f"refreshed={counters.get('rules_refreshed', 0)} "
+          f"expired={counters.get('rules_expired', 0)} "
+          f"dropped={counters.get('packets_dropped', 0)} "
+          f"rate-shed={counters.get('packets_rate_shed', 0)} "
+          f"escalations={counters.get('episode_escalations', 0)}")
+    if not report.loop_survived:
+        print("FAIL: closed loop did not survive the worker kill",
+              file=sys.stderr)
+        return 1
+    print("OK: mitigation state survived the kill byte-identically")
+    return 0
+
+
 def _run_report(args) -> int:
     from pathlib import Path
 
@@ -162,6 +206,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _run_figures,
         "dataset": _run_dataset,
         "schedule": _run_schedule,
+        "mitigation": _run_mitigation,
         "report": _run_report,
     }
     try:

@@ -7,6 +7,13 @@ episode-level :class:`~repro.controlplane.alerts.Alert` objects — one
 alert per attacked service, opened when evidence crosses a threshold,
 updated while the attack persists, closed after quiet time — and fanned
 out to notification sinks.
+
+The control plane also closes the response loop:
+:class:`~repro.controlplane.bridge.EpisodeBridge` escalates opened
+episodes into the mitigation controller's action tier, and
+:class:`~repro.controlplane.httpapi.MitigationHTTPServer` exposes the
+operator command API over loopback HTTP (optional; the deterministic
+core speaks only the in-process JSON API).
 """
 
 from .alerts import (
@@ -20,15 +27,19 @@ from .alerts import (
     LogSink,
     ModuleHealth,
 )
+from .bridge import EpisodeBridge
+from .httpapi import MitigationHTTPServer
 
 __all__ = [
     "Alert",
     "AlertManager",
     "AlertSeverity",
     "AlertSink",
+    "EpisodeBridge",
     "HealthAlert",
     "HealthLogSink",
     "HealthSink",
     "LogSink",
+    "MitigationHTTPServer",
     "ModuleHealth",
 ]

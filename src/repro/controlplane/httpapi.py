@@ -1,0 +1,122 @@
+"""Optional stdlib HTTP driver for the mitigation command API.
+
+The deterministic core speaks only the in-process JSON command API
+(:meth:`MitigationController.command`); this module is a thin,
+*optional* transport over it for operators who want curl access:
+
+* ``POST /command`` with a JSON body → ``controller.command(body)``;
+* ``GET /stats``, ``GET /config``, ``GET /blocked``, ``GET /activity``
+  — read-only conveniences mapped onto the same command ops.
+
+Nothing here is imported by the detection/mitigation pipeline, no state
+lives here, and the server thread never touches controller internals
+beyond :meth:`command` — keeping sockets, threads, and wall-clock I/O
+out of the deterministic core.  Serialize external access if multiple
+operators may write concurrently; the reference deployment is a single
+operator against a paused or finished run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["MitigationHTTPServer"]
+
+#: GET path → zero-argument command op.
+_GET_OPS = {
+    "/stats": "stats",
+    "/config": "get_config",
+    "/blocked": "blocked_list",
+    "/activity": "activity_feed",
+}
+
+
+def _make_handler(controller: Any) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-mitigation/1"
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            pass  # quiet: operator tooling, not an access log
+
+        def _reply(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            op = _GET_OPS.get(self.path)
+            if op is None:
+                self._reply(404, {"ok": False, "error": f"no route {self.path}"})
+                return
+            self._reply(200, controller.command({"op": op}))
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/command":
+                self._reply(404, {"ok": False, "error": f"no route {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                request = json.loads(self.rfile.read(length) or b"{}")
+                if not isinstance(request, dict):
+                    raise ValueError("request body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply(400, {"ok": False, "error": str(exc)})
+                return
+            result = controller.command(request)
+            self._reply(200 if result.get("ok") else 400, result)
+
+    return Handler
+
+
+class MitigationHTTPServer:
+    """Serve one controller's command API over loopback HTTP.
+
+    Usage::
+
+        api = MitigationHTTPServer(controller)   # port 0 = ephemeral
+        api.start()
+        ... curl http://127.0.0.1:{api.port}/stats ...
+        api.close()
+    """
+
+    def __init__(
+        self, controller: Any, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.controller = controller
+        self._server = ThreadingHTTPServer(
+            (host, port), _make_handler(controller)
+        )
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[0], self._server.server_address[1]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    def start(self) -> "MitigationHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="mitigation-httpapi",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

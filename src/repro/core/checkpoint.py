@@ -109,6 +109,14 @@ def snapshot_detector(
     }
     if det.fault_injector is not None:
         payload["fault_injector"] = det.fault_injector.state_snapshot()
+    # Duck-typed: the mitigation subsystem (a higher layer) registers
+    # itself on the detector; its durable state — active blocks, TTL
+    # deadlines, token buckets, whitelist config, activity ring, action
+    # log — rides the same content-hashed frame as detector state so a
+    # worker kill mid-episode restores blocks bit-identically.
+    mitigation = getattr(det, "mitigation", None)
+    if mitigation is not None:
+        payload["mitigation"] = mitigation.state_snapshot()
     return pack_state(payload)
 
 
@@ -129,4 +137,7 @@ def restore_detector(det: "AutomatedDDoSDetector", blob: bytes) -> Dict[str, Any
     det.watchdog.state_restore(payload["watchdog"])
     if det.fault_injector is not None and "fault_injector" in payload:
         det.fault_injector.state_restore(payload["fault_injector"])
+    mitigation = getattr(det, "mitigation", None)
+    if mitigation is not None and "mitigation" in payload:
+        mitigation.state_restore(payload["mitigation"])
     return payload

@@ -18,7 +18,7 @@ into the per-attack-type rows of Table VI.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -126,6 +126,12 @@ class AutomatedDDoSDetector:
         #: worker deaths/respawns, checkpoints, lossy recoveries,
         #: restore latencies.  See Supervisor.stats().
         self.supervision_stats: Optional[Dict[str, object]] = None
+        #: Attached mitigation subsystem (duck-typed; set by
+        #: MitigationController.attach_to — core stays below the
+        #: mitigation layer and never imports it).  When present it is
+        #: checkpointed with the detector, cloned into shard workers,
+        #: given the end-of-run episode pass, and surfaced in stats().
+        self.mitigation: Optional[Any] = None
         flow_table = FlowTable(max_flows=max_flows, wrap_aware=wrap_aware)
         self.db = FlowDatabase(
             flow_table, fast_poll=fast_poll, skip_new_flows=skip_new_flows
@@ -246,17 +252,25 @@ class AutomatedDDoSDetector:
                 self.collection.feed_batch(chunk)
                 if chunk.shape[0] == poll_every:
                     self.central.cycle(max_updates=cycle_budget)
+                    if self.mitigation is not None:
+                        self.mitigation.on_cycle()
             if self.fault_injector is not None:
                 self.fault_injector.flush(batched=True)
             self.central.drain(batch=cycle_budget)
+            if self.mitigation is not None:
+                self.mitigation.finish_run(self.db)
             return self.db
         for i in range(records.shape[0]):
             self.collection.feed_record(records[i])
             if (i + 1) % poll_every == 0:
                 self.central.cycle(max_updates=cycle_budget)
+                if self.mitigation is not None:
+                    self.mitigation.on_cycle()
         if self.fault_injector is not None:
             self.fault_injector.flush()  # release held (reordered) reports
         self.central.drain(batch=cycle_budget)
+        if self.mitigation is not None:
+            self.mitigation.finish_run(self.db)
         return self.db
 
     def attach_live(self, collector: IntCollector) -> None:
@@ -272,13 +286,18 @@ class AutomatedDDoSDetector:
 
     def live_cycle(self, budget: int = 128) -> int:
         """One CentralServer round (callers interleave with sim slices)."""
-        return self.central.cycle(max_updates=budget)
+        done = self.central.cycle(max_updates=budget)
+        if self.mitigation is not None:
+            self.mitigation.on_cycle()
+        return done
 
     def finish(self, budget: int = 512) -> FlowDatabase:
         """Drain remaining updates and return the database."""
         if self.fault_injector is not None:
             self.fault_injector.flush()
         self.central.drain(batch=budget)
+        if self.mitigation is not None:
+            self.mitigation.finish_run(self.db)
         return self.db
 
     # ------------------------------------------------------------------
@@ -317,6 +336,8 @@ class AutomatedDDoSDetector:
             out["shards"] = list(self.shard_stats)
         if self.supervision_stats is not None:
             out["supervision"] = dict(self.supervision_stats)
+        if self.mitigation is not None:
+            out["mitigation"] = self.mitigation.stats()
         return out
 
 

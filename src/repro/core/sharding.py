@@ -226,7 +226,9 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
       (and every drain round after EOF);
     * ``("checkpoint", cycles_done, last_seq, blob)`` — content-hashed
       state snapshot, every ``checkpoint_every`` markers;
-    * ``("result", packed, stats)`` — the shard's prediction log;
+    * ``("result", packed, stats, actions)`` — the shard's prediction
+      log plus its mitigation flow-tier action log (None when no
+      mitigation subsystem is attached);
     * ``("error", msg)`` — best-effort last words before dying.
     """
     # Local import: the mechanism module imports this one.
@@ -239,6 +241,15 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
     det = AutomatedDDoSDetector(
         bundle=spec["bundle"], batched=True, **spec["config"]
     )
+    # Mitigation clone: attach BEFORE restore so a checkpointed
+    # mitigation payload restores into it.  The spec ships a picklable
+    # (factory, config) pair — the factory is a module-level function
+    # imported by reference at unpickle time, so core never imports the
+    # mitigation layer.
+    mitigation_spec = spec.get("mitigation")
+    if mitigation_spec is not None:
+        factory, mitigation_cfg = mitigation_spec
+        factory(mitigation_cfg).attach_to(det)
     cycle_budget = int(spec["cycle_budget"])
     timeout_s = float(spec["idle_timeout_s"])
     checkpoint_every = int(spec.get("checkpoint_every", 0))
@@ -285,6 +296,11 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
                 pos = m + 1
                 if kinds[m] == KIND_CYCLE:
                     det.central.cycle(max_updates=cycle_budget)
+                    if det.mitigation is not None:
+                        # Flow-tier sweep before the heartbeat/checkpoint
+                        # send so snapshots are self-consistent (flow
+                        # cursor, action log and predictions aligned).
+                        det.mitigation.on_cycle()
                     cycles_done += 1
                     if raise_at and cycles_done == raise_at:
                         raise RuntimeError(
@@ -306,11 +322,20 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
                     # pings keep flowing through a long final backlog.
                     while det.central.cycle(max_updates=cycle_budget) > 0:
                         conn.send(("hb", cycles_done))
+                    if det.mitigation is not None:
+                        det.mitigation.on_cycle()
                     done = True
                     break
             if not done:
                 feed(slab[pos:])
-        conn.send(("result", pack_predictions(det.db.predictions), det.stats()))
+        actions = (
+            list(det.mitigation.action_log)
+            if det.mitigation is not None else None
+        )
+        conn.send(
+            ("result", pack_predictions(det.db.predictions), det.stats(),
+             actions)
+        )
     except BaseException as exc:  # noqa: BLE001 - report, then die
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -420,7 +445,7 @@ class Supervisor:
         # Last received checkpoint per shard: (cycle, last_seq, blob).
         self._checkpoints: List[Optional[Tuple[int, int, bytes]]] = []
         self._last_error: List[str] = []
-        self._results: List[Optional[Tuple[np.ndarray, dict]]] = []
+        self._results: List[Optional[Tuple[np.ndarray, dict, Any]]] = []
         self._progress_ns: List[int] = []
         self._respawns: List[int] = []
         self.cycles_sent = 0
@@ -435,6 +460,14 @@ class Supervisor:
     # ------------------------------------------------------------------
     # spawning
     # ------------------------------------------------------------------
+    def _mitigation_spec(self) -> Optional[Tuple[Any, Dict[str, Any]]]:
+        """Picklable worker recipe for the attached mitigation subsystem
+        (duck-typed — the controller lives in a higher layer)."""
+        mitigation = getattr(self.detector, "mitigation", None)
+        if mitigation is None:
+            return None
+        return mitigation.worker_spec()
+
     def _spawn(
         self, shard: int, restore: Optional[bytes], initial: bool = False
     ) -> None:
@@ -464,6 +497,7 @@ class Supervisor:
             "raise_at_cycle": raise_at,
             "hang_at_cycle": hang_at,
             "parent_pid": os.getpid(),
+            "mitigation": self._mitigation_spec(),
         }
         proc = self._ctx.Process(
             target=_shard_worker_main,
@@ -514,7 +548,9 @@ class Supervisor:
             if keep:
                 del buf[:keep]
         elif kind == "result":
-            self._results[shard] = (msg[1], msg[2])
+            self._results[shard] = (
+                msg[1], msg[2], msg[3] if len(msg) > 3 else None
+            )
         elif kind == "error":
             self._last_error[shard] = str(msg[1])
 
@@ -718,7 +754,7 @@ class Supervisor:
     # ------------------------------------------------------------------
     # result collection
     # ------------------------------------------------------------------
-    def collect(self) -> List[Tuple[np.ndarray, dict]]:
+    def collect(self) -> List[Tuple[np.ndarray, dict, Any]]:
         """Wait for every shard's result, recovering any worker that
         dies or hangs on the way out."""
         for shard in range(self.n_shards):
@@ -741,7 +777,7 @@ class Supervisor:
                     )
                 else:
                     time.sleep(SharedRing.WAIT_SLEEP_S)  # repro: allow[DET002] coordinator wait loop; bounded by liveness probes above
-        out: List[Tuple[np.ndarray, dict]] = []
+        out: List[Tuple[np.ndarray, dict, Any]] = []
         for shard in range(self.n_shards):
             result = self._results[shard]
             assert result is not None
@@ -871,15 +907,37 @@ def run_sharded(
         sup.join_all()
 
         merged: List[Tuple[int, int, PredictionEntry]] = []
-        for shard, (packed, _stats) in enumerate(shard_results):
+        for shard, (packed, _stats, _actions) in enumerate(shard_results):
             for entry in unpack_predictions(packed):
                 merged.append((entry.seq, shard, entry))
         merged.sort(key=lambda t: (t[0], t[1]))
         db = detector.db
+        # Plain stores: the mitigation flow tier already ran on the
+        # worker that owns each flow; absorb_run below fast-forwards the
+        # coordinator's flow cursor past this merged log.
         for _, _, entry in merged:
             db.store_prediction(entry)
-        detector.shard_stats = [stats for _, stats in shard_results]
+        detector.shard_stats = [stats for _, stats, _ in shard_results]
         detector.supervision_stats = sup.stats()
+        mitigation = getattr(detector, "mitigation", None)
+        if mitigation is not None:
+            worker_actions: List[Any] = []
+            worker_mitigation_stats: List[dict] = []
+            for _packed, stats, actions in shard_results:
+                if actions:
+                    worker_actions.extend(actions)
+                shard_mit = (
+                    stats.get("mitigation") if isinstance(stats, dict) else None
+                )
+                if shard_mit:
+                    worker_mitigation_stats.append(shard_mit)
+            mitigation.absorb_run(
+                worker_actions, worker_mitigation_stats,
+                lossy=sup.lossy_recoveries,
+            )
+            # Episode tier over the merged (seq, key)-sorted log — the
+            # same input sequence for every worker count.
+            mitigation.finish_run(db, lossy=0)
         return db
     finally:
         sup.shutdown()

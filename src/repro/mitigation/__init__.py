@@ -6,11 +6,33 @@ blueprint for closing the loop.  This package implements that loop over
 our data plane: flagged flows are traced back to their sources
 (:mod:`~repro.mitigation.traceback`), turned into drop/rate-limit rules
 (:mod:`~repro.mitigation.rules`), and enforced as switch ACL hooks
-(:mod:`~repro.mitigation.enforcement`); the
-:class:`~repro.mitigation.engine.MitigationEngine` drives the whole
-pipeline from live detector output.
+(:mod:`~repro.mitigation.enforcement`).
+
+Two drivers exist on top of those primitives:
+
+* :class:`~repro.mitigation.engine.MitigationEngine` — the original
+  standalone escalation engine for live DES demos;
+* :class:`~repro.mitigation.controller.MitigationController` — the
+  fault-tolerant control plane: configurable threshold rules, durable
+  auto-expiring blocks with whitelist precedence, an operator JSON
+  command API, checkpointed state, and a canonical action log whose
+  digest is byte-identical across shard counts, chaos, and worker-kill
+  recovery.
 """
 
+from .controller import (
+    ActivityRing,
+    BlockEntry,
+    BlockTable,
+    MitigationAction,
+    MitigationConfig,
+    MitigationController,
+    RulesEngine,
+    ThresholdRule,
+    Whitelist,
+    action_log_digest,
+    build_controller,
+)
 from .enforcement import AclTable, attach_acl
 from .engine import MitigationEngine, MitigationPolicy
 from .rules import FlowRule, RuleAction, RuleGenerator
@@ -19,8 +41,19 @@ from .traceback import AttackSource, SourceTracker
 __all__ = [
     "AclTable",
     "attach_acl",
+    "ActivityRing",
+    "BlockEntry",
+    "BlockTable",
+    "MitigationAction",
+    "MitigationConfig",
+    "MitigationController",
     "MitigationEngine",
     "MitigationPolicy",
+    "RulesEngine",
+    "ThresholdRule",
+    "Whitelist",
+    "action_log_digest",
+    "build_controller",
     "FlowRule",
     "RuleAction",
     "RuleGenerator",

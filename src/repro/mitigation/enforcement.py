@@ -7,12 +7,18 @@ to the switch via the controller in [17]/[20].
 
 Rate limiting uses a token bucket per rule: sustained rates above
 ``rate_pps`` are shed while short bursts inside the bucket pass.
+
+Time is always *injected*: :meth:`AclTable.check` takes the current
+simulation timestamp and :func:`attach_acl` reads the discrete-event
+clock (or any caller-supplied clock).  No wall-clock source exists
+anywhere in enforcement, so an enforcement decision sequence is a pure
+function of the packet stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.dataplane.packet import Packet
 from repro.dataplane.switch import Switch
@@ -40,7 +46,10 @@ class AclTable:
             raise ValueError(f"burst must be positive: {burst}")
         self.rules: List[FlowRule] = []
         self.burst = float(burst)
-        self._buckets: Dict[int, _Bucket] = {}
+        # Keyed by the (frozen, hashable) rule itself — identical rules
+        # installed twice share one bucket, and bucket identity survives
+        # pickling/checkpointing, unlike an id()-keyed map.
+        self._buckets: Dict[FlowRule, _Bucket] = {}
         self.dropped = 0
         self.rate_limited = 0
         self.passed = 0
@@ -53,18 +62,18 @@ class AclTable:
     def active_rules(self, now_ns: int) -> List[FlowRule]:
         live = [r for r in self.rules if not r.expired(now_ns)]
         if len(live) != len(self.rules):
-            keep_ids = {id(r) for r in live}
+            keep = set(live)
             self._buckets = {
-                k: v for k, v in self._buckets.items() if k in keep_ids
+                k: v for k, v in self._buckets.items() if k in keep
             }
             self.rules = live
         return self.rules
 
     def _allow_rate(self, rule: FlowRule, now_ns: int) -> bool:
-        b = self._buckets.get(id(rule))
+        b = self._buckets.get(rule)
         if b is None:
             b = _Bucket(tokens=self.burst, last_ns=now_ns)
-            self._buckets[id(rule)] = b
+            self._buckets[rule] = b
         b.tokens = min(
             self.burst, b.tokens + (now_ns - b.last_ns) * 1e-9 * rule.rate_pps
         )
@@ -90,15 +99,27 @@ class AclTable:
         return True
 
 
-def attach_acl(switch: Switch, table: Optional[AclTable] = None) -> AclTable:
+def attach_acl(
+    switch: Switch,
+    table: Optional[AclTable] = None,
+    clock: Optional[Callable[[], int]] = None,
+) -> AclTable:
     """Install an ACL as the switch's *first* ingress hook.
 
     Mitigation must run before telemetry sampling so dropped packets do
     not keep feeding the detector (matching hardware, where the ACL
     stage precedes the INT/monitoring stages).
+
+    ``clock`` injects the time source for rule expiry and token-bucket
+    refill; the default reads the switch's discrete-event simulation
+    clock.  Enforcement never consults the wall clock.
     """
     acl = table if table is not None else AclTable()
+
+    def now_ns(sw: Switch) -> int:
+        return clock() if clock is not None else sw.events.clock.now
+
     switch.ingress_hooks.insert(
-        0, lambda sw, pkt, port: acl.check(pkt, sw.events.clock.now)
+        0, lambda sw, pkt, port: acl.check(pkt, now_ns(sw))
     )
     return acl

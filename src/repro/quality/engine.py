@@ -51,6 +51,8 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.ml",
     "repro.features",
     "repro.resilience",
+    "repro.mitigation",
+    "repro.controlplane",
 )
 
 _SUPPRESS_RE = re.compile(

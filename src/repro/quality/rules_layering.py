@@ -8,13 +8,16 @@ The package stack, lowest layer first::
        repro.ml | repro.baselines          peer leaf stacks
     3  repro.features          feature engineering over telemetry
     4  repro.resilience        chaos + degradation primitives
-       (repro.resilience.harness is overridden to layer 8 — it drives
-       whole experiments and legitimately sits above core/analysis)
+       (repro.resilience.harness is overridden to layer 10 — it drives
+       whole experiments and legitimately sits above core/analysis,
+       mitigation, and the control plane)
     5  repro.datasets          campaign/testbed builders
     6  repro.core              the four-module detection mechanism
     7  repro.analysis          tables, figures, experiment drivers
-    8  repro.mitigation | repro.controlplane | repro.resilience.harness
-    9  repro.cli | repro.__main__
+    8  repro.mitigation        rules, enforcement, the controller
+    9  repro.controlplane      alerts + episode→action bridge + APIs
+   10  repro.resilience.harness
+   11  repro.cli | repro.__main__
 
 A module may import strictly *down* the stack.  Imports inside one
 subpackage (``repro.core.x → repro.core.y``) are free; imports between
@@ -42,8 +45,8 @@ __all__ = ["RULES", "LAYERS", "layer_of"]
 
 #: Longest-prefix → layer rank.  Order within the dict is irrelevant.
 LAYERS = {
-    "repro": 10,          # package root + __main__ sit above everything
-    "repro.__main__": 10,
+    "repro": 12,          # package root + __main__ sit above everything
+    "repro.__main__": 12,
     "repro.common": 0,
     "repro.quality": 0,
     "repro.dataplane": 1,
@@ -54,13 +57,13 @@ LAYERS = {
     "repro.baselines": 2,
     "repro.features": 3,
     "repro.resilience": 4,
-    "repro.resilience.harness": 8,
+    "repro.resilience.harness": 10,
     "repro.datasets": 5,
     "repro.core": 6,
     "repro.analysis": 7,
     "repro.mitigation": 8,
-    "repro.controlplane": 8,
-    "repro.cli": 9,
+    "repro.controlplane": 9,
+    "repro.cli": 11,
 }
 
 

@@ -16,7 +16,13 @@ degrade or crash".  :class:`ResilienceHarness` answers both:
   shard worker mid-replay (:class:`~repro.resilience.process_chaos.
   ProcessChaos`) and verifies the supervised sharded runtime restores
   it from checkpoint with a merged prediction log byte-identical to the
-  unfaulted single-process run.
+  unfaulted single-process run;
+* :meth:`ResilienceHarness.run_mitigation_kill` repeats the worker-kill
+  scenario with the closed-loop mitigation controller attached and
+  additionally requires the canonical **mitigation action-log digest**
+  (blocks installed, rate limits, episode escalations) to survive the
+  kill byte-identically — the detect→mitigate loop, not just detection,
+  is fault-tolerant.
 
 Both lean on the cached :func:`~repro.analysis.experiments.run_testbed_study`
 artifacts, so the expensive parts (campaign build, pre-training, DES
@@ -45,6 +51,7 @@ __all__ = [
     "ResilienceReport",
     "ModelFailureReport",
     "WorkerKillReport",
+    "MitigationKillReport",
 ]
 
 
@@ -140,6 +147,64 @@ class WorkerKillReport:
             and int(self.supervision.get("workers_died", 0)) >= 1
             and int(self.supervision.get("workers_respawned", 0)) >= 1
             and int(self.supervision.get("lossy_recoveries", 0)) == 0
+        )
+
+
+@dataclass
+class MitigationKillReport:
+    """Outcome of a worker-kill run with the closed loop attached."""
+
+    plan: ProcessChaos
+    shards: int
+    prediction_digest_reference: str
+    prediction_digest_recovered: str
+    action_digest_reference: str
+    action_digest_recovered: str
+    supervision: dict
+    mitigation_stats: dict
+    actions: int
+    blocked: int
+
+    @property
+    def loop_survived(self) -> bool:
+        """The acceptance property: a worker died and was respawned
+        without data loss, *and* both the prediction log and the
+        mitigation action log match the unfaulted single-process run
+        byte for byte."""
+        return (
+            self.prediction_digest_recovered == self.prediction_digest_reference
+            and self.action_digest_recovered == self.action_digest_reference
+            and int(self.supervision.get("workers_died", 0)) >= 1
+            and int(self.supervision.get("workers_respawned", 0)) >= 1
+            and int(self.supervision.get("lossy_recoveries", 0)) == 0
+        )
+
+    def render(self) -> str:
+        """Terminal table of the comparison."""
+        sup = self.supervision
+        body = [
+            ("prediction digest",
+             self.prediction_digest_reference[:16],
+             self.prediction_digest_recovered[:16],
+             "match" if self.prediction_digest_recovered
+             == self.prediction_digest_reference else "DIVERGED"),
+            ("action-log digest",
+             self.action_digest_reference[:16],
+             self.action_digest_recovered[:16],
+             "match" if self.action_digest_recovered
+             == self.action_digest_reference else "DIVERGED"),
+        ]
+        return render_table(
+            f"Closed-loop mitigation under worker-kill "
+            f"(shards={self.shards}, plan={self.plan.describe()})",
+            ("invariant", "reference", "recovered", "verdict"),
+            body,
+            note=(
+                f"{self.actions} actions logged, {self.blocked} active "
+                f"blocks; workers died={sup.get('workers_died', 0)} "
+                f"respawned={sup.get('workers_respawned', 0)} "
+                f"lossy={sup.get('lossy_recoveries', 0)}"
+            ),
         )
 
 
@@ -331,4 +396,78 @@ class ResilienceHarness:
             supervision=dict(det.supervision_stats or {}),
             alerts=list(det.watchdog.alerts),
             predictions=len(db.predictions),
+        )
+
+    # ------------------------------------------------------------------
+    def run_mitigation_kill(
+        self,
+        shards: int = 2,
+        kill_seed: int = 0,
+        mode: str = "sigkill",
+        flow_type: str = "SYN Flood",
+        poll_every: int = 64,
+        cycle_budget: int = 256,
+        checkpoint_every: int = 8,
+        heartbeat_timeout_s: float = 30.0,
+    ) -> MitigationKillReport:
+        """Worker-kill scenario with the mitigation controller attached.
+
+        Same seeded kill plan as :meth:`run_worker_kill`, but both the
+        reference (unfaulted, single-process) and the victim (sharded,
+        killed, restored) detectors carry a
+        :class:`~repro.mitigation.MitigationController` wired through an
+        :class:`~repro.controlplane.EpisodeBridge`.  The acceptance bar
+        rises accordingly: beyond the prediction log, the canonical
+        mitigation **action-log digest** — every block install, refresh
+        and episode escalation — must come back byte-identical, proving
+        the closed loop's durable state (block table, TTL deadlines,
+        token buckets, per-flow emit history) rode the checkpoint and
+        replay-buffer recovery intact.
+        """
+        from repro.controlplane import EpisodeBridge
+        from repro.core.sharding import prediction_log_digest
+        from repro.mitigation import MitigationController
+
+        clean = self._study()
+        if clean.bundle is None or flow_type not in clean.test_records:
+            raise RuntimeError("clean study lacks replay artifacts")
+        records = clean.test_records[flow_type]
+        n_cycles = max(1, records.shape[0] // poll_every)
+        plan = ProcessChaos.seeded(
+            kill_seed, n_cycles=n_cycles, n_shards=shards, modes=(mode,)
+        )
+
+        def closed_loop() -> tuple:
+            det = AutomatedDDoSDetector(clean.bundle, batched=True)
+            ctrl = MitigationController().attach_to(det)
+            EpisodeBridge(ctrl)
+            return det, ctrl
+
+        ref, ctrl_ref = closed_loop()
+        db_ref = ref.run_stream(
+            records, poll_every=poll_every, cycle_budget=cycle_budget
+        )
+
+        det, ctrl = closed_loop()
+        db = det.run_stream(
+            records,
+            poll_every=poll_every,
+            cycle_budget=cycle_budget,
+            shards=shards,
+            checkpoint_every=checkpoint_every,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            process_chaos=plan,
+        )
+        stats = ctrl.stats()
+        return MitigationKillReport(
+            plan=plan,
+            shards=shards,
+            prediction_digest_reference=prediction_log_digest(db_ref),
+            prediction_digest_recovered=prediction_log_digest(db),
+            action_digest_reference=ctrl_ref.action_log_digest(),
+            action_digest_recovered=ctrl.action_log_digest(),
+            supervision=dict(det.supervision_stats or {}),
+            mitigation_stats=stats,
+            actions=int(stats.get("actions_logged", 0)),
+            blocked=int(stats.get("active_blocks", 0)),
         )

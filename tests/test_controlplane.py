@@ -186,3 +186,157 @@ class TestSweepAlerts:
     def test_invalid_sweep_threshold(self):
         with pytest.raises(ValueError):
             AlertManager(sweep_threshold=1)
+
+
+class TestEpisodeBridge:
+    """Episode → action bridge: alerts escalate into the controller."""
+
+    def make(self, min_severity=1, **alert_kw):
+        from repro.controlplane import EpisodeBridge
+        from repro.mitigation import MitigationController
+
+        ctrl = MitigationController()
+        kw = dict(server_ips={SERVER}, open_threshold=3,
+                  window_ns=SEC, quiet_ns=2 * SEC)
+        kw.update(alert_kw)
+        bridge = EpisodeBridge(
+            ctrl, alerts=AlertManager(**kw), min_severity=min_severity
+        )
+        return ctrl, bridge
+
+    def test_flood_escalates_to_service_rate_limit_once(self):
+        ctrl, bridge = self.make()
+        bridge.consume([entry(flow_key(i), i * 1000) for i in range(8)])
+        episode = [a for a in ctrl.action_log if a.tier == "episode"]
+        assert len(episode) == 1
+        (a,) = episode
+        assert a.rule == "episode-service-limit"
+        assert a.action == "rate_limit" and a.scope == "service"
+        assert a.target == ("service", SERVER, 80, 6)
+        assert ctrl.counters["episode_escalations"] == 1
+        assert bridge.stats()["services_escalated"] == 1
+
+    def test_port_sweep_escalates_to_source_block(self):
+        ctrl, bridge = self.make(sweep_threshold=5)
+        attacker = 0xC0000001
+        bridge.consume([
+            entry((SERVER, attacker, port, 41000 + port, 6), port * 1000)
+            for port in range(1, 10)
+        ])
+        sweeps = [
+            a for a in ctrl.action_log if a.rule == "episode-sweep-block"
+        ]
+        assert len(sweeps) == 1
+        assert sweeps[0].action == "block" and sweeps[0].scope == "source"
+        assert sweeps[0].target == ("source", attacker)
+
+    def test_min_severity_gates_escalation(self):
+        ctrl, bridge = self.make(min_severity=int(AlertSeverity.MEDIUM))
+        # 3 distinct flows opens the alert at LOW: tracked, not enforced
+        bridge.consume([entry(flow_key(i), i * 1000) for i in range(3)])
+        assert bridge.stats()["alerts_total"] == 1
+        assert bridge.stats()["services_escalated"] == 0
+        # the flow ladder reaches MEDIUM -> now it escalates (once)
+        bridge.consume([entry(flow_key(i), i * 1000) for i in range(3, 15)])
+        assert bridge.stats()["services_escalated"] == 1
+        assert ctrl.counters["episode_escalations"] == 1
+
+    def test_benign_stream_never_escalates(self):
+        ctrl, bridge = self.make()
+        bridge.consume(
+            [entry(flow_key(i), i * 1000, decision=0) for i in range(20)]
+        )
+        assert ctrl.action_log == []
+        assert bridge.stats()["alerts_total"] == 0
+
+    def test_close_episodes_flushes_open_alerts(self):
+        _, bridge = self.make()
+        bridge.consume([entry(flow_key(i), i * 1000) for i in range(4)])
+        assert bridge.stats()["alerts_open"] == 1
+        bridge.close_episodes(10 * SEC)
+        assert bridge.stats()["alerts_open"] == 0
+        assert bridge.open_alerts == []
+
+    def test_attach_inline_escalates_at_store_time(self):
+        ctrl, bridge = self.make()
+
+        class _DB:
+            def __init__(self):
+                self.predictions = []
+
+            def store_prediction(self, e):
+                self.predictions.append(e)
+
+        class _Det:
+            def __init__(self):
+                self.db = _DB()
+
+        det = _Det()
+        assert bridge.attach_inline(det) is bridge
+        for i in range(5):
+            det.db.store_prediction(entry(flow_key(i), i * 1000))
+        assert bridge.stats()["inline"] is True
+        assert ctrl.counters["episode_escalations"] == 1
+        assert len(det.db.predictions) == 5  # stores still land
+
+
+class TestHTTPAPI:
+    """The thin stdlib HTTP transport over the command API."""
+
+    @pytest.fixture()
+    def api(self):
+        from repro.controlplane import MitigationHTTPServer
+        from repro.mitigation import MitigationController
+
+        ctrl = MitigationController()
+        server = MitigationHTTPServer(ctrl, port=0).start()
+        try:
+            yield ctrl, server
+        finally:
+            server.close()
+
+    @staticmethod
+    def _call(port, path, payload=None):
+        import json
+        import urllib.error
+        import urllib.request
+
+        url = f"http://127.0.0.1:{port}{path}"
+        data = None if payload is None else json.dumps(payload).encode()
+        req = urllib.request.Request(
+            url, data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_get_routes_map_to_command_ops(self, api):
+        ctrl, server = api
+        for path in ("/stats", "/config", "/blocked", "/activity"):
+            status, body = self._call(server.port, path)
+            assert status == 200 and body["ok"] is True, path
+        _, stats = self._call(server.port, "/stats")
+        assert stats["result"] == ctrl.command({"op": "stats"})["result"]
+
+    def test_post_command_round_trip(self, api):
+        ctrl, server = api
+        _, cfg = self._call(server.port, "/config")
+        new_cfg = cfg["result"]
+        new_cfg["burst"] = 7.0
+        status, body = self._call(
+            server.port, "/command", {"op": "set_config", "config": new_cfg}
+        )
+        assert status == 200 and body["ok"] is True
+        assert ctrl.config.burst == 7.0
+        assert ctrl.counters["config_updates"] == 1
+
+    def test_errors_are_http_errors(self, api):
+        _, server = api
+        status, body = self._call(server.port, "/nope")
+        assert status == 404 and body["ok"] is False
+        status, body = self._call(server.port, "/command", {"op": "bogus"})
+        assert status == 400 and body["ok"] is False
+        assert "bogus" in body["error"]

@@ -165,8 +165,18 @@ def test_det006_flags_id_call():
 def test_det006_clean_for_similar_names_and_out_of_scope():
     assert not run("def k(x):\n    return flow_id(x)\n", rule="DET006")
     assert not run(
-        "seen.add(id(sw))\n", module="repro.mitigation.fixture", rule="DET006"
+        "seen.add(id(sw))\n", module="repro.analysis.fixture", rule="DET006"
     )
+
+
+def test_det_scope_covers_mitigation_and_controlplane():
+    """The closed-loop control plane carries the bit-identity contract:
+    determinism rules apply beneath repro.mitigation and
+    repro.controlplane (PR 6)."""
+    for pkg in ("repro.mitigation", "repro.controlplane"):
+        assert run(
+            "seen.add(id(sw))\n", module=f"{pkg}.fixture", rule="DET006"
+        ), pkg
 
 
 # ---------------------------------------------------------------------------
