@@ -57,9 +57,32 @@ REGRESSION_TOLERANCE = 0.20
 MIN_SPEEDUP = 5.0
 
 #: Floor for the 4-worker sharded speedup over 1-worker sharded —
-#: asserted only on hosts with >= 4 cores (a 1-core container cannot
-#: physically scale; the JSON still records its measured curve).
+#: asserted only where >= 4 *usable* CPUs exist to scale onto.
 MIN_SHARD_SPEEDUP_4X = 1.6
+
+#: Ceiling for 1-worker sharded wall time over the batched reference —
+#: the frame-protocol overhead bound.  Needs >= 2 usable CPUs: with one
+#: core, coordinator and worker serialize and wall time measures the
+#: scheduler, not the protocol.
+MAX_SHARD_1_OVERHEAD = 1.15
+
+#: Sentinel recorded in place of a ratio whose gate had too few usable
+#: CPUs to be meaningful — an honest "could not measure" instead of a
+#: number that looks like a regression (or a vacuous pass).
+SKIPPED = "skipped_insufficient_cpus"
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host; containers and CI runners pin
+    processes to a subset via affinity masks, and a scaling ratio
+    measured against CPUs we cannot schedule onto is fiction.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 #: name -> records/s, filled by the tests, dumped at module teardown.
 RATES = {}
@@ -361,34 +384,54 @@ def test_perf_knn_query():
 def test_perf_shard_scaling(synth_records, detector_bundle):
     """Horizontal scaling: sharded throughput at each worker count,
     every run gated on byte-identical merged output vs the single-
-    process batched reference.  The measured curve (plus the host CPU
-    count) is recorded into ``BENCH_pipeline.json``; the 4-worker
-    speedup floor is asserted only where 4 cores exist to scale onto.
+    process batched reference.
+
+    Methodology (the digest gate is unconditional; the *ratio* gates
+    are honest about the host):
+
+    * timing runs use ``checkpoint_every=0`` — the batched reference
+      takes no checkpoints, so a cadence-16 sharded run would measure
+      snapshot pickling, not the frame protocol;
+    * the batched reference is best-of-2 over the *same* stream and is
+      the denominator of the 1-worker overhead ratio;
+    * every ratio is published only when enough *usable* CPUs
+      (``sched_getaffinity``, not ``cpu_count``) exist for it to mean
+      anything; otherwise :data:`SKIPPED` is recorded in its place —
+      a 1-core container serializes coordinator and worker, so its
+      "overhead" is scheduler noise and its "speedup" is always ~1/N.
     """
     from repro.core.sharding import prediction_log_digest
 
     sub = synth_records[:N_SHARD]
-    n_cpus = os.cpu_count() or 1
+    n_usable = usable_cpus()
 
-    det_ref = AutomatedDDoSDetector(detector_bundle, fast_poll=True, batched=True)
-    db_ref = det_ref.run_stream(sub, poll_every=128, cycle_budget=256)
+    def lap(n_shards=None):
+        det = AutomatedDDoSDetector(
+            detector_bundle, fast_poll=True, batched=True
+        )
+        t0 = time.perf_counter()
+        if n_shards is None:
+            db = det.run_stream(sub, poll_every=128, cycle_budget=256)
+        else:
+            db = det.run_stream(
+                sub, poll_every=128, cycle_budget=256, shards=n_shards,
+                checkpoint_every=0,
+            )
+        return time.perf_counter() - t0, db
+
+    ref_s, db_ref = lap()  # warm lap doubles as the digest reference
     ref_digest = prediction_log_digest(db_ref)
+    ref_s = min(ref_s, lap()[0])
+    batched_rate = _rate(N_SHARD, ref_s)
 
     rates = {}
     for n_shards in SHARD_COUNTS:
         best, db = None, None
         for _ in range(2):
-            det = AutomatedDDoSDetector(
-                detector_bundle, fast_poll=True, batched=True
-            )
-            t0 = time.perf_counter()
-            db = det.run_stream(
-                sub, poll_every=128, cycle_budget=256, shards=n_shards
-            )
-            dt = time.perf_counter() - t0
+            dt, db = lap(n_shards)
             best = dt if best is None else min(best, dt)
-        # Equivalence gate: the merged prediction log must be
-        # result-identical to the single-process batched run.
+        # Equivalence gate — unconditional: the merged prediction log
+        # must be result-identical to the single-process batched run.
         assert len(db.predictions) == len(db_ref.predictions)
         assert prediction_log_digest(db) == ref_digest, (
             f"sharded run ({n_shards} workers) diverged from the "
@@ -400,24 +443,45 @@ def test_perf_shard_scaling(synth_records, detector_bundle):
             f"\nsharded detector x{n_shards}: {rates[n_shards]:,.0f} rec/s"
         )
 
-    SHARD_SCALING["n_cpus"] = n_cpus
+    SHARD_SCALING["usable_cpus"] = n_usable
+    SHARD_SCALING["host_cpus"] = os.cpu_count() or 1
     SHARD_SCALING["records"] = N_SHARD
+    SHARD_SCALING["checkpoint_every"] = 0
+    SHARD_SCALING["batched_rate_per_s"] = round(batched_rate, 1)
     SHARD_SCALING["rates_per_s"] = {
         str(k): round(v, 1) for k, v in rates.items()
     }
+
     if 1 in rates:
-        for n_shards, rate in rates.items():
-            if n_shards != 1:
-                SHARD_SCALING[f"speedup_{n_shards}x"] = round(rate / rates[1], 2)
-    if 4 in rates and 1 in rates:
-        speedup4 = rates[4] / rates[1]
-        if n_cpus >= 4:
-            assert speedup4 >= MIN_SHARD_SPEEDUP_4X, (
-                f"4-worker sharded speedup {speedup4:.2f}x below "
-                f"{MIN_SHARD_SPEEDUP_4X}x on a {n_cpus}-cpu host"
+        overhead = batched_rate / rates[1]  # >1 means sharding costs
+        if n_usable >= 2:
+            SHARD_SCALING["sharded_1_overhead_x"] = round(overhead, 2)
+            assert overhead <= MAX_SHARD_1_OVERHEAD, (
+                f"1-worker sharded run is {overhead:.2f}x the batched "
+                f"wall time (bound {MAX_SHARD_1_OVERHEAD}x): frame "
+                f"protocol overhead regressed"
             )
         else:
+            SHARD_SCALING["sharded_1_overhead_x"] = SKIPPED
             print(
-                f"4-worker speedup {speedup4:.2f}x recorded, gate skipped "
-                f"({n_cpus} cpu(s) < 4: nothing to scale onto)"
+                f"\n1-worker overhead {overhead:.2f}x measured but not "
+                f"published ({n_usable} usable cpu(s) < 2: coordinator "
+                f"and worker serialize)"
             )
+    for n_shards, rate in rates.items():
+        if n_shards == 1 or 1 not in rates:
+            continue
+        speedup = rate / rates[1]
+        if n_usable >= n_shards:
+            SHARD_SCALING[f"speedup_{n_shards}x"] = round(speedup, 2)
+        else:
+            SHARD_SCALING[f"speedup_{n_shards}x"] = SKIPPED
+            print(
+                f"{n_shards}-worker speedup {speedup:.2f}x measured but "
+                f"not published ({n_usable} usable cpu(s) < {n_shards})"
+            )
+    if SHARD_SCALING.get("speedup_4x") not in (None, SKIPPED):
+        assert SHARD_SCALING["speedup_4x"] >= MIN_SHARD_SPEEDUP_4X, (
+            f"4-worker sharded speedup {SHARD_SCALING['speedup_4x']:.2f}x "
+            f"below {MIN_SHARD_SPEEDUP_4X}x on {n_usable} usable cpus"
+        )

@@ -13,17 +13,38 @@ single-producer/single-consumer ring over POSIX shared memory.  The
 sharded detector uses one ring per worker to fan telemetry slices out of
 the coordinator — records move as raw structured-array bytes, so the hot
 path never pickles.
+
+On top of the raw byte ring sits the **batch-frame codec**
+(:func:`pack_frame` / :func:`read_frame_header` /
+:func:`unpack_frame_payload`): one contiguous frame per shard per poll
+cycle, header-tagged with kind/count/seq-base, so control markers ride
+the header instead of consuming slots and the consumer reconstructs the
+payload with zero-copy structured views.
 """
 
 from __future__ import annotations
 
 import time
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["GrowableRecordBuffer", "PeerDead", "SharedRing"]
+__all__ = [
+    "GrowableRecordBuffer",
+    "PeerDead",
+    "SharedRing",
+    "FrameError",
+    "FRAME_DATA",
+    "FRAME_CYCLE",
+    "FRAME_EOF",
+    "FRAME_MAGIC",
+    "FRAME_HEADER_DTYPE",
+    "FRAME_HEADER_BYTES",
+    "pack_frame",
+    "read_frame_header",
+    "unpack_frame_payload",
+]
 
 
 class PeerDead(RuntimeError):
@@ -33,6 +54,15 @@ class PeerDead(RuntimeError):
     ``peer_alive`` probe reports the peer dead while the call is blocked
     waiting on it.  Distinct from ``TimeoutError`` (peer alive but slow)
     so supervisors can respond with a respawn instead of a retry.
+    """
+
+
+class FrameError(RuntimeError):
+    """A ring frame failed validation (bad magic / malformed layout).
+
+    Frames are length-prefixed, so a corrupt header desynchronizes the
+    byte stream permanently — consumers treat this as fatal and die so
+    the supervisor can reset the ring and replay from a checkpoint.
     """
 
 
@@ -122,6 +152,28 @@ class GrowableRecordBuffer:
         self._size = 0
 
 
+class _WaitState:
+    """Per-blocked-call adaptive-backoff state for :class:`SharedRing`.
+
+    Tracks the remaining spin budget, the current (escalating) sleep
+    duration, and the wall-clock sleep accumulated since the last
+    liveness probe.  One instance lives for the duration of one blocked
+    ``push``/``pop``/``pop_exact`` call; progress resets nothing — a
+    fresh call starts a fresh backoff, so a busy ring always waits at
+    the cheap end of the schedule.
+    """
+
+    __slots__ = ("spins_left", "sleep_s", "slept_since_probe_s")
+
+    def __init__(self) -> None:
+        self.spins_left = SharedRing.SPIN_YIELDS
+        self.sleep_s = SharedRing.WAIT_SLEEP_S
+        # Start at the probe threshold so the first tick of a blocked
+        # call probes immediately — a wait against an already-dead peer
+        # fails fast instead of sleeping through a probe interval.
+        self.slept_since_probe_s = SharedRing.PROBE_INTERVAL_S
+
+
 class SharedRing:
     """Fixed-capacity SPSC ring buffer over POSIX shared memory.
 
@@ -162,13 +214,25 @@ class SharedRing:
     """
 
     HEADER_BYTES = 128
-    #: Sleep between occupancy re-checks while waiting (spin would peg
-    #: a core; 50 µs keeps wakeup latency far below a cycle's work).
+    #: First-sleep duration of the adaptive backoff (after the spin
+    #: phase).  Short, so a momentarily-stalled peer costs little
+    #: latency; doubles per tick up to :data:`MAX_WAIT_SLEEP_S`.
     WAIT_SLEEP_S = 50e-6
-    #: Occupancy re-checks between ``peer_alive``/``on_wait`` probes —
-    #: liveness probes cost a syscall, so they run every ~3 ms of wait,
-    #: not every 50 µs.
-    PROBE_EVERY = 64
+    #: Backoff ceiling.  An *idle* ring settles at ~1 ms wakeups
+    #: (~1 k/s) instead of the ~20 k/s a fixed 50 µs sleep would burn —
+    #: on a shared core those wakeups steal cycles from the very peer
+    #: being waited on.
+    MAX_WAIT_SLEEP_S = 1e-3
+    #: Free ``sched_yield``-style re-checks before the first real sleep:
+    #: if the peer frees space within a scheduler quantum, the wait
+    #: costs microseconds instead of a 50 µs timer round-trip.
+    SPIN_YIELDS = 8
+    #: Accumulated *wall-clock* sleep between ``peer_alive``/``on_wait``
+    #: probes.  Probes cost a syscall (and on_wait may pump pipes), so
+    #: they run every ~3 ms of waiting regardless of how far the sleep
+    #: escalation has progressed — the same cadence the old fixed
+    #: 50 µs × 64-tick schedule produced.
+    PROBE_INTERVAL_S = 3.2e-3
 
     def __init__(
         self,
@@ -230,18 +294,25 @@ class SharedRing:
     # ------------------------------------------------------------------
     def _wait_tick(
         self,
-        ticks: int,
+        state: _WaitState,
         peer_alive: Optional[Callable[[], bool]],
         on_wait: Optional[Callable[[], None]],
-    ) -> int:
-        """One blocked-wait iteration: sleep, and every
-        :data:`PROBE_EVERY` ticks probe liveness and the wait hook.
+    ) -> None:
+        """One blocked-wait iteration of the adaptive backoff.
+
+        Spin (``sleep(0)`` yield) for the first :data:`SPIN_YIELDS`
+        ticks, then sleep with per-tick doubling from
+        :data:`WAIT_SLEEP_S` up to :data:`MAX_WAIT_SLEEP_S`.  Liveness
+        and the wait hook are probed on the first tick and then every
+        :data:`PROBE_INTERVAL_S` of accumulated sleep — a wall-clock
+        cadence, so escalating the sleep does not starve the probes.
 
         Raises :class:`PeerDead` when ``peer_alive`` reports the other
         side gone.  ``on_wait`` may itself raise to abort the wait (a
         supervisor uses that to declare an alive-but-hung peer dead).
         """
-        if ticks % self.PROBE_EVERY == 0:
+        if state.slept_since_probe_s >= self.PROBE_INTERVAL_S:
+            state.slept_since_probe_s = 0.0
             if peer_alive is not None and not peer_alive():
                 raise PeerDead(
                     f"ring {self.name}: peer process died while this side "
@@ -249,8 +320,13 @@ class SharedRing:
                 )
             if on_wait is not None:
                 on_wait()
-        time.sleep(self.WAIT_SLEEP_S)
-        return ticks + 1
+        if state.spins_left > 0:
+            state.spins_left -= 1
+            time.sleep(0)  # yield the core to the peer, ~free
+            return
+        time.sleep(state.sleep_s)
+        state.slept_since_probe_s += state.sleep_s
+        state.sleep_s = min(state.sleep_s * 2.0, self.MAX_WAIT_SLEEP_S)
 
     def push(
         self,
@@ -278,7 +354,7 @@ class SharedRing:
         records = np.ascontiguousarray(records, dtype=self.dtype)
         n = records.shape[0]
         written = 0
-        ticks = 0
+        wait = _WaitState()
         deadline = time.monotonic() + timeout
         while written < n:
             tail = int(self._tail[0])
@@ -289,7 +365,7 @@ class SharedRing:
                         f"ring {self.name} full for {timeout:.1f}s "
                         f"({written}/{n} records written)"
                     )
-                ticks = self._wait_tick(ticks, peer_alive, on_wait)
+                self._wait_tick(wait, peer_alive, on_wait)
                 continue
             take = min(space, n - written)
             start = tail % self.capacity
@@ -326,7 +402,7 @@ class SharedRing:
         The returned array owns its data — slots are reusable by the
         producer the moment this method returns.
         """
-        ticks = 0
+        wait = _WaitState()
         deadline = time.monotonic() + timeout
         while True:
             head = int(self._head[0])
@@ -335,7 +411,7 @@ class SharedRing:
                 break
             if time.monotonic() >= deadline:
                 return np.empty(0, dtype=self.dtype)
-            ticks = self._wait_tick(ticks, peer_alive, on_wait)
+            self._wait_tick(wait, peer_alive, on_wait)
         take = used if max_records is None else min(used, int(max_records))
         start = head % self.capacity
         end = start + take
@@ -348,6 +424,65 @@ class SharedRing:
             out[first:] = self._slots[: take - first]
         # Release only after the copy-out completes.
         self._head[0] = head + take
+        return out
+
+    def pop_exact(
+        self,
+        n_records: int,
+        timeout: float = 30.0,
+        peer_alive: Optional[Callable[[], bool]] = None,
+        on_wait: Optional[Callable[[], None]] = None,
+    ) -> np.ndarray:
+        """Copy out and release *exactly* ``n_records`` records,
+        blocking until all of them have arrived (consumer side).
+
+        The frame protocol is length-prefixed — the consumer reads a
+        fixed-size header, then exactly the payload length it names —
+        so the consumer must be able to wait for a known byte count
+        even when it exceeds the momentary fill level (or the whole
+        ring capacity: like :meth:`push`, oversized reads stream
+        through in pieces, releasing slots as they drain so the
+        producer can keep writing).
+
+        Raises ``TimeoutError`` if no progress completes within
+        ``timeout`` seconds, or :class:`PeerDead` when ``peer_alive``
+        reports the producer gone.  Either error can leave a **partial
+        read** behind (earlier pieces already consumed), which
+        desynchronizes the frame stream — callers treat both as fatal
+        and let the supervisor reset the ring.
+        """
+        n = int(n_records)
+        if n < 0:
+            raise ValueError(f"n_records must be >= 0: {n_records}")
+        out = np.empty(n, dtype=self.dtype)
+        filled = 0
+        wait = _WaitState()
+        deadline = time.monotonic() + timeout
+        while filled < n:
+            head = int(self._head[0])
+            used = int(self._tail[0]) - head
+            if used == 0:
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"ring {self.name} empty for {timeout:.1f}s "
+                        f"({filled}/{n} records read)"
+                    )
+                self._wait_tick(wait, peer_alive, on_wait)
+                continue
+            take = min(used, n - filled)
+            start = head % self.capacity
+            end = start + take
+            if end <= self.capacity:
+                out[filled : filled + take] = self._slots[start:end]
+            else:
+                first = self.capacity - start
+                out[filled : filled + first] = self._slots[start:]
+                out[filled + first : filled + take] = self._slots[
+                    : take - first
+                ]
+            # Release only after the copy-out completes.
+            self._head[0] = head + take
+            filled += take
         return out
 
     # ------------------------------------------------------------------
@@ -396,3 +531,150 @@ class SharedRing:
         self.close()
         if self._owner:
             self.unlink()
+
+
+# ---------------------------------------------------------------------------
+# batch-frame codec (the sharded detector's ring wire format)
+# ---------------------------------------------------------------------------
+#: Frame kinds.  DATA carries records with no cycle boundary (trailing
+#: partial chunk, chaos flush); CYCLE carries a poll slice *and* the
+#: cycle barrier folded into the header; EOF ends the stream (payload
+#: always empty).
+FRAME_DATA = 0
+FRAME_CYCLE = 1
+FRAME_EOF = 2
+
+#: ``"FRM1"`` little-endian — catches desynchronized reads immediately.
+FRAME_MAGIC = 0x314D5246
+
+#: Fixed 32-byte frame header.  ``count`` is the number of records in
+#: the payload, ``seq_base`` the first record's global sequence number
+#: (-1 when empty), ``payload_bytes`` the exact byte length that
+#: follows the header on the ring.
+FRAME_HEADER_DTYPE = np.dtype([
+    ("magic", "<u4"),
+    ("kind", "<u4"),
+    ("count", "<i8"),
+    ("seq_base", "<i8"),
+    ("payload_bytes", "<i8"),
+])
+FRAME_HEADER_BYTES = FRAME_HEADER_DTYPE.itemsize  # 32
+
+_SEQ_DTYPE = np.dtype("<i8")
+
+
+def _view_bytes(buf: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Reinterpret a contiguous uint8 slice as ``dtype`` records.
+
+    Zero-copy (``ndarray.view``) in the common case; falls back to one
+    copy when the view is rejected (non-contiguous slice or a layout
+    NumPy refuses to reinterpret in place).
+    """
+    try:
+        return buf.view(dtype)
+    except ValueError:
+        return np.frombuffer(buf.tobytes(), dtype=dtype)
+
+
+def pack_frame(kind: int, seqs: np.ndarray, records: np.ndarray) -> np.ndarray:
+    """Pack one batch frame into a contiguous uint8 array.
+
+    Wire layout (all little-endian, no padding)::
+
+        [ header: FRAME_HEADER_DTYPE (32 B)
+        | seqs:    count * int64
+        | records: count * records.dtype ]
+
+    The seq block precedes the record block so the record block's
+    offset stays 8-byte aligned for any record itemsize.  ``records``
+    must be the *delivered* record dtype — the consumer reconstructs it
+    from the same dtype by exact layout, so producer and consumer must
+    agree on ``records.dtype`` out of band (the worker spec carries
+    it).
+    """
+    records = np.ascontiguousarray(records)
+    n = int(records.shape[0])
+    seqs = np.ascontiguousarray(seqs, dtype=_SEQ_DTYPE)
+    if int(seqs.shape[0]) != n:
+        raise ValueError(
+            f"seqs/records length mismatch: {seqs.shape[0]} != {n}"
+        )
+    payload_bytes = n * _SEQ_DTYPE.itemsize + n * records.dtype.itemsize
+    frame = np.empty(FRAME_HEADER_BYTES + payload_bytes, dtype=np.uint8)
+    header = np.empty(1, dtype=FRAME_HEADER_DTYPE)
+    header["magic"] = FRAME_MAGIC
+    header["kind"] = int(kind)
+    header["count"] = n
+    header["seq_base"] = int(seqs[0]) if n else -1
+    header["payload_bytes"] = payload_bytes
+    # Writes go through uint8 views of the *sources* (always legal for
+    # contiguous arrays) — a read-side fallback copy would silently
+    # discard them.
+    frame[:FRAME_HEADER_BYTES] = header.view(np.uint8)
+    if n:
+        seq_end = FRAME_HEADER_BYTES + n * _SEQ_DTYPE.itemsize
+        frame[FRAME_HEADER_BYTES:seq_end] = seqs.view(np.uint8)
+        frame[seq_end:] = records.view(np.uint8)
+    return frame
+
+
+def read_frame_header(header_bytes: np.ndarray) -> Tuple[int, int, int, int]:
+    """Validate and decode a 32-byte header popped off the ring.
+
+    Returns ``(kind, count, seq_base, payload_bytes)``.  Raises
+    :class:`FrameError` on bad magic, unknown kind, or an inconsistent
+    count/payload pair — any of which means the consumer lost frame
+    sync and must not keep reading.
+    """
+    if header_bytes.shape[0] != FRAME_HEADER_BYTES:
+        raise FrameError(
+            f"frame header must be {FRAME_HEADER_BYTES} bytes, "
+            f"got {header_bytes.shape[0]}"
+        )
+    header = _view_bytes(header_bytes, FRAME_HEADER_DTYPE)
+    if int(header["magic"][0]) != FRAME_MAGIC:
+        raise FrameError(
+            f"bad frame magic 0x{int(header['magic'][0]):08x} "
+            "(stream desynchronized)"
+        )
+    kind = int(header["kind"][0])
+    if kind not in (FRAME_DATA, FRAME_CYCLE, FRAME_EOF):
+        raise FrameError(f"unknown frame kind {kind}")
+    count = int(header["count"][0])
+    payload_bytes = int(header["payload_bytes"][0])
+    if count < 0 or payload_bytes < count * _SEQ_DTYPE.itemsize:
+        raise FrameError(
+            f"inconsistent frame header: count={count} "
+            f"payload_bytes={payload_bytes}"
+        )
+    return kind, count, int(header["seq_base"][0]), payload_bytes
+
+
+def unpack_frame_payload(
+    payload: np.ndarray, count: int, record_dtype: np.dtype
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a popped payload into ``(seqs, records)``.
+
+    ALIASING CONTRACT: both returned arrays are zero-copy *views* of
+    ``payload`` whenever NumPy permits the reinterpretation (the
+    payload came out of :meth:`SharedRing.pop_exact`, which returns an
+    owning copy, so the views alias pipeline-private memory — never the
+    live ring slab; the producer can overwrite its slots immediately).
+    Callers may keep the views only as long as they keep ``payload``
+    alive, which NumPy's base-chaining guarantees automatically.  A
+    layout NumPy refuses to view (never the case for the packed wire
+    format, which is byte-exact by construction) falls back to one
+    field-preserving copy.
+    """
+    record_dtype = np.dtype(record_dtype)
+    n = int(count)
+    seq_bytes = n * _SEQ_DTYPE.itemsize
+    expect = seq_bytes + n * record_dtype.itemsize
+    if int(payload.shape[0]) != expect:
+        raise FrameError(
+            f"payload is {payload.shape[0]} bytes, expected {expect} "
+            f"for {n} records of {record_dtype.itemsize} bytes"
+        )
+    seqs = _view_bytes(payload[:seq_bytes], _SEQ_DTYPE)
+    records = _view_bytes(payload[seq_bytes:], record_dtype)
+    return seqs, records

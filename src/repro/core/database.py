@@ -118,6 +118,12 @@ class FlowDatabase:
         # Each stamp is ``(ts_sim_ns, wall_ns, seq)``.
         self._dirty: Dict[tuple, List[Tuple[int, int, int]]] = {}
         self.predictions: List[PredictionEntry] = []
+        # Entries trimmed off the front of ``predictions`` (sharded
+        # workers stream each cycle's block to the coordinator and trim
+        # it locally, keeping worker memory and checkpoint size
+        # O(flows)).  Absolute position i of the run maps to
+        # ``predictions[i - predictions_base]``.
+        self.predictions_base = 0
         self.updates_registered = 0
         self.polls = 0
         self.records_scanned = 0
@@ -165,6 +171,27 @@ class FlowDatabase:
     def store_prediction(self, entry: PredictionEntry) -> None:
         """Persist an aggregated prediction (step ⑧)."""
         self.predictions.append(entry)
+
+    @property
+    def predictions_total(self) -> int:
+        """Total predictions stored over the run, including any the
+        owner has trimmed after shipping them elsewhere."""
+        return self.predictions_base + len(self.predictions)
+
+    def trim_predictions(self, n: int) -> None:
+        """Drop the oldest ``n`` resident entries, advancing
+        :attr:`predictions_base`.  The caller owns durability of the
+        trimmed entries (the sharded worker has already streamed them
+        to the coordinator)."""
+        if n <= 0:
+            return
+        if n > len(self.predictions):
+            raise ValueError(
+                f"cannot trim {n} of {len(self.predictions)} resident "
+                "predictions"
+            )
+        del self.predictions[:n]
+        self.predictions_base += n
 
     # ------------------------------------------------------------------
     # CentralServer side (step ④)
@@ -228,6 +255,7 @@ class FlowDatabase:
             "flows": self.flows.state_snapshot(),
             "dirty": [(k, list(v)) for k, v in self._dirty.items()],
             "predictions": list(self.predictions),
+            "predictions_base": self.predictions_base,
             "updates_registered": self.updates_registered,
             "polls": self.polls,
             "records_scanned": self.records_scanned,
@@ -240,6 +268,7 @@ class FlowDatabase:
         self.flows.state_restore(state["flows"])
         self._dirty = {k: list(v) for k, v in state["dirty"]}
         self.predictions = list(state["predictions"])
+        self.predictions_base = int(state.get("predictions_base", 0))
         self.updates_registered = int(state["updates_registered"])
         self.polls = int(state["polls"])
         self.records_scanned = int(state["records_scanned"])

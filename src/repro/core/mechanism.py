@@ -202,6 +202,7 @@ class AutomatedDDoSDetector:
         heartbeat_timeout_s: float = 30.0,
         process_chaos=None,
         max_respawns: int = 3,
+        ring_capacity: Optional[int] = None,
     ) -> FlowDatabase:
         """Consume a telemetry record array in capture order.
 
@@ -226,6 +227,10 @@ class AutomatedDDoSDetector:
         any scheduled by a ``process_chaos`` kill plan) are respawned
         from the last checkpoint and replayed from the coordinator's
         bounded replay buffer (``replay_buffer_records`` slots).
+        ``ring_capacity`` sizes each worker's ring in *records* (the
+        byte ring is derived from it; frames larger than the ring
+        stream through, so small values trade throughput, not
+        correctness).
         """
         if poll_every < 1 or cycle_budget < 1:
             raise ValueError("poll_every and cycle_budget must be >= 1")
@@ -243,6 +248,7 @@ class AutomatedDDoSDetector:
                 heartbeat_timeout_s=heartbeat_timeout_s,
                 process_chaos=process_chaos,
                 max_respawns=max_respawns,
+                ring_capacity=ring_capacity,
             )
         if batched is not None:
             self.central.batched = bool(batched)
@@ -320,7 +326,7 @@ class AutomatedDDoSDetector:
             "packets_processed": self.processor.packets_processed,
             "updates_registered": self.db.updates_registered,
             "pending_updates": self.db.pending_updates,
-            "predictions_stored": len(self.db.predictions),
+            "predictions_stored": self.db.predictions_total,
             "flows_created": self.db.flows.created,
             "flows_evicted": self.db.flows.evicted,
             "predictions_served": self.prediction.predictions_served,

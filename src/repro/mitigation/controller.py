@@ -812,7 +812,14 @@ class MitigationController:
         if db is None:
             return
         preds = db.predictions
-        n = len(preds)
+        # The cursor is an *absolute* stream position; sharded workers
+        # trim shipped entries off the front of the resident log, so
+        # resident index = absolute index - predictions_base.  Trims
+        # only ever happen after this sweep ran over the trimmed
+        # entries (worker order: cycle → on_cycle → ship+trim), so the
+        # cursor can never point below the base.
+        base = getattr(db, "predictions_base", 0)
+        n = base + len(preds)
         pos = self._flow_pos
         if pos >= n:
             return
@@ -825,7 +832,7 @@ class MitigationController:
         account = self._account
         process = self._process_flagged
         last = self._last_ts_ns
-        for i in range(pos, n):
+        for i in range(pos - base, n - base):
             entry = preds[i]
             now = entry.ts_registered_ns
             if now > last:
@@ -970,7 +977,10 @@ class MitigationController:
         fast-forwarded past the merged log: each entry's flow tier
         already ran on the worker that owns the flow."""
         if self._db is not None:
-            self._flow_pos = len(self._db.predictions)
+            self._flow_pos = (
+                getattr(self._db, "predictions_base", 0)
+                + len(self._db.predictions)
+            )
         self._lossy_recoveries += int(lossy)
         for a in sorted(actions, key=lambda a: a.sort_key()):
             self.action_log.append(a)

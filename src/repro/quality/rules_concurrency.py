@@ -16,10 +16,13 @@ CONC003/CONC004 guard the ``multiprocessing`` spawn boundary used by
 divergent per-process copies, and closure-captured functions do not
 survive a spawn pickle at all.
 
-CONC005 guards liveness at the same boundary: a ring ``push``/``pop``
-with neither a ``timeout=`` nor a ``peer_alive=`` guard blocks forever
-when the peer process dies — the exact infinite-backpressure hang the
-supervised runtime exists to prevent.
+CONC005 guards liveness at the same boundary: a ring ``push``/``pop``/
+``pop_exact`` with neither a ``timeout=`` nor a ``peer_alive=`` guard
+blocks forever when the peer process dies — the exact
+infinite-backpressure hang the supervised runtime exists to prevent.
+``pop_exact`` is the frame protocol's blocking exact-length read (one
+call per frame header, one per payload); its ``timeout`` is the second
+positional parameter, so a positional deadline counts as a guard too.
 """
 
 from __future__ import annotations
@@ -296,8 +299,11 @@ class UnboundedRingWaitRule:
         "blocks forever if the peer process dies"
     )
 
-    _WAIT_METHODS = ("push", "pop")
+    _WAIT_METHODS = ("push", "pop", "pop_exact")
     _GUARD_KWARGS = ("timeout", "peer_alive")
+    #: methods whose second positional parameter is the timeout — a
+    #: positional deadline is as much of a guard as ``timeout=``.
+    _POSITIONAL_TIMEOUT = ("pop_exact",)
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         for call in ast.walk(module.tree):
@@ -314,6 +320,8 @@ class UnboundedRingWaitRule:
                 continue
             kwargs = {kw.arg for kw in call.keywords}
             if kwargs.intersection(self._GUARD_KWARGS):
+                continue
+            if func.attr in self._POSITIONAL_TIMEOUT and len(call.args) >= 2:
                 continue
             yield Finding(
                 module.path, call.lineno, self.id,

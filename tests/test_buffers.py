@@ -171,6 +171,40 @@ class TestSharedRing:
                 ring.push(_block(2, 1), timeout=60.0, on_wait=hook)
         assert len(calls) == 2
 
+    def test_wait_backoff_probes_immediately_then_escalates(self):
+        """The adaptive backoff: first tick probes liveness (a wait
+        against a dead peer fails fast), then spins, then sleeps with
+        per-tick doubling capped at MAX_WAIT_SLEEP_S."""
+        from repro.common.buffers import _WaitState
+
+        with SharedRing(DT, capacity=2) as ring:
+            # Dead peer detected on the very first tick — no sleep.
+            with pytest.raises(PeerDead):
+                ring._wait_tick(_WaitState(), lambda: False, None)
+
+            state = _WaitState()
+            state.spins_left = 0  # skip the spin phase
+            for _ in range(16):
+                ring._wait_tick(state, None, None)
+                assert state.sleep_s <= SharedRing.MAX_WAIT_SLEEP_S
+            assert state.sleep_s == SharedRing.MAX_WAIT_SLEEP_S
+
+    def test_wait_backoff_probe_cadence_is_wall_clock(self):
+        """on_wait fires every ~PROBE_INTERVAL_S of accumulated sleep,
+        not every N ticks — escalation must not starve the probes."""
+        from repro.common.buffers import _WaitState
+
+        calls = []
+        with SharedRing(DT, capacity=2) as ring:
+            state = _WaitState()
+            state.spins_left = 0
+            ticks = 40
+            for _ in range(ticks):
+                ring._wait_tick(state, None, lambda: calls.append(1))
+        # 40 ticks at the 1 ms cap ≈ 40 ms of sleep → ~a dozen probes;
+        # exactly one per tick would mean the cadence ignores sleep_s.
+        assert 2 <= len(calls) < ticks
+
     def test_reset_rewinds_cursors_and_discards_content(self):
         with SharedRing(DT, capacity=4) as ring:
             ring.push(_block(0, 3))

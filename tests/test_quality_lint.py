@@ -366,6 +366,24 @@ def test_conc005_clean_with_timeout_or_liveness_guard():
     )
 
 
+def test_conc005_covers_frame_protocol_pop_exact():
+    # the frame protocol's exact-length read needs the same guard
+    out = run(
+        "def read_frame(ring, n):\n"
+        "    return ring.pop_exact(n)\n",
+        rule="CONC005",
+    )
+    assert [f.line for f in out] == [2]
+    # a positional deadline (second parameter) counts as a guard, as
+    # does the keyword form with a liveness probe
+    assert not run(
+        "def read_frame(ring, n, alive):\n"
+        "    header = ring.pop_exact(n, 30.0)\n"
+        "    return ring.pop_exact(n, timeout=30.0, peer_alive=alive)\n",
+        rule="CONC005",
+    )
+
+
 # ---------------------------------------------------------------------------
 # LAY001 — import contract
 # ---------------------------------------------------------------------------
