@@ -117,6 +117,13 @@ def snapshot_detector(
     mitigation = getattr(det, "mitigation", None)
     if mitigation is not None:
         payload["mitigation"] = mitigation.state_snapshot()
+    # Sketch gate: counters, residual aggregates, and window/promotion
+    # tallies are deterministic worker state — a restored worker must
+    # resume with bit-identical sketch cells or post-recovery admission
+    # decisions (and therefore the merged prediction log) would diverge.
+    gate = getattr(det, "sketch_gate", None)
+    if gate is not None:
+        payload["sketch"] = gate.state_snapshot()
     return pack_state(payload)
 
 
@@ -140,4 +147,7 @@ def restore_detector(det: "AutomatedDDoSDetector", blob: bytes) -> Dict[str, Any
     mitigation = getattr(det, "mitigation", None)
     if mitigation is not None and "mitigation" in payload:
         mitigation.state_restore(payload["mitigation"])
+    gate = getattr(det, "sketch_gate", None)
+    if gate is not None and "sketch" in payload:
+        gate.state_restore(payload["sketch"])
     return payload

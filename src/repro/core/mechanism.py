@@ -23,9 +23,11 @@ from typing import Any, Callable, Dict, Optional, Sequence
 import numpy as np
 
 from repro.features.flow_table import FlowTable
+from repro.features.keys import key_hash_of_key
 from repro.int_telemetry.collector import IntCollector
 from repro.resilience.chaos import ChaosSchedule, FaultInjector
 from repro.resilience.degradation import ModuleHealth, Watchdog
+from repro.sketch import SketchConfig
 from repro.traffic.trace import AttackType
 
 from .central import CentralServer
@@ -85,6 +87,12 @@ class AutomatedDDoSDetector:
         one batch prediction per CentralServer cycle.  Output is
         bit-identical to the scalar path (see the batch-equivalence
         suite); only throughput differs.
+    sketch : SketchConfig, optional
+        Enable the sketch admission gate in front of the flow table
+        (see :mod:`repro.sketch.gate`): every packet updates a seeded
+        count-min sketch, only promoted heavy hitters get exact
+        FlowRecords, the rest aggregate into per-prefix residuals.
+        ``None`` (default) keeps the exact ungated path bit-for-bit.
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class AutomatedDDoSDetector:
         cycle_deadline_ns: Optional[int] = None,
         watchdog: Optional[Watchdog] = None,
         batched: bool = False,
+        sketch: Optional[SketchConfig] = None,
     ) -> None:
         self.bundle = bundle
         # Construction recipe for shard workers: everything needed to
@@ -119,6 +128,7 @@ class AutomatedDDoSDetector:
             wrap_aware=wrap_aware,
             fast_poll=fast_poll,
             cycle_deadline_ns=cycle_deadline_ns,
+            sketch=sketch,
         )
         #: Per-worker stats dicts of the last sharded run (None before).
         self.shard_stats: Optional[list] = None
@@ -137,12 +147,15 @@ class AutomatedDDoSDetector:
             flow_table, fast_poll=fast_poll, skip_new_flows=skip_new_flows
         )
         self.watchdog = watchdog if watchdog is not None else Watchdog()
+        #: Sketch admission gate (None = exact ungated path).
+        self.sketch_gate = sketch.build() if sketch is not None else None
         self.processor = DataProcessor(
             self.db,
             bundle.feature_names,
             decision_window=decision_window,
             emit_partial=emit_partial,
             clock=clock,
+            gate=self.sketch_gate,
         )
         self.prediction = PredictionModule(
             bundle.scaler,
@@ -257,6 +270,8 @@ class AutomatedDDoSDetector:
                 chunk = records[start : start + poll_every]
                 self.collection.feed_batch(chunk)
                 if chunk.shape[0] == poll_every:
+                    if self.sketch_gate is not None:
+                        self.sketch_gate.end_window()
                     self.central.cycle(max_updates=cycle_budget)
                     if self.mitigation is not None:
                         self.mitigation.on_cycle()
@@ -269,6 +284,8 @@ class AutomatedDDoSDetector:
         for i in range(records.shape[0]):
             self.collection.feed_record(records[i])
             if (i + 1) % poll_every == 0:
+                if self.sketch_gate is not None:
+                    self.sketch_gate.end_window()
                 self.central.cycle(max_updates=cycle_budget)
                 if self.mitigation is not None:
                     self.mitigation.on_cycle()
@@ -292,6 +309,8 @@ class AutomatedDDoSDetector:
 
     def live_cycle(self, budget: int = 128) -> int:
         """One CentralServer round (callers interleave with sim slices)."""
+        if self.sketch_gate is not None:
+            self.sketch_gate.end_window()
         done = self.central.cycle(max_updates=budget)
         if self.mitigation is not None:
             self.mitigation.on_cycle()
@@ -344,6 +363,46 @@ class AutomatedDDoSDetector:
             out["supervision"] = dict(self.supervision_stats)
         if self.mitigation is not None:
             out["mitigation"] = self.mitigation.stats()
+        if self.sketch_gate is not None:
+            out["sketch"] = self._sketch_stats()
+        return out
+
+    def _sketch_stats(self) -> Dict[str, object]:
+        """Gate scorecard + estimated-vs-exact error over a bounded
+        sample of resident flows.
+
+        Every resident flow passed promotion (or predates the gate), so
+        demotions — heavy hitters whose exact state was later dropped —
+        are exactly the table's evictions + idle expiries.  The error
+        sample compares the sketch's packet estimate against the exact
+        ``n_packets`` for up to 512 resident flows: with conservative
+        update the estimate can only overcount, so mean relative
+        overestimate is the sketch-accuracy signal ops would watch.
+        """
+        assert self.sketch_gate is not None
+        gate = self.sketch_gate
+        out: Dict[str, object] = dict(gate.stats())
+        flows = self.db.flows
+        out["demotions"] = flows.evicted + flows.expired
+        out["resident_flows"] = len(flows)
+        err_sum = 0.0
+        sampled = 0
+        exact_le_est = 0
+        for key, rec in flows.items():
+            if sampled >= 512:
+                break
+            est_pkts, _ = gate.estimate_key(key_hash_of_key(key))
+            if rec.n_packets > 0:
+                err_sum += (est_pkts - rec.n_packets) / rec.n_packets
+                exact_le_est += int(est_pkts >= rec.n_packets)
+                sampled += 1
+        out["error_sample_flows"] = sampled
+        out["mean_relative_overestimate"] = (
+            err_sum / sampled if sampled else 0.0
+        )
+        out["estimate_ge_exact_fraction"] = (
+            exact_le_est / sampled if sampled else 1.0
+        )
         return out
 
 

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.features.batch import FlowBatch
 from repro.features.flow_record import FEATURE_ORDER, FlowRecord
+from repro.features.keys import key_hash_of_key
+from repro.sketch import SketchGate
 
 from .database import FlowDatabase, PredictionEntry
 from .ensemble import SlidingDecision, aggregate_votes
@@ -41,6 +43,12 @@ class DataProcessor:
         Wall-clock source in ns; defaults to
         :func:`time.perf_counter_ns`.  Injectable for deterministic
         tests.
+    gate : SketchGate, optional
+        Sketch admission gate.  When set, every packet still updates
+        the sketch, but only flows the gate admits (resident or past
+        the heavy-hitter threshold) reach the exact flow table; the
+        rest aggregate into the gate's residual stats.  ``None``
+        preserves the ungated exact path bit-for-bit.
     """
 
     def __init__(
@@ -50,8 +58,10 @@ class DataProcessor:
         decision_window: int = 3,
         emit_partial: bool = False,
         clock=None,
+        gate: Optional[SketchGate] = None,
     ) -> None:
         self.db = database
+        self.gate = gate
         self.feature_names = list(feature_names)
         self.decision = SlidingDecision(decision_window, emit_partial=emit_partial)
         # repro: allow[DET002] injectable default; wall stamps are excluded from digests
@@ -80,14 +90,31 @@ class DataProcessor:
         queue_occupancy: float = 0.0,
         hop_latency_ns: float = 0.0,
         seq: Optional[int] = None,
-    ) -> FlowRecord:
+    ) -> Optional[FlowRecord]:
         """Fold one packet into its flow record and register the update.
 
         ``seq`` is the packet's delivered-stream sequence number; when
         omitted it defaults to this processor's running packet count,
         which *is* the delivered index in single-process runs.  Shard
         workers pass the coordinator-assigned global value instead.
+
+        With a sketch ``gate``, a packet whose flow is neither resident
+        nor promoted consumes its sequence number but creates no record
+        (returns ``None``); its volume lands in the gate's residual
+        stats.  Scalar gating treats each packet as its own admission
+        slice — see DESIGN.md §15 for how that differs from batched
+        slice-granular gating.
         """
+        if self.gate is not None:
+            admitted = self.gate.admit_one(
+                key_hash_of_key(key),
+                int(length),
+                key in self.db.flows,
+                int(key[0]),
+            )
+            if not admitted:
+                self.packets_processed += 1
+                return None
         wall = self.clock()
         if seq is None:
             seq = self.packets_processed
@@ -119,14 +146,61 @@ class DataProcessor:
         deterministic clock.  ``seqs`` overrides the per-record sequence
         numbers (shard workers pass global values); the default matches
         the scalar path's running count.
+
+        With a sketch ``gate``, the whole slice folds into the sketch
+        first, then only admitted groups reach the flow table — via
+        :meth:`FlowBatch.subset`, so the admitted sub-batch behaves
+        exactly like a batch that never contained the rejected records.
+        Rejected packets still consume their sequence numbers (the
+        delivered-stream numbering is gate-independent) and count into
+        ``packets_processed``.
         """
         n = batch.n
         if n == 0:
             return 0
-        clock = self.clock
-        wall = [clock() for _ in range(n)]
         if seqs is None:
             seqs = np.arange(self.packets_processed, self.packets_processed + n)
+        if self.gate is not None:
+            flows = self.db.flows
+            pkts = batch.counts
+            len_sorted = np.asarray(length, dtype=np.float64)[batch.order]
+            byts = np.add.reduceat(len_sorted, batch.starts).astype(np.int64)
+            resident = np.fromiter(
+                (k in flows for k in batch.keys), dtype=bool, count=batch.n_groups
+            )
+            admit = self.gate.admit_slice(
+                batch.key_hash, pkts, byts, resident, batch.group_ip_a
+            )
+            if not admit.all():
+                sub, rec_mask = batch.subset(admit)
+                clock = self.clock
+                wall = [clock() for _ in range(sub.n)]
+                if sub.n:
+                    qo = None if queue_occupancy is None else np.asarray(
+                        queue_occupancy
+                    )[rec_mask]
+                    hl = None if hop_latency_ns is None else np.asarray(
+                        hop_latency_ns
+                    )[rec_mask]
+                    self.db.flows.update_batch(
+                        sub,
+                        np.asarray(ts_sim_ns)[rec_mask],
+                        np.asarray(ingress_ts32)[rec_mask],
+                        np.asarray(length)[rec_mask],
+                        np.asarray(protocol)[rec_mask],
+                        qo,
+                        hl,
+                    )
+                    self.db.register_update_batch(
+                        sub,
+                        np.asarray(ts_sim_ns)[rec_mask],
+                        wall,
+                        np.asarray(seqs)[rec_mask],
+                    )
+                self.packets_processed += n
+                return n
+        clock = self.clock
+        wall = [clock() for _ in range(n)]
         self.db.flows.update_batch(
             batch, ts_sim_ns, ingress_ts32, length, protocol,
             queue_occupancy, hop_latency_ns,

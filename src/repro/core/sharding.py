@@ -388,6 +388,11 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
             if kind == FRAME_DATA:
                 continue
             if kind == FRAME_CYCLE:
+                # Window tick BEFORE the cycle, matching the
+                # single-process run_stream ordering, so sketch decay
+                # cadence is identical across execution modes.
+                if det.sketch_gate is not None:
+                    det.sketch_gate.end_window()
                 det.central.cycle(max_updates=cycle_budget)
                 if det.mitigation is not None:
                     # Flow-tier sweep before the result/checkpoint sends
@@ -1030,6 +1035,17 @@ def run_sharded(
         raise ValueError(f"n_shards must be >= 1: {n_shards}")
     if poll_every < 1 or cycle_budget < 1:
         raise ValueError("poll_every and cycle_budget must be >= 1")
+    gate = getattr(detector, "sketch_gate", None)
+    if gate is not None and gate.config.partitions % n_shards != 0:
+        # Sketch-cell co-location (repro.sketch.cms) requires the shard
+        # count to divide the virtual-partition count; otherwise one
+        # partition's flows split across workers and collision patterns
+        # — hence admission decisions — would depend on n_shards.
+        raise ValueError(
+            f"sketch partitions ({gate.config.partitions}) must be a "
+            f"multiple of n_shards ({n_shards}) for shard-count-"
+            f"independent admission"
+        )
     if ring_capacity is None:
         # Room (in records) for several slices per shard so a briefly-
         # stalled worker does not immediately backpressure the

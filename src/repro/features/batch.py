@@ -12,9 +12,11 @@ of re-deriving keys per packet.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
+
+from .keys import key_hash_packed
 
 __all__ = ["FlowBatch", "group_by_flow"]
 
@@ -40,9 +42,27 @@ class FlowBatch:
     first_pos, last_pos : ndarray
         Original index of each group's first/last record — the handles
         used to replay the scalar path's dict-insertion and LRU orders.
+    key_hash : ndarray (uint64)
+        Per-group splitmix64 flow-identity hash
+        (:func:`~repro.features.keys.key_hash_packed`) — the value
+        behind shard assignment and sketch partition/cell placement.
+    group_ip_a : ndarray (int64)
+        Per-group canonical endpoint-A IP (the lexicographically
+        smaller endpoint); the sketch gate keys residual aggregation by
+        its prefix.
     """
 
-    __slots__ = ("n", "order", "starts", "counts", "keys", "first_pos", "last_pos")
+    __slots__ = (
+        "n",
+        "order",
+        "starts",
+        "counts",
+        "keys",
+        "first_pos",
+        "last_pos",
+        "key_hash",
+        "group_ip_a",
+    )
 
     def __init__(
         self,
@@ -53,6 +73,8 @@ class FlowBatch:
         keys: List[tuple],
         first_pos: np.ndarray,
         last_pos: np.ndarray,
+        key_hash: np.ndarray,
+        group_ip_a: np.ndarray,
     ) -> None:
         self.n = n
         self.order = order
@@ -61,6 +83,8 @@ class FlowBatch:
         self.keys = keys
         self.first_pos = first_pos
         self.last_pos = last_pos
+        self.key_hash = key_hash
+        self.group_ip_a = group_ip_a
 
     @property
     def n_groups(self) -> int:
@@ -70,6 +94,46 @@ class FlowBatch:
         """Original record indices of group ``g``, in arrival order."""
         s = self.starts[g]
         return self.order[s : s + self.counts[g]]
+
+    def subset(self, keep: np.ndarray) -> Tuple["FlowBatch", np.ndarray]:
+        """Compress the batch down to the groups flagged by ``keep``.
+
+        Returns ``(sub_batch, rec_mask)`` where ``rec_mask`` flags the
+        *original record indices* belonging to kept groups.  The
+        sub-batch's ``order``/``starts``/``first_pos``/``last_pos``
+        index into the **compressed** record space (original arrays
+        sliced by ``rec_mask``), so it composes with
+        ``FlowTable.update_batch`` and update registration exactly like
+        a batch that never contained the dropped records — kept groups
+        preserve their relative record order, hence the scalar
+        equivalences PR 2 established still hold group-wise.
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.all():
+            return self, np.ones(self.n, dtype=bool)
+        rec_mask_sorted = np.repeat(keep, self.counts)
+        rec_mask = np.empty(self.n, dtype=bool)
+        rec_mask[self.order] = rec_mask_sorted
+        # Original index -> compressed index (valid only where kept).
+        new_of_orig = np.cumsum(rec_mask, dtype=np.int64) - 1
+        order_new = new_of_orig[self.order[rec_mask_sorted]]
+        counts_new = self.counts[keep]
+        starts_new = np.concatenate(
+            ([0], np.cumsum(counts_new))
+        ).astype(np.int64)[:-1]
+        keys_new = [k for k, f in zip(self.keys, keep.tolist()) if f]
+        sub = FlowBatch(
+            int(counts_new.sum()),
+            order_new,
+            starts_new,
+            counts_new,
+            keys_new,
+            new_of_orig[self.first_pos[keep]],
+            new_of_orig[self.last_pos[keep]],
+            self.key_hash[keep],
+            self.group_ip_a[keep],
+        )
+        return sub, rec_mask
 
 
 def group_by_flow(ip_a, ip_b, port_a, port_b, proto) -> FlowBatch:
@@ -90,6 +154,8 @@ def group_by_flow(ip_a, ip_b, port_a, port_b, proto) -> FlowBatch:
             np.empty(0, np.int64),
             [],
             np.empty(0, np.int64),
+            np.empty(0, np.int64),
+            np.empty(0, np.uint64),
             np.empty(0, np.int64),
         )
     # Pack the five columns into two sortable integers: 64 bits of IPs,
@@ -114,4 +180,8 @@ def group_by_flow(ip_a, ip_b, port_a, port_b, proto) -> FlowBatch:
     pa, pb = port_a[reps].tolist(), port_b[reps].tolist()
     pr = proto[reps].tolist()
     keys = list(zip(ka, kb, pa, pb, pr))
-    return FlowBatch(n, order, starts, counts, keys, first_pos, last_pos)
+    key_hash = key_hash_packed(k1s[starts], k2s[starts])
+    group_ip_a = (k1s[starts] >> np.uint64(32)).astype(np.int64)
+    return FlowBatch(
+        n, order, starts, counts, keys, first_pos, last_pos, key_hash, group_ip_a
+    )

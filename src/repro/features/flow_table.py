@@ -62,6 +62,17 @@ class FlowTable:
         return key in self._flows
 
     def get(self, key: tuple) -> Optional[FlowRecord]:
+        """Look up a flow's record **without refreshing its recency**.
+
+        Only :meth:`update` / :meth:`update_batch` move a flow toward
+        the most-recently-used end of the LRU order; reads — feature
+        polls, observability probes, sketch-gate residency checks — are
+        order-neutral.  This is a contract, not an accident: eviction
+        under ``max_flows`` pressure and :meth:`expire_idle` sweeps
+        depend only on the *update* sequence, so read-heavy layers (the
+        sketch admission gate probes residency for every flow in every
+        slice) cannot perturb which flows get evicted.
+        """
         return self._flows.get(key)
 
     def update(

@@ -26,6 +26,9 @@ import numpy as np
 __all__ = [
     "canonical_flow_key",
     "canonical_key_arrays",
+    "key_hash_of_key",
+    "key_hash_packed",
+    "key_hash_arrays",
     "shard_of_key",
     "shard_arrays",
 ]
@@ -71,46 +74,69 @@ def canonical_key_arrays(records: np.ndarray):
 
 
 # ---------------------------------------------------------------------------
-# Shard assignment (horizontal scaling)
+# Flow-identity hash (shard assignment + sketch partitioning)
 # ---------------------------------------------------------------------------
-# The sharded detector partitions telemetry by flow so every worker owns a
-# disjoint slice of the flow space: all state a flow ever accumulates
-# (Welford moments, sliding decision window) lives on exactly one worker.
-# The hash runs on the *canonical* key, so both packet directions of a
-# conversation land on the same shard by construction — the property the
-# shard-stability suite checks.  splitmix64's finalizer gives the avalanche
-# a plain modulo over the packed tuple lacks (sequential IPs from one
-# subnet would otherwise pile onto few shards).
+# One splitmix64 value per canonical key is the repo's entire flow-identity
+# hash surface.  The sharded detector takes it mod n_shards so every worker
+# owns a disjoint slice of the flow space; the sketch layer takes the SAME
+# value mod its partition count so flows that can ever share a sketch cell
+# co-locate on one worker whenever n_shards divides the partition count
+# (see repro.sketch.cms).  The hash runs on the *canonical* key, so both
+# packet directions of a conversation land on the same shard by
+# construction — the property the shard-stability suite checks.
+# splitmix64's finalizer gives the avalanche a plain modulo over the packed
+# tuple lacks (sequential IPs from one subnet would otherwise pile onto few
+# shards).
 
 _MASK64 = (1 << 64) - 1
 
 
-def shard_of_key(key: Tuple[int, int, int, int, int], n_shards: int) -> int:
-    """Shard index of one canonical five-tuple (splitmix64 finalizer)."""
+def key_hash_of_key(key: Tuple[int, int, int, int, int]) -> int:
+    """splitmix64 flow-identity hash of one canonical five-tuple.
+
+    This is the pre-modulo value behind both :func:`shard_of_key` and
+    the sketch layer's partition/cell placement.
+    """
     ip_a, ip_b, port_a, port_b, proto = key
     x = ((ip_a << 32) | ip_b) & _MASK64
     x ^= ((port_a << 24) | (port_b << 8) | proto) * 0x9E3779B97F4A7C15 & _MASK64
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
-    x ^= x >> 31
-    return int(x % n_shards)
+    return x ^ (x >> 31)
 
 
-def shard_arrays(ip_a, ip_b, port_a, port_b, proto, n_shards: int) -> np.ndarray:
-    """Vectorized :func:`shard_of_key` over canonical key columns.
+def key_hash_packed(k1: np.ndarray, k2: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`key_hash_of_key` over pre-packed sort keys.
 
-    Bit-for-bit the same hash as the scalar version (uint64 wraparound
-    arithmetic), so the coordinator's batch partitioning and any scalar
-    re-check agree on every record.
+    ``k1``/``k2`` are the uint64 packings the batch grouper already
+    builds (64 bits of IPs, 40 bits of ports+protocol) — the hash is
+    bit-for-bit the scalar version (uint64 wraparound arithmetic), so
+    the coordinator's batch partitioning, the sketch's cell placement,
+    and any scalar re-check agree on every record.
     """
-    x = ip_a.astype(np.uint64) << np.uint64(32) | ip_b.astype(np.uint64)
-    pk = (
+    x = k1.astype(np.uint64) ^ k2.astype(np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
+def key_hash_arrays(ip_a, ip_b, port_a, port_b, proto) -> np.ndarray:
+    """Vectorized :func:`key_hash_of_key` over canonical key columns."""
+    k1 = ip_a.astype(np.uint64) << np.uint64(32) | ip_b.astype(np.uint64)
+    k2 = (
         port_a.astype(np.uint64) << np.uint64(24)
         | port_b.astype(np.uint64) << np.uint64(8)
         | proto.astype(np.uint64)
     )
-    x = x ^ pk * np.uint64(0x9E3779B97F4A7C15)
-    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
-    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
-    x = x ^ (x >> np.uint64(31))
+    return key_hash_packed(k1, k2)
+
+
+def shard_of_key(key: Tuple[int, int, int, int, int], n_shards: int) -> int:
+    """Shard index of one canonical five-tuple (splitmix64 finalizer)."""
+    return int(key_hash_of_key(key) % n_shards)
+
+
+def shard_arrays(ip_a, ip_b, port_a, port_b, proto, n_shards: int) -> np.ndarray:
+    """Vectorized :func:`shard_of_key` over canonical key columns."""
+    x = key_hash_arrays(ip_a, ip_b, port_a, port_b, proto)
     return (x % np.uint64(n_shards)).astype(np.int64)

@@ -50,6 +50,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.core",
     "repro.ml",
     "repro.features",
+    "repro.sketch",
     "repro.resilience",
     "repro.mitigation",
     "repro.controlplane",

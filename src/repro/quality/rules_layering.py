@@ -5,7 +5,9 @@ The package stack, lowest layer first::
     0  repro.common            shared substrate (buffers, RNG plumbing)
     1  repro.dataplane         discrete-event switches/links/topology
     2  repro.int_telemetry | repro.sflow | repro.traffic
-       repro.ml | repro.baselines          peer leaf stacks
+       repro.ml | repro.baselines | repro.sketch   peer leaf stacks
+       (repro.sketch consumes only pre-hashed flow identities, so it
+       slots between common and features without touching either)
     3  repro.features          feature engineering over telemetry
     4  repro.resilience        chaos + degradation primitives
        (repro.resilience.harness is overridden to layer 10 — it drives
@@ -55,6 +57,7 @@ LAYERS = {
     "repro.traffic": 2,
     "repro.ml": 2,
     "repro.baselines": 2,
+    "repro.sketch": 2,
     "repro.features": 3,
     "repro.resilience": 4,
     "repro.resilience.harness": 10,

@@ -1,0 +1,23 @@
+"""Sketch layer: O(1)-memory heavy-hitter front end for flow admission.
+
+Layering: sits between ``repro.common`` and ``repro.features`` — it
+consumes only pre-hashed flow identities (splitmix64 ``key_hash``
+values) and never imports the feature or core layers.
+"""
+
+from .cms import CountMinSketch, UPDATE_KINDS
+from .gate import ResidualAggregator, SketchConfig, SketchGate
+from .hashing import cell_column, cell_columns, mix64, mix64_arrays, row_seeds
+
+__all__ = [
+    "CountMinSketch",
+    "UPDATE_KINDS",
+    "ResidualAggregator",
+    "SketchConfig",
+    "SketchGate",
+    "mix64",
+    "mix64_arrays",
+    "row_seeds",
+    "cell_columns",
+    "cell_column",
+]

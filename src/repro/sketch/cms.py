@@ -1,0 +1,219 @@
+"""Partitioned count-min sketch with packet and byte counters.
+
+The sketch is the O(1)-memory summary in front of the exact
+:class:`~repro.features.flow_table.FlowTable`: every delivered packet
+lands in ``depth`` counter cells selected by a seeded hash family
+(:mod:`repro.sketch.hashing`), and a flow's *estimate* — the minimum
+over its cells — never undercounts it.  Two update disciplines:
+
+* ``"cms"`` — classic count-min: every cell of the key gets the full
+  increment (``np.add.at``);
+* ``"cu"``  — *parallel* conservative update, the batched form of
+  Estan/Varghese CU: per slice, each key's target is its pre-slice
+  estimate plus its slice increment, and cells take the **max** of the
+  targets hashed onto them (``np.maximum.at``).  Tighter estimates than
+  plain CMS, and — unlike sequential CU — order-independent within a
+  slice, because ``max`` over precomputed targets commutes.
+
+Both disciplines fold a telemetry slice with *commutative* scatter
+operations over state frozen at the slice boundary, which is the
+property the sharded runtime leans on: a worker folding only its
+partition of a slice produces the same counters as the unified fold
+restricted to those partitions.
+
+Virtual partitions
+------------------
+Counters are segmented into ``partitions`` independent sub-sketches; a
+key's cells live entirely inside partition ``key_hash % partitions``.
+Because the shard assignment is ``key_hash % n_shards`` over the *same*
+splitmix64 value (:func:`repro.features.keys.shard_of_key`), any
+``n_shards`` dividing ``partitions`` maps every partition wholly onto
+one worker — two flows that could ever share a cell always co-locate,
+so per-worker sketches agree bit-for-bit with the single-process
+sketch and admission decisions are independent of the worker count.
+
+Per-window decay halves every counter (arithmetic shift), aging out
+heavy hitters that went quiet; it runs at explicit window boundaries
+(:meth:`CountMinSketch.decay`) so all execution modes tick it on the
+same cadence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .hashing import cell_column, cell_columns, row_seeds
+
+__all__ = ["CountMinSketch", "UPDATE_KINDS"]
+
+#: Supported update disciplines.
+UPDATE_KINDS = ("cms", "cu")
+
+
+class CountMinSketch:
+    """Seeded, partitioned count-min sketch (packets + bytes).
+
+    Parameters
+    ----------
+    width : int
+        Cells per row *per partition*.
+    depth : int
+        Hash rows (independent seeded hash functions).
+    partitions : int
+        Virtual sub-sketches; see the module docstring.  Must be a
+        multiple of every worker count the sharded runtime will use for
+        admission decisions to be worker-count-independent.
+    seed : int
+        Root seed of the hash family.
+    kind : {"cu", "cms"}
+        Update discipline.
+    """
+
+    def __init__(
+        self,
+        width: int = 1024,
+        depth: int = 4,
+        partitions: int = 64,
+        seed: int = 2024,
+        kind: str = "cu",
+    ) -> None:
+        if width < 1 or depth < 1 or partitions < 1:
+            raise ValueError(
+                f"width/depth/partitions must be >= 1: "
+                f"{width}/{depth}/{partitions}"
+            )
+        if kind not in UPDATE_KINDS:
+            raise ValueError(f"unknown update kind {kind!r}; one of {UPDATE_KINDS}")
+        self.width = int(width)
+        self.depth = int(depth)
+        self.partitions = int(partitions)
+        self.seed = int(seed)
+        self.kind = kind
+        self._row_seeds = row_seeds(self.seed, self.depth)
+        cells = self.partitions * self.depth * self.width
+        # int64 everywhere: exact integer arithmetic, arithmetic-shift
+        # decay, and no silent wraparound at realistic volumes.
+        self.packets = np.zeros(cells, dtype=np.int64)
+        self.bytes = np.zeros(cells, dtype=np.int64)
+        self.updates = 0
+        self.decays = 0
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _flat_rows(self, key_hash: np.ndarray) -> np.ndarray:
+        """(depth, n) flat cell indices for a batch of key hashes."""
+        part = (key_hash % np.uint64(self.partitions)).astype(np.int64)
+        base = part * (self.depth * self.width)
+        idx = np.empty((self.depth, key_hash.shape[0]), dtype=np.int64)
+        for r in range(self.depth):
+            cols = cell_columns(key_hash, int(self._row_seeds[r]), self.width)
+            idx[r] = base + r * self.width + cols
+        return idx
+
+    def _flat_rows_one(self, key_hash: int) -> list:
+        """Scalar :meth:`_flat_rows`; bit-identical cells."""
+        part = key_hash % self.partitions
+        base = part * (self.depth * self.width)
+        return [
+            base + r * self.width
+            + cell_column(key_hash, int(self._row_seeds[r]), self.width)
+            for r in range(self.depth)
+        ]
+
+    # ------------------------------------------------------------------
+    # update + query
+    # ------------------------------------------------------------------
+    def update_groups(
+        self, key_hash: np.ndarray, packets: np.ndarray, bytes_: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold one slice's per-flow aggregates; returns post-slice
+        ``(packet_estimates, byte_estimates)`` for the same keys.
+
+        ``key_hash`` must hold one entry per *distinct* flow in the
+        slice (the grouped batch guarantees this); ``packets``/``bytes_``
+        are that flow's totals within the slice.  The fold is
+        order-independent — see the module docstring — so any
+        flow-disjoint partitioning of a slice folds to the same
+        counters.
+        """
+        n = int(key_hash.shape[0])
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        idx = self._flat_rows(key_hash)
+        packets = packets.astype(np.int64)
+        bytes_ = bytes_.astype(np.int64)
+        if self.kind == "cms":
+            for r in range(self.depth):
+                np.add.at(self.packets, idx[r], packets)
+                np.add.at(self.bytes, idx[r], bytes_)
+        else:  # parallel conservative update
+            pkt_target = self.packets[idx].min(axis=0) + packets
+            byt_target = self.bytes[idx].min(axis=0) + bytes_
+            for r in range(self.depth):
+                np.maximum.at(self.packets, idx[r], pkt_target)
+                np.maximum.at(self.bytes, idx[r], byt_target)
+        self.updates += n
+        return self.packets[idx].min(axis=0), self.bytes[idx].min(axis=0)
+
+    def estimate_batch(
+        self, key_hash: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Current ``(packet, byte)`` estimates without updating."""
+        if key_hash.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        idx = self._flat_rows(key_hash)
+        return self.packets[idx].min(axis=0), self.bytes[idx].min(axis=0)
+
+    def estimate(self, key_hash: int) -> Tuple[int, int]:
+        """Scalar point query (observability path); bit-identical to
+        :meth:`estimate_batch` on a one-element array."""
+        cells = self._flat_rows_one(int(key_hash))
+        return (
+            int(min(self.packets[c] for c in cells)),
+            int(min(self.bytes[c] for c in cells)),
+        )
+
+    def decay(self) -> None:
+        """Halve every counter (integer floor) — one aging window."""
+        self.packets >>= 1
+        self.bytes >>= 1
+        self.decays += 1
+
+    # ------------------------------------------------------------------
+    # observability + checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Resident counter memory (the O(1) budget being bought)."""
+        return int(self.packets.nbytes + self.bytes.nbytes)
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Picklable bit-exact state (counters + fold counters).
+
+        Configuration is not captured — the restoring side constructs
+        the sketch with the same recipe, mirroring the FlowTable
+        checkpoint contract.
+        """
+        return {
+            "packets": self.packets.copy(),
+            "bytes": self.bytes.copy(),
+            "updates": self.updates,
+            "decays": self.decays,
+        }
+
+    def state_restore(self, state: Dict[str, object]) -> None:
+        packets = np.asarray(state["packets"], dtype=np.int64)
+        if packets.shape != self.packets.shape:
+            raise ValueError(
+                f"sketch snapshot has {packets.shape[0]} cells, this sketch "
+                f"has {self.packets.shape[0]} — construction recipes differ"
+            )
+        self.packets[:] = packets
+        self.bytes[:] = np.asarray(state["bytes"], dtype=np.int64)
+        self.updates = int(state["updates"])  # type: ignore[call-overload]
+        self.decays = int(state["decays"])  # type: ignore[call-overload]

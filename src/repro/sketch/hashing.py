@@ -1,0 +1,76 @@
+"""Seeded hash family for the sketch layer.
+
+Everything here is a pure function of its inputs and an explicit integer
+seed — never stdlib ``hash()``, whose per-process randomization would
+make sketch cell placement (and therefore every admission decision)
+unreproducible.  The scalar and vectorized variants are bit-for-bit
+identical: both run the splitmix64 finalizer over the same 64-bit
+wraparound arithmetic, so a single key probed by the observability path
+lands in exactly the cells the batched hot path updated.
+
+Row seeds are drawn from the splitmix64 *sequence* (gamma increments of
+the golden-ratio constant, each finalized), the construction from the
+original splitmix64 PRNG — ``depth`` independent-enough hash functions
+from one user seed, with no RNG object to carry around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mix64", "mix64_arrays", "row_seeds", "cell_columns", "cell_column"]
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 gamma (golden-ratio) increment.
+_GAMMA = 0x9E3779B97F4A7C15
+_M1 = 0xBF58476D1CE4E5B9
+_M2 = 0x94D049BB133111EB
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer (scalar, 64-bit wraparound)."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * _M1) & _MASK64
+    x = ((x ^ (x >> 27)) * _M2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def mix64_arrays(x: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer over a ``uint64`` array; bit-identical to
+    :func:`mix64` per element (numpy uint64 arithmetic wraps mod 2^64)."""
+    x = x.astype(np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(_M1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(_M2)
+    return x ^ (x >> np.uint64(31))
+
+
+def row_seeds(seed: int, depth: int) -> np.ndarray:
+    """``depth`` per-row hash seeds derived from one sketch seed.
+
+    The splitmix64 stream: state walks by gamma, each output is the
+    finalized state.  Deterministic in ``seed`` alone.
+    """
+    out = np.empty(depth, dtype=np.uint64)
+    state = seed & _MASK64
+    for r in range(depth):
+        state = (state + _GAMMA) & _MASK64
+        out[r] = mix64(state)
+    return out
+
+
+def cell_columns(
+    key_hash: np.ndarray, row_seed: int, width: int
+) -> np.ndarray:
+    """Column index of every key in one sketch row (vectorized).
+
+    ``key_hash`` is the canonical-key splitmix64 value
+    (:func:`repro.features.keys.key_hash_arrays` upstream — this module
+    stays below the features layer and never sees raw five-tuples).
+    """
+    h = mix64_arrays(key_hash.astype(np.uint64) ^ np.uint64(row_seed))
+    return (h % np.uint64(width)).astype(np.int64)
+
+
+def cell_column(key_hash: int, row_seed: int, width: int) -> int:
+    """Scalar :func:`cell_columns`; bit-identical by construction."""
+    return mix64((key_hash & _MASK64) ^ (row_seed & _MASK64)) % width

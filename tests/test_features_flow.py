@@ -117,6 +117,22 @@ class TestFlowTable:
         assert ("a",) in ft
         assert ("b",) not in ft
 
+    def test_get_does_not_refresh_lru_position(self):
+        """Reads are LRU-neutral: only updates change eviction order.
+
+        The sketch gate probes residency for every flow in every slice;
+        if ``get`` refreshed recency, enabling the gate would silently
+        reshuffle which flows a ``max_flows`` cap evicts.
+        """
+        ft = FlowTable(max_flows=2)
+        ft.update(("a",), 0, 0, 1, 6)
+        ft.update(("b",), 1, 0, 1, 6)
+        assert ft.get(("a",)) is not None  # read must NOT move "a" back
+        assert ("a",) in ft  # __contains__ is read-only too
+        ft.update(("c",), 2, 0, 1, 6)  # evicts "a": still the LRU flow
+        assert ("a",) not in ft
+        assert ("b",) in ft and ("c",) in ft
+
     def test_idle_expiry(self):
         ft = FlowTable(idle_timeout_ns=1_000)
         ft.update(("old",), 0, 0, 1, 6)

@@ -34,6 +34,8 @@ from repro.features.keys import (
 from repro.int_telemetry import REPORT_DTYPE
 from repro.ml import GaussianNB, RandomForestClassifier
 from repro.resilience.chaos import ChaosSchedule
+from repro.resilience.process_chaos import ProcessChaos
+from repro.sketch import SketchConfig
 
 from .test_batch_equivalence import synthetic_records
 
@@ -124,6 +126,83 @@ class TestShardedEquivalence:
         _, db2 = run_mode(bundle, stream, chaos=CHAOS, shards=2)
         _, db4 = run_mode(bundle, stream, chaos=CHAOS, shards=4)
         assert prediction_log_digest(db2) == prediction_log_digest(db4)
+
+
+# ---------------------------------------------------------------------------
+# sketch-gated merged-log identity
+# ---------------------------------------------------------------------------
+
+#: Small sketch so collisions actually happen at test scale, promotion
+#: low enough that some flows are admitted, decay on to exercise the
+#: window cadence across execution modes.
+SKETCH = SketchConfig(
+    width=256, depth=3, partitions=16, promote_packets=3, decay_every=4
+)
+
+
+def run_gated(bundle, stream, chaos=None, shards=None, process_chaos=None):
+    det = AutomatedDDoSDetector(
+        bundle, batched=True, chaos=chaos, chaos_seed=123, sketch=SKETCH
+    )
+    kwargs = {}
+    if process_chaos is not None:
+        kwargs.update(process_chaos=process_chaos, checkpoint_every=3)
+    db = det.run_stream(
+        stream, poll_every=POLL_EVERY, cycle_budget=CYCLE_BUDGET,
+        shards=shards, **kwargs,
+    )
+    return det, db
+
+
+class TestSketchGatedEquivalence:
+    """The admission gate must not break shard-count-independence: the
+    sketch's virtual partitions ride the same splitmix64 hash as shard
+    assignment, so collision patterns — hence promotions, hence the
+    merged prediction log — are identical for any worker count dividing
+    the partition count."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("chaos", [None, CHAOS], ids=["clean", "chaos"])
+    def test_gated_digest_identical_to_single_process(
+        self, bundle, stream, chaos, n_shards
+    ):
+        _, db_ref = run_gated(bundle, stream, chaos=chaos)
+        _, db_sh = run_gated(bundle, stream, chaos=chaos, shards=n_shards)
+        assert len(db_ref.predictions) > 0
+        assert prediction_log_digest(db_sh) == prediction_log_digest(db_ref)
+
+    def test_gate_actually_rejects(self, bundle, stream):
+        """The gated run predicts strictly fewer updates than the exact
+        path — otherwise these digests test nothing."""
+        _, db_exact = run_mode(bundle, stream)
+        det, db_gated = run_gated(bundle, stream)
+        assert 0 < len(db_gated.predictions) < len(db_exact.predictions)
+        sk = det.stats()["sketch"]
+        assert sk["rejected_packets"] > 0
+        assert sk["promotions"] > 0
+        assert sk["residual_packets"] == sk["rejected_packets"]
+
+    def test_gated_digest_survives_worker_kill(self, bundle, stream):
+        """Sketch state rides RPRCKPT1: a SIGKILLed worker restores its
+        counters and window tally from the checkpoint and replays, so
+        post-recovery admission — and the merged log — are unchanged."""
+        _, db_ref = run_gated(bundle, stream)
+        n_cycles = stream.shape[0] // POLL_EVERY
+        plan = ProcessChaos(kills=((max(2, n_cycles // 2), 1, "sigkill"),))
+        det, db = run_gated(bundle, stream, shards=2, process_chaos=plan)
+        assert prediction_log_digest(db) == prediction_log_digest(db_ref)
+        sup = det.supervision_stats
+        assert sup is not None and sup["workers_respawned"] >= 1
+        assert sup["lossy_recoveries"] == 0
+
+    def test_indivisible_partition_count_rejected(self, bundle, stream):
+        cfg = SketchConfig(width=64, depth=2, partitions=9, promote_packets=3)
+        det = AutomatedDDoSDetector(bundle, batched=True, sketch=cfg)
+        with pytest.raises(ValueError, match="multiple of n_shards"):
+            det.run_stream(
+                stream, poll_every=POLL_EVERY, cycle_budget=CYCLE_BUDGET,
+                shards=2,
+            )
 
 
 class TestResultPacking:
