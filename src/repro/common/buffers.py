@@ -24,9 +24,10 @@ payload with zero-copy structured views.
 
 from __future__ import annotations
 
+import os
 import time
 from multiprocessing import resource_tracker, shared_memory
-from typing import Callable, Optional, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -273,6 +274,16 @@ class SharedRing:
         if self._owner:
             self._head[0] = 0
             self._tail[0] = 0
+        # Opt-in runtime sanitizer (REPRO_SANITIZE=1, see
+        # repro.verify.sanitizer): mirrors every cursor store this
+        # process performs and asserts the SPSC protocol invariants
+        # live.  None in normal runs — the only cost with the sanitizer
+        # off is one attribute test per ring operation.
+        self._observer: Optional[Any] = None
+        if os.environ.get("REPRO_SANITIZE") == "1":
+            # repro: allow[LAY001] env-gated diagnostic shim: the import only runs under REPRO_SANITIZE=1, so normal runs never couple common to the verify layer
+            from repro.verify.sanitizer import RingObserver
+            self._observer = RingObserver(self._shm.name, self.capacity)
 
     @classmethod
     def attach(cls, name: str, dtype: np.dtype, capacity: int) -> "SharedRing":
@@ -358,7 +369,8 @@ class SharedRing:
         deadline = time.monotonic() + timeout
         while written < n:
             tail = int(self._tail[0])
-            space = self.capacity - (tail - int(self._head[0]))
+            head_seen = int(self._head[0])
+            space = self.capacity - (tail - head_seen)
             if space == 0:
                 if time.monotonic() >= deadline:
                     raise TimeoutError(
@@ -380,6 +392,8 @@ class SharedRing:
                 ]
             # Publish only after the slot data is in place.
             self._tail[0] = tail + take
+            if self._observer is not None:
+                self._observer.on_publish(tail, take, head_seen)
             written += take
         return written
 
@@ -424,6 +438,8 @@ class SharedRing:
             out[first:] = self._slots[: take - first]
         # Release only after the copy-out completes.
         self._head[0] = head + take
+        if self._observer is not None:
+            self._observer.on_release(head, take, head + used)
         return out
 
     def pop_exact(
@@ -482,6 +498,8 @@ class SharedRing:
                 ]
             # Release only after the copy-out completes.
             self._head[0] = head + take
+            if self._observer is not None:
+                self._observer.on_release(head, take, head + used)
             filled += take
         return out
 
@@ -502,6 +520,8 @@ class SharedRing:
             )
         self._head[0] = 0
         self._tail[0] = 0
+        if self._observer is not None:
+            self._observer.on_reset(self._owner)
 
     def close(self) -> None:
         """Unmap this process's view (does not destroy the segment)."""

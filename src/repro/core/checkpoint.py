@@ -28,11 +28,26 @@ digest excludes; carrying them through a restore keeps latency
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from typing import TYPE_CHECKING, Any, Dict
 
 if TYPE_CHECKING:
     from .mechanism import AutomatedDDoSDetector
+
+
+def _sanitizer_observer() -> Any:
+    """Per-process checkpoint observer when ``REPRO_SANITIZE=1``.
+
+    The import is env-gated so normal runs never couple ``core`` to the
+    verify layer; the observer asserts snapshot-cycle monotonicity and
+    restore consistency (see :mod:`repro.verify.sanitizer`).
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        return None
+    # repro: allow[LAY001] env-gated diagnostic shim: imported only under REPRO_SANITIZE=1
+    from repro.verify.sanitizer import checkpoint_observer
+    return checkpoint_observer()
 
 __all__ = [
     "CheckpointError",
@@ -124,6 +139,9 @@ def snapshot_detector(
     gate = getattr(det, "sketch_gate", None)
     if gate is not None:
         payload["sketch"] = gate.state_snapshot()
+    observer = _sanitizer_observer()
+    if observer is not None:
+        observer.on_pack(int(cycles_done))
     return pack_state(payload)
 
 
@@ -150,4 +168,7 @@ def restore_detector(det: "AutomatedDDoSDetector", blob: bytes) -> Dict[str, Any
     gate = getattr(det, "sketch_gate", None)
     if gate is not None and "sketch" in payload:
         gate.state_restore(payload["sketch"])
+    observer = _sanitizer_observer()
+    if observer is not None:
+        observer.on_restore(int(payload["cycles_done"]))
     return payload

@@ -339,6 +339,14 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
         cycles_done = int(payload["cycles_done"])
         last_seq = int(payload["last_seq"])
 
+    seq_checker: Optional[Any] = None
+    if os.environ.get("REPRO_SANITIZE") == "1":
+        # repro: allow[LAY001] env-gated diagnostic shim: imported only under REPRO_SANITIZE=1
+        from repro.verify.sanitizer import FrameSeqChecker
+        # The floor survives restores: the replayed suffix must deliver
+        # seqs strictly after the checkpoint's last folded one.
+        seq_checker = FrameSeqChecker(int(spec["shard"]), floor=last_seq)
+
     def coordinator_alive() -> bool:
         return os.getppid() == parent_pid
 
@@ -383,6 +391,11 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
                 seqs, records = unpack_frame_payload(
                     payload, count, record_dtype
                 )
+                if seq_checker is not None:
+                    # live exactly-once check: frame seqs must strictly
+                    # increase across the worker's lifetime, restores
+                    # included
+                    seq_checker.on_frame(seqs.tolist())
                 det.collection.feed_batch(records, seqs=seqs)
                 last_seq = int(seqs[-1])
             if kind == FRAME_DATA:
@@ -844,14 +857,26 @@ class Supervisor:
             self._result_blocks[shard] = [
                 blk for blk in self._result_blocks[shard] if blk[0] <= cycle
             ]
+            replay_frames = [
+                (tag, frame) for tag, frame, _n in list(self._replay[shard])
+                if tag >= cycle
+            ]
+            if os.environ.get("REPRO_SANITIZE") == "1":
+                # repro: allow[LAY001] env-gated diagnostic shim: imported only under REPRO_SANITIZE=1
+                from repro.verify.sanitizer import assert_recover
+                assert_recover(
+                    shard, cycle,
+                    [blk[0] for blk in self._result_blocks[shard]],
+                    [tag for tag, _frame in replay_frames],
+                    self.procs[shard].is_alive(),
+                )
             # Fresh worker sees an empty ring (discards any partial
             # write the failed push left) and the checkpointed state.
             self.rings[shard].reset()
             self._spawn(shard, restore=blob)
             try:
-                for tag, frame, _n in list(self._replay[shard]):
-                    if tag >= cycle:
-                        self._push(shard, frame)
+                for _tag, frame in replay_frames:
+                    self._push(shard, frame)
             except (PeerDead, _WorkerHung, TimeoutError):
                 self._kill(shard)
                 continue

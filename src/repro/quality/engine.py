@@ -18,7 +18,11 @@ annotations cannot accumulate.
 
 Baseline entries are matched by ``(package-relative path, rule id,
 stripped source line)`` — line *content*, not line number, so unrelated
-edits above a grandfathered finding do not invalidate it.
+edits above a grandfathered finding do not invalidate it.  A baseline
+entry that no longer matches anything a run could have found (its file
+was linted with its rule active, yet no finding claimed it) is itself a
+finding (``QUAL003``): a rotted baseline entry would otherwise sit
+ready to silently absorb the next real regression at the same key.
 """
 
 from __future__ import annotations
@@ -217,6 +221,20 @@ class LintResult:
     suppressed: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
     stale_baseline: List[dict] = field(default_factory=list)
+    #: package-relative paths (``repro/core/sharding.py``) of every
+    #: module this run actually parsed.
+    linted_paths: set = field(default_factory=set)
+    #: package-relative prefixes (``repro/core``) of every *directory*
+    #: target this run walked — a baseline entry under one of these is
+    #: within the run's reach even if its file no longer exists.
+    covered_prefixes: set = field(default_factory=set)
+
+    def covers(self, rel_path: str) -> bool:
+        """Could this run have produced a finding at ``rel_path``?"""
+        return rel_path in self.linted_paths or any(
+            rel_path.startswith(prefix + "/")
+            for prefix in self.covered_prefixes
+        )
 
     @property
     def ok(self) -> bool:
@@ -329,6 +347,14 @@ def lint_paths(
         remaining[key] = remaining.get(key, 0) + 1
 
     result = LintResult()
+    for p in paths:
+        if p.is_dir():
+            # Package-relative prefix of the walked tree (pure string
+            # anchoring on the "repro" path component, same as
+            # module_name_for): entries beneath it are reachable by
+            # this run even when their file has been deleted.
+            prefix = module_name_for(p / "__init__.py").replace(".", "/")
+            result.covered_prefixes.add(prefix)
     for file_path in iter_python_files(paths):
         try:
             module = load_module(file_path)
@@ -345,6 +371,7 @@ def lint_paths(
             module, sorted(raw, key=lambda f: (f.line, f.rule))
         )
         result.suppressed.extend(suppressed)
+        result.linted_paths.add(module.module.replace(".", "/") + ".py")
         for f in kept:
             key = baseline_key(module, f)
             if remaining.get(key, 0) > 0:
@@ -353,8 +380,25 @@ def lint_paths(
             else:
                 result.findings.append(f)
 
+    # A leftover baseline entry is *stale* only when this run could
+    # have matched it: its file sits inside a linted tree (deleted
+    # files included) and its rule was active.  Entries outside the
+    # run's scope (a ``--rule`` filter, a subset of paths) are neither
+    # stale nor matched — they stay untouched.  Genuinely stale entries
+    # become QUAL003 findings so a rotted baseline fails the gate
+    # instead of silently shadowing a future regression at the same
+    # key.
+    active_ids = {r.id for r in active}
     for (p, r, c), n in sorted(remaining.items()):
+        if not result.covers(p) or r not in active_ids:
+            continue
         for _ in range(n):
             result.stale_baseline.append({"path": p, "rule": r, "content": c})
+            result.findings.append(Finding(
+                p, 1, "QUAL003",
+                f"stale baseline entry for {r}: no current finding "
+                f"matches {c!r} — delete it or refresh with "
+                "--write-baseline",
+            ))
     result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return result

@@ -96,6 +96,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.id}  {rule.summary}")
         print("QUAL001  suppression comment is missing its mandatory reason")
         print("QUAL002  suppression comment matches no finding (stale)")
+        print("QUAL003  baseline entry matches no finding (stale)")
         return 0
 
     if args.rule:
@@ -122,10 +123,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for f in result.findings:
             module = load_module(Path(f.path))
             entries.append(baseline_key(module, f))
+        # Entries outside this run's scope (file not linted, or rule
+        # filtered out) cannot be judged stale — carry them over.
+        # Everything in scope is regenerated from current findings, so
+        # stale entries drop out here.
+        active_ids = {r.id for r in rules}
+        carried = 0
+        for e in load_baseline(args.baseline):
+            if not result.covers(e["path"]) or e["rule"] not in active_ids:
+                entries.append((e["path"], e["rule"], e["content"]))
+                carried += 1
         write_baseline(args.baseline, entries)
+        note = f" ({carried} out-of-scope carried over)" if carried else ""
         print(
             f"wrote {len(entries)} baseline entr"
-            f"{'y' if len(entries) == 1 else 'ies'} to {args.baseline}"
+            f"{'y' if len(entries) == 1 else 'ies'} to {args.baseline}{note}"
         )
         return 0
 
@@ -139,14 +151,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{f.render()}  [suppressed]")
         for f in result.baselined:
             print(f"{f.render()}  [baselined]")
-    for entry in result.stale_baseline:
-        print(
-            f"note: stale baseline entry {entry['rule']} at "
-            f"{entry['path']} ({entry['content']!r}) — finding is gone; "
-            "refresh with --write-baseline",
-            file=sys.stderr,
-        )
-
+    # Stale baseline entries surface as QUAL003 findings above (exit 1),
+    # so no separate advisory note is needed here.
     checked = sum(1 for _ in iter_python_files(paths))
     summary = (
         f"{checked} file{'s' if checked != 1 else ''} checked: "

@@ -1,4 +1,4 @@
-"""Concurrency rules (CONC001–CONC005).
+"""Concurrency rules (CONC001–CONC006).
 
 CONC001/CONC002 encode the :class:`~repro.common.buffers.SharedRing`
 SPSC publication protocol.  The ring's only memory-ordering guarantee is
@@ -23,6 +23,14 @@ infinite-backpressure hang the supervised runtime exists to prevent.
 ``pop_exact`` is the frame protocol's blocking exact-length read (one
 call per frame header, one per payload); its ``timeout`` is the second
 positional parameter, so a positional deadline counts as a guard too.
+
+CONC006 keeps ring mutations *sanitizer-visible*: the REPRO_SANITIZE=1
+runtime observers (:mod:`repro.verify.sanitizer`) mirror every cursor
+store that ``SharedRing``'s own methods perform — a direct
+``._head[0]``/``._tail[0]``/``._slots[...]`` store anywhere else would
+mutate protocol state behind the observers' backs (and behind the
+model checker's correspondence argument), so any such store outside
+``repro.common.buffers`` is a finding.
 """
 
 from __future__ import annotations
@@ -331,10 +339,52 @@ class UnboundedRingWaitRule:
             )
 
 
+class SanitizerVisibleMutationRule:
+    id = "CONC006"
+    summary = (
+        "SharedRing cursor/slot storage mutated outside "
+        "repro.common.buffers — invisible to the REPRO_SANITIZE "
+        "observers"
+    )
+
+    #: the one module whose methods legitimately store the cursors and
+    #: slot array (and notify the sanitizer observers when they do)
+    _RING_HOME = "repro.common.buffers"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.module.startswith("repro"):
+            return
+        if module.module == self._RING_HOME:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for t in targets:
+                if not (
+                    isinstance(t, ast.Subscript)
+                    and isinstance(t.value, ast.Attribute)
+                    and t.value.attr in _CURSORS + (_SLOTS,)
+                ):
+                    continue
+                yield Finding(
+                    module.path, node.lineno, self.id,
+                    f"direct store to `{t.value.attr}[...]` outside "
+                    f"{self._RING_HOME} — ring state must be mutated "
+                    "through SharedRing methods (push/pop/reset) so the "
+                    "REPRO_SANITIZE=1 observers see every cursor "
+                    "transition",
+                )
+
+
 RULES = [
     RingPublishOrderRule(),
     RingCursorMonotonicRule(),
     MutableGlobalRule(),
     SpawnClosureRule(),
     UnboundedRingWaitRule(),
+    SanitizerVisibleMutationRule(),
 ]

@@ -19,7 +19,11 @@ The package stack, lowest layer first::
     8  repro.mitigation        rules, enforcement, the controller
     9  repro.controlplane      alerts + episode→action bridge + APIs
    10  repro.resilience.harness
-   11  repro.cli | repro.__main__
+   11  repro.cli | repro.verify
+       (repro.verify models the whole protocol stack, so it sits with
+       the drivers; the env-gated sanitizer imports inside buffers/
+       core are suppressed LAY001 back-edges that only execute under
+       REPRO_SANITIZE=1)
 
 A module may import strictly *down* the stack.  Imports inside one
 subpackage (``repro.core.x → repro.core.y``) are free; imports between
@@ -66,6 +70,7 @@ LAYERS = {
     "repro.analysis": 7,
     "repro.mitigation": 8,
     "repro.controlplane": 9,
+    "repro.verify": 11,
     "repro.cli": 11,
 }
 

@@ -1,0 +1,44 @@
+"""reprocheck: model checking + runtime sanitizers for the sharded
+detector's concurrency protocol.
+
+Three layers, one set of invariants:
+
+* :mod:`repro.verify.model` — an explicit state machine mirroring the
+  SharedRing/checkpoint/replay protocol (frame-granular, atomic
+  transitions, seeded bug variants);
+* :mod:`repro.verify.explorer` — exhaustive bounded-interleaving
+  exploration with state deduplication and sleep-set partial-order
+  reduction, checking cursor monotonicity, publish-before-read,
+  exactly-once merged-log delivery, replay-bound sufficiency and
+  deadlock freedom on every schedule;
+* :mod:`repro.verify.sanitizer` — opt-in (``REPRO_SANITIZE=1``)
+  instrumentation shims asserting the same invariants live inside the
+  real implementation while the tier-1/chaos suites run.
+
+CLI: ``python -m repro.verify`` (see ``--help``).
+"""
+
+from .model import (
+    BUGS,
+    InvariantViolation,
+    ModelConfig,
+    ProtocolModel,
+)
+from .explorer import ExploreResult, Violation, explore, render_trace
+from .sanitizer import (
+    SanitizerError,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "BUGS",
+    "InvariantViolation",
+    "ModelConfig",
+    "ProtocolModel",
+    "ExploreResult",
+    "Violation",
+    "explore",
+    "render_trace",
+    "SanitizerError",
+    "sanitize_enabled",
+]

@@ -1,0 +1,145 @@
+"""``python -m repro.verify`` — run the protocol model checker.
+
+Default mode explores the acceptance bounds (shards {1,2}, 3 cycles,
+kill budget 1) exhaustively and exits non-zero on any invariant
+violation, printing the violating schedule as a numbered trace.
+``--quick`` is the CI-sized run; ``--selftest`` proves the checker
+still catches every seeded bug variant; ``--bug NAME`` explores one
+deliberately broken protocol and shows its violation trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .explorer import ExploreResult, explore, render_trace
+from .model import BUGS, ModelConfig
+
+QUICK_CONFIGS = (
+    ModelConfig(n_shards=1, n_cycles=3, kill_budget=1),
+    ModelConfig(n_shards=2, n_cycles=2, kill_budget=1),
+)
+FULL_CONFIGS = (
+    ModelConfig(n_shards=1, n_cycles=3, kill_budget=1),
+    ModelConfig(n_shards=2, n_cycles=3, kill_budget=1),
+)
+#: tiny bounds that still trip every seeded bug (kept small so the
+#: selftest stays sub-second)
+SELFTEST_CONFIG = ModelConfig(n_shards=1, n_cycles=2, kill_budget=1)
+
+
+def _cfg_str(cfg: ModelConfig) -> str:
+    tag = f", bug={cfg.bug}" if cfg.bug else ""
+    return (
+        f"shards={cfg.n_shards} cycles={cfg.n_cycles} "
+        f"kills={cfg.kill_budget} ring={cfg.ring_frames}f "
+        f"replay={cfg.replay_frames}f{tag}"
+    )
+
+
+def _run_one(cfg: ModelConfig, por: bool, max_states: Optional[int],
+             tail: int, verbose: bool) -> ExploreResult:
+    t0 = time.perf_counter()
+    result = explore(cfg, por=por, max_states=max_states)
+    dt = time.perf_counter() - t0
+    status = "ok" if result.ok else "VIOLATION"
+    print(
+        f"[{status}] {_cfg_str(cfg)}: {result.states} distinct states, "
+        f"{result.transitions} transitions, {result.completed_runs} "
+        f"complete runs, max depth {result.max_depth} ({dt:.1f}s)"
+    )
+    for violation in result.violations:
+        print(
+            f"\ninvariant violated: {violation.invariant}\n"
+            f"  {violation.message}\nschedule "
+            f"({len(violation.trace)} steps):"
+        )
+        print(render_trace(cfg, violation.trace,
+                           tail=0 if verbose else tail))
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized bounds plus the bug selftest")
+    parser.add_argument("--selftest", action="store_true",
+                        help="assert every seeded bug is caught")
+    parser.add_argument("--bug", choices=sorted(BUGS),
+                        help="explore one seeded bug variant")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="explore a single custom config: shard count")
+    parser.add_argument("--cycles", type=int, default=3)
+    parser.add_argument("--kills", type=int, default=1)
+    parser.add_argument("--ring-frames", type=int, default=1)
+    parser.add_argument("--replay-frames", type=int, default=64)
+    parser.add_argument("--no-por", action="store_true",
+                        help="disable sleep-set partial-order reduction")
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="safety valve on the visited-set size")
+    parser.add_argument("--tail", type=int, default=25,
+                        help="trace steps to show (0 = all)")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    por = not args.no_por
+
+    if args.selftest or args.quick:
+        missed = []
+        for bug in sorted(BUGS):
+            cfg = SELFTEST_CONFIG._replace(bug=bug)
+            result = explore(cfg, por=por)
+            caught = "caught" if result.violations else "MISSED"
+            print(f"[selftest] {bug}: {caught} "
+                  f"({result.states} states)")
+            if not result.violations:
+                missed.append(bug)
+        if missed:
+            print(f"selftest FAILED: undetected bugs: {missed}",
+                  file=sys.stderr)
+            return 1
+        if args.selftest and not args.quick:
+            return 0
+
+    if args.bug:
+        cfg = ModelConfig(
+            n_shards=args.shards or 1, n_cycles=args.cycles,
+            ring_frames=args.ring_frames,
+            replay_frames=args.replay_frames,
+            kill_budget=args.kills, bug=args.bug,
+        )
+        result = _run_one(cfg, por, args.max_states, args.tail,
+                          args.verbose)
+        # exploring a seeded bug: finding the violation is the point
+        if result.ok:
+            print(f"bug {args.bug!r} produced no violation — the "
+                  "checker has lost coverage", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.shards is not None:
+        configs = (ModelConfig(
+            n_shards=args.shards, n_cycles=args.cycles,
+            ring_frames=args.ring_frames,
+            replay_frames=args.replay_frames,
+            kill_budget=args.kills,
+        ),)
+    else:
+        configs = QUICK_CONFIGS if args.quick else FULL_CONFIGS
+
+    ok = True
+    for cfg in configs:
+        result = _run_one(cfg, por, args.max_states, args.tail,
+                          args.verbose)
+        ok = ok and result.ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

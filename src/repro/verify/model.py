@@ -1,0 +1,552 @@
+"""Explicit state-machine model of the sharded detector's concurrency
+protocol (reprocheck).
+
+The model mirrors the coordinator/worker/supervisor protocol that
+``repro.common.buffers`` (SPSC SharedRing + FRM1 frames) and
+``repro.core.sharding`` (Supervisor: replay buffer, RPRCKPT1
+checkpoints, recovery) implement, at *frame* granularity.  Every
+interesting implementation step is an atomic model transition; the
+bounded-interleaving explorer (:mod:`repro.verify.explorer`) then
+enumerates every schedule of those transitions and checks the protocol
+invariants on each one.
+
+Correspondence with the implementation (full table in DESIGN.md §16):
+
+====================  ==============================================
+model transition      implementation step
+====================  ==============================================
+``send``              ``Supervisor.send``: append the frame to the
+                      replay buffer (bound enforced, drops counted),
+                      then write the slot data (``SharedRing.push``
+                      body, *before* the cursor store)
+``publish``           the ``self._tail[0] = tail + take`` cursor
+                      store that makes the frame visible
+``read``              worker ``pop_exact``: copy the frame out and
+                      release the slots (``self._head[0] = ...``)
+``process``           ``_shard_worker_main`` frame handling: DATA
+                      feeds records; CYCLE runs the cycle then sends
+                      ``("res", cycles_done, block)`` and
+                      ``("checkpoint", cycles_done, ...)``; EOF exits
+``pump``              ``Supervisor._pump``/``_handle``: one pipe
+                      message — ``res`` appends a result block,
+                      ``checkpoint`` stores the snapshot and prunes
+                      replay entries with ``tag < cycle``
+``kill``              chaos kill / crash / supervisor ``_kill`` of a
+                      hung worker (heartbeat staleness is abstracted
+                      into this transition)
+``recover``           ``Supervisor.recover``: close the pipe (drop
+                      unpumped messages), truncate result blocks with
+                      ``tag > ckpt``, ``SharedRing.reset``, respawn
+                      from the checkpoint, queue the replay suffix
+                      (frames with ``tag >= ckpt``)
+====================  ==============================================
+
+Deliberate abstractions (why the model is sound at this granularity):
+
+* One ring slot holds one whole frame.  The implementation streams a
+  frame through byte slots, but the per-piece loop preserves the same
+  publish-after-write / release-after-copy cursor discipline the model
+  checks, and ``pop_exact`` reassembles exactly one frame.
+* One record per shard per cycle, ``seq = cycle * n_shards + shard``.
+  Sequence numbers are opaque tokens to the protocol; one per frame is
+  enough to detect every loss/duplication/reorder.
+* ``checkpoint_every=1``: the worker checkpoints after every cycle.
+* Heartbeats carry no data; staleness detection only decides *when* a
+  kill happens, which the ``kill`` transition already schedules at
+  every reachable point.
+
+Seeded bug variants (``ModelConfig(bug=...)``) flip one ordering or
+drop one recovery step each, so the explorer's violation traces can be
+validated against known-bad protocols — see :data:`BUGS`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = [
+    "DATA",
+    "CYCLE",
+    "EOF",
+    "KIND_NAMES",
+    "BUGS",
+    "Frame",
+    "Label",
+    "ShardState",
+    "SysState",
+    "ModelConfig",
+    "InvariantViolation",
+    "ProtocolModel",
+]
+
+# Mirrors FRAME_DATA / FRAME_CYCLE / FRAME_EOF in repro.common.buffers.
+DATA, CYCLE, EOF = 0, 1, 2
+KIND_NAMES = {DATA: "DATA", CYCLE: "CYCLE", EOF: "EOF"}
+
+#: bug name -> one-line description of the seeded protocol defect.
+BUGS: Dict[str, str] = {
+    "commit_before_write": (
+        "push publishes the tail cursor before writing the slot data "
+        "(torn frame visible to the consumer)"
+    ),
+    "release_before_copy": (
+        "pop releases the head cursor before copying the slot out "
+        "(producer may overwrite the slot mid-read)"
+    ),
+    "no_result_truncation": (
+        "recover keeps result blocks past the checkpoint cycle "
+        "(replayed cycles double-count)"
+    ),
+    "no_replay": (
+        "recover respawns from the checkpoint but replays nothing "
+        "(frames after the checkpoint are lost)"
+    ),
+    "reset_with_live_peer": (
+        "supervisor resets the ring while the worker is still attached "
+        "(SPSC cursor contract broken)"
+    ),
+}
+
+
+class Frame(NamedTuple):
+    """One FRM1 frame in the per-shard program.
+
+    ``tag`` is the replay-buffer tag: the number of CYCLE frames sent
+    before this frame (its 0-based cycle index; ``n_cycles`` for EOF).
+    """
+
+    kind: int
+    tag: int
+    seqs: Tuple[int, ...]
+
+
+#: (transition kind, shard index) — the schedule alphabet.
+Label = Tuple[str, int]
+
+
+class ShardState(NamedTuple):
+    """Immutable per-shard slice of the global state."""
+
+    # --- coordinator side -------------------------------------------
+    prog_idx: int                    # next program frame to send
+    replay_q: Tuple[int, ...]        # frame indices queued for replay
+    staged: int                      # frame written, tail not yet published (-1 none)
+    # --- ring (frame-granular) --------------------------------------
+    head: int
+    tail: int
+    slots: Tuple[int, ...]           # frame index per slot, -1 unwritten
+    # --- supervisor stores ------------------------------------------
+    pipe: Tuple[Tuple[object, ...], ...]   # FIFO of unpumped messages
+    ckpt: int                        # checkpointed cycles_done (0 = genesis)
+    results: Tuple[Tuple[int, Tuple[int, ...]], ...]  # (cycles_done tag, seqs)
+    replay_buf: Tuple[Tuple[int, int], ...]           # (tag, frame index)
+    dropped_max_tag: int             # max tag evicted from replay_buf (-1 none)
+    lossy: bool                      # recovery declared lossy (loud degradation)
+    # --- worker side ------------------------------------------------
+    alive: bool
+    finished: bool                   # EOF processed (clean exit)
+    w_cycle: int                     # cycles_done inside the worker
+    w_pending: Tuple[int, ...]       # seqs fed this cycle, not yet shipped
+    reading: Tuple[object, ...]      # (), ("f", frame_idx) or ("s", slot_idx)
+    respawns: int
+
+
+class SysState(NamedTuple):
+    kill_budget: int
+    shards: Tuple[ShardState, ...]
+
+
+class ModelConfig(NamedTuple):
+    """Exploration bounds + optional seeded bug."""
+
+    n_shards: int = 2
+    n_cycles: int = 3
+    ring_frames: int = 1             # ring capacity, in frames
+    replay_frames: int = 64          # replay-buffer bound, in frames
+    kill_budget: int = 1
+    bug: Optional[str] = None
+
+
+class InvariantViolation(Exception):
+    """A protocol invariant failed on some schedule."""
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+        self.message = message
+
+
+def _initial_shard(cap: int) -> ShardState:
+    return ShardState(
+        prog_idx=0, replay_q=(), staged=-1,
+        head=0, tail=0, slots=(-1,) * cap,
+        pipe=(), ckpt=0, results=(), replay_buf=(),
+        dropped_max_tag=-1, lossy=False,
+        alive=True, finished=False,
+        w_cycle=0, w_pending=(), reading=(), respawns=0,
+    )
+
+
+class ProtocolModel:
+    """Transition system over :class:`SysState`.
+
+    ``enabled(state)`` lists the schedulable labels; ``apply(state,
+    label)`` returns the successor state, raising
+    :class:`InvariantViolation` when the step (or a terminal state
+    check via :meth:`check_terminal`) breaks the protocol contract.
+    """
+
+    def __init__(self, config: ModelConfig) -> None:
+        if config.bug is not None and config.bug not in BUGS:
+            raise ValueError(
+                f"unknown bug {config.bug!r}; known: {sorted(BUGS)}"
+            )
+        self.config = config
+        self.programs: Tuple[Tuple[Frame, ...], ...] = tuple(
+            self._program(shard) for shard in range(config.n_shards)
+        )
+
+    def _program(self, shard: int) -> Tuple[Frame, ...]:
+        """The deterministic frame sequence the coordinator sends to
+        one shard: DATA then CYCLE per cycle, then EOF."""
+        cfg = self.config
+        frames: List[Frame] = []
+        for cycle in range(cfg.n_cycles):
+            seq = cycle * cfg.n_shards + shard
+            frames.append(Frame(DATA, cycle, (seq,)))
+            frames.append(Frame(CYCLE, cycle, ()))
+        frames.append(Frame(EOF, cfg.n_cycles, ()))
+        return tuple(frames)
+
+    def expected_seqs(self) -> Tuple[int, ...]:
+        cfg = self.config
+        return tuple(range(cfg.n_cycles * cfg.n_shards))
+
+    def initial(self) -> SysState:
+        cfg = self.config
+        return SysState(
+            kill_budget=cfg.kill_budget,
+            shards=tuple(
+                _initial_shard(cfg.ring_frames)
+                for _ in range(cfg.n_shards)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # schedulable transitions
+    # ------------------------------------------------------------------
+    def enabled(self, state: SysState) -> List[Label]:
+        bug = self.config.bug
+        cap = self.config.ring_frames
+        labels: List[Label] = []
+        for i, sh in enumerate(state.shards):
+            program = self.programs[i]
+            # coordinator: two-phase frame send
+            if sh.staged >= 0:
+                labels.append(("publish", i))
+            elif (sh.replay_q or sh.prog_idx < len(program)) \
+                    and sh.tail - sh.head < cap:
+                labels.append(("send", i))
+            # supervisor: pipe pump
+            if sh.pipe:
+                labels.append(("pump", i))
+            if sh.alive:
+                # worker: frame read / process
+                if not sh.reading and sh.tail > sh.head:
+                    labels.append(("read", i))
+                if sh.reading:
+                    labels.append(("process", i))
+                if state.kill_budget > 0 and not sh.finished:
+                    labels.append(("kill", i))
+                if bug == "reset_with_live_peer" \
+                        and state.kill_budget > 0 and not sh.finished:
+                    # the buggy supervisor declares a live worker dead
+                    labels.append(("recover", i))
+            elif not sh.finished:
+                labels.append(("recover", i))
+        return labels
+
+    def is_terminal(self, state: SysState) -> bool:
+        for i, sh in enumerate(state.shards):
+            if not sh.finished or sh.pipe or sh.replay_q \
+                    or sh.prog_idx < len(self.programs[i]) \
+                    or sh.staged >= 0 or sh.tail != sh.head or sh.reading:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def apply(self, state: SysState, label: Label) -> SysState:
+        kind, i = label
+        sh = state.shards[i]
+        if kind == "send":
+            sh = self._send(i, sh)
+        elif kind == "publish":
+            sh = self._publish(i, sh)
+        elif kind == "read":
+            sh = self._read(i, sh)
+        elif kind == "process":
+            sh = self._process(i, sh)
+        elif kind == "pump":
+            sh = self._pump(i, sh)
+        elif kind == "kill":
+            sh = sh._replace(
+                alive=False,
+                # dead process memory is unobservable; normalize it so
+                # states differing only in lost worker state merge
+                w_cycle=0, w_pending=(), reading=(),
+            )
+            state = state._replace(kill_budget=state.kill_budget - 1)
+        elif kind == "recover":
+            sh = self._recover(i, sh)
+        else:  # pragma: no cover - defended by enabled()
+            raise ValueError(f"unknown transition kind {kind!r}")
+        shards = list(state.shards)
+        shards[i] = sh
+        return state._replace(shards=tuple(shards))
+
+    # -- coordinator ---------------------------------------------------
+    def _buffer(self, frame_idx: int, frame: Frame,
+                sh: ShardState) -> ShardState:
+        """Mirror of ``Supervisor._buffer``: append, enforce the bound
+        by evicting oldest entries, count the max dropped tag."""
+        buf = list(sh.replay_buf) + [(frame.tag, frame_idx)]
+        dropped = sh.dropped_max_tag
+        while len(buf) > self.config.replay_frames and len(buf) > 1:
+            old_tag, _old_idx = buf.pop(0)
+            dropped = max(dropped, old_tag)
+        return sh._replace(replay_buf=tuple(buf), dropped_max_tag=dropped)
+
+    def _send(self, i: int, sh: ShardState) -> ShardState:
+        cap = self.config.ring_frames
+        if sh.replay_q:
+            # recovery replay: already buffered, do not re-buffer
+            frame_idx = sh.replay_q[0]
+            sh = sh._replace(replay_q=sh.replay_q[1:])
+        else:
+            frame_idx = sh.prog_idx
+            sh = self._buffer(frame_idx, self.programs[i][frame_idx], sh)
+            sh = sh._replace(prog_idx=sh.prog_idx + 1)
+        slot = sh.tail % cap
+        if self.config.bug == "commit_before_write":
+            # publish the cursor with the slot still unwritten
+            return sh._replace(staged=frame_idx, tail=sh.tail + 1)
+        slots = list(sh.slots)
+        slots[slot] = frame_idx
+        return sh._replace(staged=frame_idx, slots=tuple(slots))
+
+    def _publish(self, i: int, sh: ShardState) -> ShardState:
+        cap = self.config.ring_frames
+        if self.config.bug == "commit_before_write":
+            # late slot write (the reordered half of the bug)
+            slot = (sh.tail - 1) % cap
+            slots = list(sh.slots)
+            slots[slot] = sh.staged
+            return sh._replace(staged=-1, slots=tuple(slots))
+        return sh._replace(staged=-1, tail=sh.tail + 1)
+
+    # -- worker --------------------------------------------------------
+    def _read(self, i: int, sh: ShardState) -> ShardState:
+        cap = self.config.ring_frames
+        slot = sh.head % cap
+        if self.config.bug == "release_before_copy":
+            # release first, copy later (in process) from the live slot
+            return sh._replace(head=sh.head + 1, reading=("s", slot))
+        frame_idx = sh.slots[slot]
+        if frame_idx < 0:
+            raise InvariantViolation(
+                "publish-before-read",
+                f"shard {i}: worker read slot {slot} before the "
+                "producer wrote it (torn frame)",
+            )
+        # copy-out then release, one atomic step (pop_exact does both
+        # before the frame is handled)
+        slots = list(sh.slots)
+        slots[slot] = -1
+        return sh._replace(
+            head=sh.head + 1, slots=tuple(slots),
+            reading=("f", frame_idx),
+        )
+
+    def _process(self, i: int, sh: ShardState) -> ShardState:
+        mode = sh.reading[0]
+        payload = int(sh.reading[1])  # type: ignore[call-overload]
+        if mode == "s":
+            frame_idx = sh.slots[payload]
+            if frame_idx < 0:
+                raise InvariantViolation(
+                    "publish-before-read",
+                    f"shard {i}: worker copied slot after releasing it "
+                    "and found it unwritten (use-after-release)",
+                )
+        else:
+            frame_idx = payload
+        frame = self.programs[i][frame_idx]
+        sh = sh._replace(reading=())
+        if frame.kind == DATA:
+            return sh._replace(w_pending=sh.w_pending + frame.seqs)
+        if frame.kind == CYCLE:
+            cycles_done = sh.w_cycle + 1
+            pipe = sh.pipe + (
+                ("res", cycles_done, sh.w_pending),
+                ("checkpoint", cycles_done),
+            )
+            return sh._replace(pipe=pipe, w_cycle=cycles_done, w_pending=())
+        # EOF: clean exit (the implementation's final "res" block is
+        # empty here because every DATA frame precedes its CYCLE frame)
+        return sh._replace(alive=False, finished=True,
+                           w_cycle=0, w_pending=())
+
+    # -- supervisor ----------------------------------------------------
+    def _pump(self, i: int, sh: ShardState) -> ShardState:
+        msg, pipe = sh.pipe[0], sh.pipe[1:]
+        sh = sh._replace(pipe=pipe)
+        if msg[0] == "res":
+            tag = int(msg[1])  # type: ignore[arg-type]
+            seqs = tuple(msg[2])  # type: ignore[arg-type]
+            for seq in seqs:
+                if seq % self.config.n_shards != i:
+                    raise InvariantViolation(
+                        "shard-routing",
+                        f"shard {i}: result block carries seq {seq} "
+                        f"assigned to shard {seq % self.config.n_shards}",
+                    )
+            for prev_tag, _prev in sh.results:
+                if prev_tag == tag:
+                    raise InvariantViolation(
+                        "exactly-once",
+                        f"shard {i}: two result blocks for cycle {tag} "
+                        "coexist (stale blocks not truncated before "
+                        "replay)",
+                    )
+            return sh._replace(results=sh.results + ((tag, seqs),))
+        # "checkpoint": store it and prune replay entries it covers
+        cycle = int(msg[1])  # type: ignore[arg-type]
+        if cycle < sh.ckpt:
+            raise InvariantViolation(
+                "checkpoint-monotonic",
+                f"shard {i}: checkpoint regressed {sh.ckpt} -> {cycle}",
+            )
+        buf = tuple(e for e in sh.replay_buf if e[0] >= cycle)
+        return sh._replace(ckpt=cycle, replay_buf=buf)
+
+    def _recover(self, i: int, sh: ShardState) -> ShardState:
+        if sh.alive:
+            raise InvariantViolation(
+                "reset-liveness",
+                f"shard {i}: ring reset while the worker is still "
+                "attached — SharedRing.reset() is only safe once the "
+                "consumer process is dead",
+            )
+        cap = self.config.ring_frames
+        cycle = sh.ckpt
+        lossy = sh.lossy or sh.dropped_max_tag >= cycle
+        results = sh.results
+        if self.config.bug != "no_result_truncation":
+            results = tuple(b for b in results if b[0] <= cycle)
+        replay_q: Tuple[int, ...] = tuple(
+            idx for tag, idx in sh.replay_buf if tag >= cycle
+        )
+        if self.config.bug == "no_replay":
+            replay_q = ()
+        return sh._replace(
+            # pipe closed: unpumped messages are dropped
+            pipe=(),
+            results=results,
+            lossy=lossy,
+            # ring reset: the one legal cursor rewind (peer is dead)
+            head=0, tail=0, slots=(-1,) * cap, staged=-1,
+            replay_q=replay_q,
+            alive=True, w_cycle=cycle, w_pending=(), reading=(),
+            respawns=sh.respawns + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # terminal-state invariants
+    # ------------------------------------------------------------------
+    def check_terminal(self, state: SysState) -> None:
+        """Exactly-once delivery of every seq to the merged log, unless
+        a recovery was (loudly) lossy."""
+        delivered: List[int] = []
+        any_lossy = False
+        for sh in state.shards:
+            any_lossy = any_lossy or sh.lossy
+            for _tag, seqs in sh.results:
+                delivered.extend(seqs)
+        expected = sorted(self.expected_seqs())
+        got = sorted(delivered)
+        if got == expected:
+            return
+        if any_lossy:
+            # loud degradation: loss is allowed only because the
+            # supervisor flagged the recovery as lossy (watchdog FAILED)
+            dup = [s for s in set(got) if got.count(s) > 1]
+            if dup:
+                raise InvariantViolation(
+                    "exactly-once",
+                    f"lossy recovery may lose seqs but produced "
+                    f"duplicates: {sorted(dup)}",
+                )
+            return
+        missing = sorted(set(expected) - set(got))
+        dup = sorted(s for s in set(got) if got.count(s) > 1)
+        raise InvariantViolation(
+            "exactly-once",
+            "merged log differs from the input stream with no lossy "
+            f"flag raised: missing={missing} duplicated={dup}",
+        )
+
+    # ------------------------------------------------------------------
+    # trace rendering
+    # ------------------------------------------------------------------
+    def describe(self, state: SysState, label: Label) -> str:
+        """Human-readable rendering of ``label`` fired from ``state``."""
+        kind, i = label
+        sh = state.shards[i]
+        if kind == "send":
+            if sh.replay_q:
+                frame = self.programs[i][sh.replay_q[0]]
+                src = "replay"
+            else:
+                frame = self.programs[i][sh.prog_idx]
+                src = "stream"
+            return (
+                f"shard{i} coordinator: write {self._frame_str(frame)} "
+                f"into slot {sh.tail % self.config.ring_frames} "
+                f"({src}, replay tag {frame.tag})"
+            )
+        if kind == "publish":
+            return (
+                f"shard{i} coordinator: publish tail "
+                f"{sh.tail} -> {sh.tail + 1}"
+                if self.config.bug != "commit_before_write"
+                else f"shard{i} coordinator: late slot write for "
+                     f"already-published tail {sh.tail}"
+            )
+        if kind == "read":
+            return (
+                f"shard{i} worker: pop slot "
+                f"{sh.head % self.config.ring_frames} "
+                f"(head {sh.head} -> {sh.head + 1})"
+            )
+        if kind == "process":
+            if sh.reading and sh.reading[0] == "f":
+                frame = self.programs[i][int(sh.reading[1])]  # type: ignore[arg-type]
+                return f"shard{i} worker: process {self._frame_str(frame)}"
+            return f"shard{i} worker: late copy + process of a released slot"
+        if kind == "pump":
+            msg = sh.pipe[0]
+            return f"shard{i} supervisor: pump pipe message {msg!r}"
+        if kind == "kill":
+            return f"shard{i}: worker killed (chaos/crash/hung)"
+        if kind == "recover":
+            return (
+                f"shard{i} supervisor: recover — reset ring, restore "
+                f"checkpoint cycle {sh.ckpt}, replay tags >= {sh.ckpt}"
+            )
+        return f"shard{i}: {kind}"
+
+    @staticmethod
+    def _frame_str(frame: Frame) -> str:
+        if frame.kind == DATA:
+            return f"DATA frame (cycle {frame.tag}, seqs {frame.seqs})"
+        return f"{KIND_NAMES[frame.kind]} frame (cycle {frame.tag})"

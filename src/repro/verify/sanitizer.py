@@ -1,0 +1,259 @@
+"""Runtime sanitizers: the model's invariants, asserted live.
+
+Opt-in via ``REPRO_SANITIZE=1`` (checked once per object construction;
+the environment is inherited by forked/spawned shard workers, so
+enabling it on the test process instruments every side of every ring).
+With the variable unset the hooks are never created and the
+instrumented code paths reduce to one ``is not None`` branch — zero
+measurable overhead (the perf-quick gates run sanitizer-off).
+
+What is checked where:
+
+* :class:`RingObserver` — one per ``SharedRing`` view (per process).
+  ``on_publish`` asserts producer-cursor monotonicity, the capacity
+  bound, and that the consumer cursor it read never regresses or
+  overtakes the published tail; ``on_release`` asserts consumer-cursor
+  monotonicity and publish-before-read (a release may never move the
+  head past the tail the consumer observed — reading unpublished slots
+  is exactly the torn-frame bug the model calls
+  ``commit_before_write``); ``on_reset`` asserts only the owning side
+  rewinds, and re-arms the mirrors for the post-recovery epoch.
+* :class:`FrameSeqChecker` — one per shard worker.  Asserts the
+  sequence numbers delivered by DATA frames are strictly increasing
+  across the whole worker lifetime *including* checkpoint restores
+  (the replayed suffix must start strictly after the checkpoint's
+  ``last_seq``) — the live form of the model's exactly-once invariant.
+* :class:`CheckpointObserver` — one per process.  Asserts snapshot
+  cycles are strictly increasing and a restore never goes backwards
+  past a snapshot the same process already produced.
+* :func:`assert_recover` — called by ``Supervisor.recover``.  Asserts
+  the result-block truncation and replay-suffix selection match the
+  model's ``recover`` transition (kept blocks ``tag <= ckpt``, replay
+  tags ``>= ckpt``) and that the ring is only reset once the worker
+  process is dead.
+
+All failures raise :class:`SanitizerError` (an ``AssertionError``
+subclass) with enough context to map the failure back onto a model
+transition.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+__all__ = [
+    "ENV_VAR",
+    "SanitizerError",
+    "sanitize_enabled",
+    "RingObserver",
+    "FrameSeqChecker",
+    "CheckpointObserver",
+    "checkpoint_observer",
+    "assert_recover",
+]
+
+ENV_VAR = "REPRO_SANITIZE"
+
+
+def sanitize_enabled() -> bool:
+    """True when the runtime sanitizers are switched on."""
+    return os.environ.get(ENV_VAR, "") == "1"
+
+
+class SanitizerError(AssertionError):
+    """A live protocol invariant failed under ``REPRO_SANITIZE=1``."""
+
+
+class RingObserver:
+    """Happens-before recorder for one process's view of a SharedRing.
+
+    The SPSC contract makes per-side mirrors sound: only the producer
+    process publishes and only the consumer process releases, so each
+    side sees every one of its own cursor stores and a monotone sample
+    of the peer's.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = int(capacity)
+        self._last_tail: Optional[int] = None   # producer mirror
+        self._last_head: Optional[int] = None   # consumer mirror
+        self._peer_head_seen = 0                # producer's view of head
+        self._peer_tail_seen = 0                # consumer's view of tail
+        self.publishes = 0
+        self.releases = 0
+        self.resets = 0
+
+    # -- producer side -------------------------------------------------
+    def on_publish(self, old_tail: int, take: int, head_seen: int) -> None:
+        self.publishes += 1
+        if take <= 0:
+            raise SanitizerError(
+                f"ring {self.name}: published {take} records"
+            )
+        if self._last_tail is not None and old_tail != self._last_tail:
+            raise SanitizerError(
+                f"ring {self.name}: tail cursor moved outside push "
+                f"({self._last_tail} -> {old_tail}); ring mutations "
+                "must go through SharedRing methods (CONC006)"
+            )
+        new_tail = old_tail + take
+        if head_seen < self._peer_head_seen:
+            raise SanitizerError(
+                f"ring {self.name}: consumer cursor regressed "
+                f"{self._peer_head_seen} -> {head_seen} under a live "
+                "producer (reset with attached peer?)"
+            )
+        if head_seen > new_tail:
+            raise SanitizerError(
+                f"ring {self.name}: consumer cursor {head_seen} is past "
+                f"the published tail {new_tail} — slots were read "
+                "before they were published"
+            )
+        if new_tail - head_seen > self.capacity:
+            raise SanitizerError(
+                f"ring {self.name}: publish overruns capacity "
+                f"(tail {new_tail}, head {head_seen}, "
+                f"capacity {self.capacity})"
+            )
+        self._last_tail = new_tail
+        self._peer_head_seen = head_seen
+
+    # -- consumer side -------------------------------------------------
+    def on_release(self, old_head: int, take: int, tail_seen: int) -> None:
+        self.releases += 1
+        if take <= 0:
+            raise SanitizerError(
+                f"ring {self.name}: released {take} records"
+            )
+        if self._last_head is not None and old_head != self._last_head:
+            raise SanitizerError(
+                f"ring {self.name}: head cursor moved outside pop "
+                f"({self._last_head} -> {old_head}); ring mutations "
+                "must go through SharedRing methods (CONC006)"
+            )
+        if tail_seen < self._peer_tail_seen:
+            raise SanitizerError(
+                f"ring {self.name}: producer cursor regressed "
+                f"{self._peer_tail_seen} -> {tail_seen} under a live "
+                "consumer (reset with attached peer?)"
+            )
+        new_head = old_head + take
+        if new_head > tail_seen:
+            raise SanitizerError(
+                f"ring {self.name}: release moved head to {new_head} "
+                f"past the observed tail {tail_seen} — the consumer "
+                "read slots the producer never published "
+                "(publish-before-read violated)"
+            )
+        self._last_head = new_head
+        self._peer_tail_seen = tail_seen
+
+    # -- owner side ----------------------------------------------------
+    def on_reset(self, owner: bool) -> None:
+        self.resets += 1
+        if not owner:
+            raise SanitizerError(
+                f"ring {self.name}: reset from the non-owning side"
+            )
+        # New epoch: both cursors restart at zero.
+        self._last_tail = 0
+        self._last_head = 0
+        self._peer_head_seen = 0
+        self._peer_tail_seen = 0
+
+
+class FrameSeqChecker:
+    """Strictly-increasing sequence delivery inside one shard worker."""
+
+    def __init__(self, shard: int, floor: int = -1) -> None:
+        self.shard = shard
+        self.floor = int(floor)
+        self.checked = 0
+
+    def on_restore(self, last_seq: int) -> None:
+        """Re-arm after a checkpoint restore: the replayed suffix must
+        start strictly after the checkpoint's last folded seq."""
+        self.floor = int(last_seq)
+
+    def on_frame(self, seqs: Iterable[int]) -> None:
+        for seq in seqs:
+            s = int(seq)
+            self.checked += 1
+            if s <= self.floor:
+                raise SanitizerError(
+                    f"shard {self.shard}: frame delivered seq {s} but "
+                    f"{self.floor} was already folded — duplicate or "
+                    "reordered delivery (exactly-once violated)"
+                )
+            self.floor = s
+
+
+class CheckpointObserver:
+    """Per-process snapshot/restore monotonicity."""
+
+    def __init__(self) -> None:
+        self.last_packed_cycle = -1
+        self.packs = 0
+        self.restores = 0
+
+    def on_pack(self, cycles_done: int) -> None:
+        self.packs += 1
+        if cycles_done <= self.last_packed_cycle:
+            raise SanitizerError(
+                f"checkpoint cycle regressed: packed cycle "
+                f"{cycles_done} after {self.last_packed_cycle}"
+            )
+        self.last_packed_cycle = int(cycles_done)
+
+    def on_restore(self, cycles_done: int) -> None:
+        self.restores += 1
+        if self.last_packed_cycle >= 0 \
+                and cycles_done < self.last_packed_cycle:
+            raise SanitizerError(
+                f"restore to cycle {cycles_done} behind a snapshot "
+                f"this process already packed "
+                f"({self.last_packed_cycle})"
+            )
+
+
+_CKPT_OBSERVER: Optional[CheckpointObserver] = None
+
+
+def checkpoint_observer() -> CheckpointObserver:
+    """Per-process singleton (fresh in each forked worker)."""
+    global _CKPT_OBSERVER
+    if _CKPT_OBSERVER is None:
+        _CKPT_OBSERVER = CheckpointObserver()
+    return _CKPT_OBSERVER
+
+
+def assert_recover(
+    shard: int,
+    ckpt_cycle: int,
+    kept_block_tags: Iterable[int],
+    replay_tags: Iterable[int],
+    worker_alive: bool,
+) -> None:
+    """Supervisor-side recovery checks, mirroring the model's
+    ``recover`` transition."""
+    if worker_alive:
+        raise SanitizerError(
+            f"shard {shard}: recovery reset the ring while the worker "
+            "process is still alive (SharedRing.reset contract)"
+        )
+    bad_blocks = [t for t in kept_block_tags if t > ckpt_cycle]
+    if bad_blocks:
+        raise SanitizerError(
+            f"shard {shard}: result blocks {bad_blocks} survived "
+            f"recovery past checkpoint cycle {ckpt_cycle} — the "
+            "replayed suffix will double-count them"
+        )
+    bad_replay = [t for t in replay_tags if t < ckpt_cycle]
+    if bad_replay:
+        raise SanitizerError(
+            f"shard {shard}: replaying frames with tags {bad_replay} "
+            f"behind checkpoint cycle {ckpt_cycle} — the restored "
+            "worker already folded them"
+        )

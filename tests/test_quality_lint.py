@@ -9,6 +9,7 @@ is caught too.
 
 from __future__ import annotations
 
+import re
 import textwrap
 from pathlib import Path
 
@@ -385,6 +386,43 @@ def test_conc005_covers_frame_protocol_pop_exact():
 
 
 # ---------------------------------------------------------------------------
+# CONC006 — sanitizer-visible ring mutation
+# ---------------------------------------------------------------------------
+def test_conc006_flags_cursor_and_slot_stores_outside_buffers():
+    out = run(
+        "def poke(self):\n"
+        "    self._tail[0] = 5\n"
+        "    self._head[0] += 1\n",
+        rule="CONC006",
+    )
+    assert [f.line for f in out] == [2, 3]
+    assert "REPRO_SANITIZE" in out[0].message
+    # the slot array is protected storage too
+    assert run(
+        "def scribble(self, i, frame):\n"
+        "    self._slots[i] = frame\n",
+        rule="CONC006",
+    )
+
+
+def test_conc006_clean_inside_ring_home_and_for_plain_subscripts():
+    # repro.common.buffers itself is the one module allowed to store
+    # the cursors (its methods notify the observers when they do)
+    assert not run(
+        "def push(self, tail, take):\n"
+        "    self._tail[0] = tail + take\n",
+        module="repro.common.buffers", rule="CONC006",
+    )
+    # ordinary subscript stores on unrelated attributes stay clean
+    assert not run(
+        "def cache(self, k, v):\n"
+        "    self._table[k] = v\n"
+        "    self.counts[k] += 1\n",
+        rule="CONC006",
+    )
+
+
+# ---------------------------------------------------------------------------
 # LAY001 — import contract
 # ---------------------------------------------------------------------------
 def test_lay001_flags_back_edge_and_lateral_peer():
@@ -539,6 +577,91 @@ def test_stale_baseline_entries_are_reported(tmp_path):
     assert result.stale_baseline == [stale]
 
 
+def test_stale_baseline_entry_is_a_qual003_finding(tmp_path):
+    """A stale entry is an actionable finding (QUAL003), not a side
+    note: the gate goes red until the baseline is cleaned up."""
+    root = _write_fixture_tree(tmp_path)
+    stale = {
+        "path": "repro/core/gone.py",
+        "rule": "DET001",
+        "content": "STAMP = time.time()",
+    }
+    # the fixture's real finding is grandfathered; only QUAL003 remains
+    live = {
+        "path": "repro/core/hot.py",
+        "rule": "DET001",
+        "content": "STAMP = time.time()",
+    }
+    result = lint_paths([root], baseline=[live, stale])
+    assert not result.ok
+    assert [f.rule for f in result.findings] == ["QUAL003"]
+    assert "repro/core/gone.py" in result.findings[0].path
+    assert "--write-baseline" in result.findings[0].message
+
+
+def test_out_of_scope_baseline_entries_are_not_stale(tmp_path):
+    root = _write_fixture_tree(tmp_path)
+    elsewhere = {
+        "path": "other/pkg.py",  # not under the linted tree
+        "rule": "DET001",
+        "content": "t = time.time()",
+    }
+    result = lint_paths([root], baseline=[elsewhere])
+    assert result.covers("repro/core/hot.py")
+    assert not result.covers("other/pkg.py")
+    assert not result.stale_baseline
+    assert [f.rule for f in result.findings] == ["DET001"]
+
+
+def test_rule_filtered_run_cannot_judge_other_rules_stale(tmp_path):
+    """`--rule DET004` produces no DET001 findings by construction —
+    that must not mark DET001 baseline entries stale."""
+    from repro.quality.engine import all_rules as _rules
+
+    root = _write_fixture_tree(tmp_path)
+    live = {
+        "path": "repro/core/hot.py",
+        "rule": "DET001",
+        "content": "STAMP = time.time()",
+    }
+    only_det004 = [r for r in _rules() if r.id == "DET004"]
+    result = lint_paths([root], baseline=[live], rules=only_det004)
+    assert result.ok and not result.stale_baseline
+
+
+def test_write_baseline_drops_stale_and_keeps_out_of_scope(tmp_path, capsys):
+    import json
+
+    root = _write_fixture_tree(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    stale = {
+        "path": "repro/core/gone.py",
+        "rule": "DET001",
+        "content": "STAMP = time.time()",
+    }
+    elsewhere = {
+        "path": "other/pkg.py",
+        "rule": "DET001",
+        "content": "t = time.time()",
+    }
+    baseline_file.write_text(
+        json.dumps({"version": 1, "entries": [stale, elsewhere]}),
+        encoding="utf-8",
+    )
+    status = lint_main([
+        "--write-baseline", "--baseline", str(baseline_file), str(root),
+    ])
+    assert status == 0
+    assert "1 out-of-scope carried over" in capsys.readouterr().out
+    rewritten = load_baseline(baseline_file)
+    keys = {(e["path"], e["rule"]) for e in rewritten}
+    assert ("repro/core/hot.py", "DET001") in keys  # current finding
+    assert ("other/pkg.py", "DET001") in keys       # carried over
+    assert ("repro/core/gone.py", "DET001") not in keys  # stale, dropped
+    # and the rewritten baseline makes the same tree lint clean
+    assert lint_main(["--baseline", str(baseline_file), str(root)]) == 0
+
+
 # ---------------------------------------------------------------------------
 # the repo itself + the CI gate behavior
 # ---------------------------------------------------------------------------
@@ -576,8 +699,18 @@ def test_seeded_violation_fails_with_rule_and_line(tmp_path, capsys):
 def test_cli_list_rules_and_clean_exit(tmp_path, capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rid in ("DET001", "CONC001", "LAY001", "QUAL001"):
+    for rid in ("DET001", "CONC001", "CONC006", "LAY001", "QUAL001",
+                "QUAL003"):
         assert rid in out
+    # shape: every line is "RULEID  summary", ids unique
+    lines = [ln for ln in out.splitlines() if ln.strip()]
+    ids = []
+    for line in lines:
+        rule_id, sep, summary = line.partition("  ")
+        assert sep and summary.strip(), f"malformed catalogue line: {line!r}"
+        assert re.fullmatch(r"[A-Z]{3,4}\d{3}", rule_id), line
+        ids.append(rule_id)
+    assert len(ids) == len(set(ids))
 
     clean = tmp_path / "clean.py"
     clean.write_text("x = 1\n", encoding="utf-8")
@@ -586,6 +719,21 @@ def test_cli_list_rules_and_clean_exit(tmp_path, capsys):
 
 def test_cli_unknown_rule_is_usage_error(capsys):
     assert lint_main(["--rule", "NOPE999", "."]) == 2
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "does-not-exist")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_rule_filter_scopes_findings_and_exit_code(tmp_path, capsys):
+    """--rule runs only the named rule(s): a DET001 fixture exits 1
+    under --rule DET001 but 0 under --rule DET004."""
+    root = _write_fixture_tree(tmp_path)
+    assert lint_main(["--no-baseline", "--rule", "DET001", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "DET004" not in out
+    assert lint_main(["--no-baseline", "--rule", "DET004", str(root)]) == 0
 
 
 def test_every_rule_has_a_fixture_here():

@@ -1,0 +1,194 @@
+"""reprocheck test suite: the bounded-interleaving model checker.
+
+Covers the acceptance criteria for the protocol verifier: clean
+configurations explore exhaustively with zero violations (and well past
+the 1k-distinct-state floor), every seeded protocol bug is caught with
+a readable violation trace, and sleep-set partial-order reduction
+prunes transitions without changing the verdict or the reachable state
+set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import (
+    BUGS,
+    ModelConfig,
+    ProtocolModel,
+    explore,
+    render_trace,
+)
+from repro.verify.__main__ import main as verify_main
+
+#: Every invariant the checker can report; traces asserting on
+#: `violation.invariant` must name one of these.
+INVARIANTS = {
+    "publish-before-read",
+    "exactly-once",
+    "shard-routing",
+    "checkpoint-monotonic",
+    "reset-liveness",
+    "deadlock-freedom",
+}
+
+SMALL = ModelConfig(n_shards=1, n_cycles=2, kill_budget=1)
+
+
+# ---------------------------------------------------------------------------
+# clean protocol: exhaustive exploration, zero violations
+# ---------------------------------------------------------------------------
+def test_single_shard_clean_run_is_violation_free():
+    result = explore(ModelConfig(n_shards=1, n_cycles=3, kill_budget=1))
+    assert result.ok and not result.violations
+    assert result.completed_runs > 0
+    assert result.max_depth > 0
+
+
+def test_two_shard_clean_run_exceeds_thousand_states():
+    """Acceptance floor: the interleaving space is genuinely explored,
+    not trivially collapsed — >1k distinct states after dedup."""
+    result = explore(ModelConfig(n_shards=2, n_cycles=2, kill_budget=1))
+    assert result.ok
+    assert result.states > 1_000
+    assert result.transitions >= result.states
+
+
+@pytest.mark.slow
+def test_acceptance_bounds_two_shards_three_cycles_one_kill():
+    result = explore(ModelConfig(n_shards=2, n_cycles=3, kill_budget=1))
+    assert result.ok and not result.violations
+    assert result.states > 100_000
+
+
+def test_no_kill_budget_still_explores_both_shards():
+    result = explore(ModelConfig(n_shards=2, n_cycles=2, kill_budget=0))
+    assert result.ok and result.completed_runs > 0
+
+
+def test_small_replay_buffer_degrades_loudly_not_wrongly():
+    """A 1-frame replay buffer cannot cover a kill, so recoveries are
+    lossy — allowed (the real supervisor logs the drop) as long as no
+    record is *duplicated* and non-lossy runs stay complete."""
+    result = explore(
+        ModelConfig(n_shards=1, n_cycles=3, kill_budget=1, replay_frames=1)
+    )
+    assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# seeded bugs: the checker must catch every one, with a readable trace
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("bug", sorted(BUGS))
+def test_every_seeded_bug_is_caught(bug):
+    cfg = SMALL._replace(bug=bug)
+    result = explore(cfg)
+    assert result.violations, f"seeded bug {bug!r} went undetected"
+    violation = result.violations[0]
+    assert violation.invariant in INVARIANTS
+    assert violation.message
+    # the trace replays to a numbered human-readable schedule
+    text = render_trace(cfg, violation.trace)
+    assert "shard0" in text
+    for step in range(1, len(violation.trace) + 1):
+        assert f"{step}." in text
+
+
+def test_commit_before_write_is_a_publish_before_read_violation():
+    cfg = SMALL._replace(bug="commit_before_write")
+    result = explore(cfg)
+    assert result.violations[0].invariant == "publish-before-read"
+    text = render_trace(cfg, result.violations[0].trace)
+    assert "<-- violation fires here" in text
+
+
+def test_no_replay_loses_records_exactly_once_catches_it():
+    result = explore(SMALL._replace(bug="no_replay"))
+    assert result.violations[0].invariant == "exactly-once"
+
+
+def test_no_result_truncation_duplicates_records():
+    result = explore(SMALL._replace(bug="no_result_truncation"))
+    assert result.violations[0].invariant == "exactly-once"
+    assert "not truncated" in result.violations[0].message
+
+
+def test_reset_with_live_peer_trips_reset_liveness():
+    result = explore(SMALL._replace(bug="reset_with_live_peer"))
+    assert result.violations[0].invariant == "reset-liveness"
+
+
+def test_trace_tail_elides_long_prefixes():
+    cfg = SMALL._replace(bug="no_replay")
+    violation = explore(cfg).violations[0]
+    if len(violation.trace) <= 3:
+        pytest.skip("trace too short to elide")
+    text = render_trace(cfg, violation.trace, tail=3)
+    assert "elided" in text or "..." in text
+    full = render_trace(cfg, violation.trace, tail=0)
+    assert len(full.splitlines()) >= len(violation.trace)
+
+
+def test_collect_all_reports_each_invariant_once():
+    result = explore(
+        SMALL._replace(bug="no_replay"), first_violation=False
+    )
+    invariants = [v.invariant for v in result.violations]
+    assert invariants and len(invariants) == len(set(invariants))
+
+
+# ---------------------------------------------------------------------------
+# partial-order reduction: same verdict and state set, fewer transitions
+# ---------------------------------------------------------------------------
+def test_por_preserves_verdict_and_state_set_on_clean_config():
+    cfg = ModelConfig(n_shards=2, n_cycles=2, kill_budget=1)
+    with_por = explore(cfg, por=True)
+    without = explore(cfg, por=False)
+    assert with_por.ok and without.ok
+    assert with_por.states == without.states
+    assert with_por.completed_runs == without.completed_runs
+    assert with_por.transitions < without.transitions
+
+
+@pytest.mark.parametrize("bug", sorted(BUGS))
+def test_por_never_masks_a_seeded_bug(bug):
+    cfg = SMALL._replace(bug=bug)
+    assert explore(cfg, por=True).violations
+    assert explore(cfg, por=False).violations
+
+
+# ---------------------------------------------------------------------------
+# model plumbing + the CLI
+# ---------------------------------------------------------------------------
+def test_unknown_bug_name_is_rejected():
+    with pytest.raises(ValueError):
+        ProtocolModel(SMALL._replace(bug="not_a_bug"))
+
+
+def test_max_states_valve_truncates_exploration():
+    result = explore(
+        ModelConfig(n_shards=2, n_cycles=2, kill_budget=1),
+        max_states=50,
+    )
+    assert result.states <= 51  # the valve trips after insertion
+
+
+def test_cli_selftest_passes_and_names_every_bug(capsys):
+    assert verify_main(["--selftest"]) == 0
+    out = capsys.readouterr().out
+    for bug in BUGS:
+        assert bug in out
+    assert "MISSED" not in out
+
+
+def test_cli_clean_config_exits_zero(capsys):
+    assert verify_main(["--shards", "1", "--cycles", "2"]) == 0
+    assert "[ok]" in capsys.readouterr().out
+
+
+def test_cli_seeded_bug_prints_trace_and_exits_zero(capsys):
+    # exploring a seeded bug: finding the violation IS the success case
+    assert verify_main(["--bug", "no_replay", "--cycles", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "[VIOLATION]" in out
+    assert "invariant violated: exactly-once" in out

@@ -1,0 +1,199 @@
+"""Runtime sanitizer test suite (``REPRO_SANITIZE=1``).
+
+Unit-level coverage of the observer shims in ``repro.verify.sanitizer``
+(each must accept the legal protocol and raise ``SanitizerError`` on
+the model's seeded-bug shapes), plus the integration contract on
+``SharedRing``: sanitizer-off attaches nothing (zero-overhead path),
+sanitizer-on instruments normal use silently and catches out-of-band
+cursor stores.  The full kill-recovery chaos suite runs under
+``REPRO_SANITIZE=1`` in the CI ``verify`` job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.buffers import SharedRing
+from repro.verify.sanitizer import (
+    ENV_VAR,
+    CheckpointObserver,
+    FrameSeqChecker,
+    RingObserver,
+    SanitizerError,
+    assert_recover,
+    sanitize_enabled,
+)
+
+
+# ---------------------------------------------------------------------------
+# RingObserver
+# ---------------------------------------------------------------------------
+def test_ring_observer_accepts_legal_publish_release_interleaving():
+    obs = RingObserver("fixture", capacity=4)
+    obs.on_publish(0, 2, 0)   # tail 0 -> 2
+    obs.on_release(0, 1, 2)   # head 0 -> 1
+    obs.on_publish(2, 2, 1)   # tail 2 -> 4 (ring holds 3 <= 4)
+    obs.on_release(1, 3, 4)   # head 1 -> 4, drained
+    assert obs.publishes == 2 and obs.releases == 2
+
+
+def test_ring_observer_catches_out_of_band_tail_store():
+    obs = RingObserver("fixture", capacity=4)
+    obs.on_publish(0, 1, 0)
+    with pytest.raises(SanitizerError, match="CONC006"):
+        obs.on_publish(5, 1, 0)  # tail jumped 1 -> 5 outside push
+
+
+def test_ring_observer_catches_out_of_band_head_store():
+    obs = RingObserver("fixture", capacity=4)
+    obs.on_release(0, 1, 2)
+    with pytest.raises(SanitizerError, match="CONC006"):
+        obs.on_release(3, 1, 4)  # head jumped 1 -> 3 outside pop
+
+
+def test_ring_observer_catches_publish_before_read():
+    obs = RingObserver("fixture", capacity=8)
+    # consumer releases past the tail it observed: it read slots the
+    # producer never published — the live torn-frame bug
+    with pytest.raises(SanitizerError, match="publish-before-read"):
+        obs.on_release(0, 3, 2)
+
+
+def test_ring_observer_catches_consumer_past_published_tail():
+    obs = RingObserver("fixture", capacity=8)
+    with pytest.raises(SanitizerError, match="past"):
+        obs.on_publish(0, 1, 5)  # head sample 5 > new tail 1
+
+
+def test_ring_observer_catches_capacity_overrun_and_peer_regression():
+    obs = RingObserver("fixture", capacity=2)
+    with pytest.raises(SanitizerError, match="capacity"):
+        obs.on_publish(0, 3, 0)
+    obs = RingObserver("fixture", capacity=8)
+    obs.on_publish(0, 2, 1)
+    with pytest.raises(SanitizerError, match="regressed"):
+        obs.on_publish(2, 1, 0)  # peer head went 1 -> 0
+
+
+def test_ring_observer_reset_rearms_for_new_epoch():
+    obs = RingObserver("fixture", capacity=4)
+    obs.on_publish(0, 3, 0)
+    with pytest.raises(SanitizerError):
+        obs.on_reset(owner=False)
+    obs.on_reset(owner=True)
+    obs.on_publish(0, 1, 0)  # cursors legitimately restart at zero
+    assert obs.resets == 2
+
+
+# ---------------------------------------------------------------------------
+# FrameSeqChecker / CheckpointObserver / assert_recover
+# ---------------------------------------------------------------------------
+def test_frame_seq_checker_accepts_increasing_and_rejects_duplicates():
+    chk = FrameSeqChecker(shard=0)
+    chk.on_frame([0, 1, 2])
+    with pytest.raises(SanitizerError, match="exactly-once"):
+        chk.on_frame([2])
+    assert chk.checked == 4
+
+
+def test_frame_seq_checker_restore_floor_blocks_refolded_seqs():
+    chk = FrameSeqChecker(shard=1, floor=5)
+    with pytest.raises(SanitizerError, match="already folded"):
+        chk.on_frame([5])
+    chk.on_restore(7)
+    chk.on_frame([8, 9])
+    with pytest.raises(SanitizerError):
+        chk.on_frame([7])
+
+
+def test_checkpoint_observer_monotone_packs_and_restores():
+    obs = CheckpointObserver()
+    obs.on_pack(1)
+    obs.on_pack(2)
+    with pytest.raises(SanitizerError, match="regressed"):
+        obs.on_pack(2)
+    obs.on_restore(2)  # restoring the snapshot we packed is fine
+    with pytest.raises(SanitizerError, match="behind"):
+        obs.on_restore(1)
+
+
+def test_assert_recover_accepts_the_model_recover_shape():
+    assert_recover(
+        shard=0, ckpt_cycle=2, kept_block_tags=[0, 1, 2],
+        replay_tags=[2, 3], worker_alive=False,
+    )
+
+
+def test_assert_recover_rejects_seeded_bug_shapes():
+    with pytest.raises(SanitizerError, match="double-count"):
+        assert_recover(0, 2, kept_block_tags=[1, 3],
+                       replay_tags=[2], worker_alive=False)
+    with pytest.raises(SanitizerError, match="already folded"):
+        assert_recover(0, 2, kept_block_tags=[1],
+                       replay_tags=[1, 2], worker_alive=False)
+    with pytest.raises(SanitizerError, match="alive"):
+        assert_recover(0, 2, kept_block_tags=[],
+                       replay_tags=[], worker_alive=True)
+
+
+# ---------------------------------------------------------------------------
+# SharedRing integration: the env-gated hook
+# ---------------------------------------------------------------------------
+DT = np.dtype([("a", np.int64), ("b", np.float64)])
+
+
+def _block(n: int) -> np.ndarray:
+    out = np.zeros(n, dtype=DT)
+    out["a"] = np.arange(n)
+    return out
+
+
+def _roundtrip(ring: SharedRing) -> None:
+    ring.push(_block(3))
+    got = ring.pop()
+    assert len(got) == 3 and got["a"].tolist() == [0, 1, 2]
+
+
+def test_ring_without_sanitizer_attaches_no_observer(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert not sanitize_enabled()
+    ring = SharedRing(DT, capacity=8)
+    try:
+        assert ring._observer is None
+        _roundtrip(ring)
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_with_sanitizer_observes_normal_use_silently(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+    assert sanitize_enabled()
+    ring = SharedRing(DT, capacity=8)
+    try:
+        assert ring._observer is not None
+        _roundtrip(ring)
+        assert ring._observer.publishes == 1
+        assert ring._observer.releases == 1
+        ring.reset()
+        assert ring._observer.resets == 1
+        _roundtrip(ring)  # post-reset epoch is clean too
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def test_ring_with_sanitizer_catches_out_of_band_cursor_store(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+    ring = SharedRing(DT, capacity=8)
+    try:
+        _roundtrip(ring)
+        # the CONC006 bug, live: a cursor store outside SharedRing
+        # methods (legal here — this test module is outside repro.*)
+        ring._tail[0] = 5
+        with pytest.raises(SanitizerError, match="outside push"):
+            ring.push(_block(1))
+    finally:
+        ring.close()
+        ring.unlink()
