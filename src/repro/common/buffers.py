@@ -39,10 +39,12 @@ __all__ = [
     "FRAME_DATA",
     "FRAME_CYCLE",
     "FRAME_EOF",
+    "FRAME_SWAP",
     "FRAME_MAGIC",
     "FRAME_HEADER_DTYPE",
     "FRAME_HEADER_BYTES",
     "pack_frame",
+    "pack_blob_frame",
     "read_frame_header",
     "unpack_frame_payload",
 ]
@@ -563,6 +565,13 @@ class SharedRing:
 FRAME_DATA = 0
 FRAME_CYCLE = 1
 FRAME_EOF = 2
+#: Control frame carrying an opaque byte blob instead of records —
+#: the model-lifecycle hot-swap barrier: ``seq_base`` is repurposed as
+#: the swap epoch, ``count`` is always 0, and the payload is the packed
+#: panel blob.  Because it rides the same ordered SPSC byte stream as
+#: the data frames, every consumer installs the new panel at exactly
+#: the same CYCLE boundary the coordinator broadcast it at.
+FRAME_SWAP = 3
 
 #: ``"FRM1"`` little-endian — catches desynchronized reads immediately.
 FRAME_MAGIC = 0x314D5246
@@ -638,6 +647,27 @@ def pack_frame(kind: int, seqs: np.ndarray, records: np.ndarray) -> np.ndarray:
     return frame
 
 
+def pack_blob_frame(kind: int, tag: int, blob: bytes) -> np.ndarray:
+    """Pack a control frame whose payload is an opaque byte blob.
+
+    ``tag`` travels in the header's ``seq_base`` field (for
+    :data:`FRAME_SWAP` it is the swap epoch); ``count`` is 0, so the
+    generic seq/record unpack never touches the payload — consumers
+    branch on ``kind`` first and interpret the blob themselves.
+    """
+    payload = np.frombuffer(blob, dtype=np.uint8)
+    frame = np.empty(FRAME_HEADER_BYTES + payload.shape[0], dtype=np.uint8)
+    header = np.empty(1, dtype=FRAME_HEADER_DTYPE)
+    header["magic"] = FRAME_MAGIC
+    header["kind"] = int(kind)
+    header["count"] = 0
+    header["seq_base"] = int(tag)
+    header["payload_bytes"] = payload.shape[0]
+    frame[:FRAME_HEADER_BYTES] = header.view(np.uint8)
+    frame[FRAME_HEADER_BYTES:] = payload
+    return frame
+
+
 def read_frame_header(header_bytes: np.ndarray) -> Tuple[int, int, int, int]:
     """Validate and decode a 32-byte header popped off the ring.
 
@@ -658,7 +688,7 @@ def read_frame_header(header_bytes: np.ndarray) -> Tuple[int, int, int, int]:
             "(stream desynchronized)"
         )
     kind = int(header["kind"][0])
-    if kind not in (FRAME_DATA, FRAME_CYCLE, FRAME_EOF):
+    if kind not in (FRAME_DATA, FRAME_CYCLE, FRAME_EOF, FRAME_SWAP):
         raise FrameError(f"unknown frame kind {kind}")
     count = int(header["count"][0])
     payload_bytes = int(header["payload_bytes"][0])

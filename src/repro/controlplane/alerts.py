@@ -34,6 +34,11 @@ from repro.resilience.degradation import (  # noqa: E402  (re-export)
     ModuleHealth,
 )
 
+# Lifecycle decisions (drift WARN/ALARM, swap, rollback) are the third
+# alert family an operator consumes here; the events themselves are
+# produced by repro.lifecycle (a lower layer) and re-exported.
+from repro.lifecycle import LifecycleEvent  # noqa: E402  (re-export)
+
 __all__ = [
     "AlertSeverity",
     "Alert",
@@ -44,6 +49,7 @@ __all__ = [
     "HealthAlert",
     "HealthSink",
     "HealthLogSink",
+    "LifecycleEvent",
 ]
 
 

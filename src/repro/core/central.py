@@ -184,7 +184,10 @@ class CentralServer:
                 if self.watchdog is not None:
                     self.watchdog.failed("prediction", str(exc))
                 return len(updates)
-            self.processor.receive_predictions(key, ts_sim, wall_reg, votes, seq)
+            self.processor.receive_predictions(
+                key, ts_sim, wall_reg, votes, seq,
+                epoch=self.prediction.panel_epoch,
+            )
             self.updates_dispatched += 1
         if self.watchdog is not None and updates:
             self.watchdog.healthy("central")
@@ -243,7 +246,10 @@ class CentralServer:
                     )
                 return n
             part = live[done : done + chunk]
-            self.processor.receive_predictions_batch(part, votes[done : done + chunk])
+            self.processor.receive_predictions_batch(
+                part, votes[done : done + chunk],
+                epoch=self.prediction.panel_epoch,
+            )
             self.updates_dispatched += len(part)
             done += len(part)
         if self.watchdog is not None:

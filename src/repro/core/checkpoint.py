@@ -53,6 +53,9 @@ __all__ = [
     "CheckpointError",
     "pack_state",
     "unpack_state",
+    "pack_panel",
+    "unpack_panel",
+    "panel_content_hash",
     "snapshot_detector",
     "restore_detector",
 ]
@@ -100,6 +103,48 @@ def unpack_state(blob: bytes) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
+# model-panel blobs (lifecycle hot swap)
+# ---------------------------------------------------------------------------
+def pack_panel(
+    epoch: int, scaler: Any, models: Dict[str, Any], feature_names: Any
+) -> bytes:
+    """Serialize a retrained model panel for a swap broadcast.
+
+    Reuses the RPRCKPT1 framing, so a truncated or corrupted panel blob
+    fails the content hash instead of installing garbage models.  The
+    blob travels the shard ring as a ``FRAME_SWAP`` payload and is
+    archived by the supervisor so a worker respawned after the swap can
+    reinstall the exact generation its checkpoint names.
+    """
+    return pack_state(
+        {
+            "panel_epoch": int(epoch),
+            "scaler": scaler,
+            "models": dict(models),
+            "feature_names": list(feature_names),
+        }
+    )
+
+
+def unpack_panel(blob: bytes) -> Dict[str, Any]:
+    """Verify and deserialize a :func:`pack_panel` blob."""
+    payload = unpack_state(blob)
+    for field in ("panel_epoch", "scaler", "models", "feature_names"):
+        if field not in payload:
+            raise CheckpointError(f"panel blob missing field {field!r}")
+    return payload
+
+
+def panel_content_hash(blob: bytes) -> str:
+    """Hex content hash of a panel blob (the sha256 already embedded in
+    the RPRCKPT1 header) — the identity every shard records when it
+    installs the panel, and the value checked on restore."""
+    if len(blob) < len(MAGIC) + _HASH_BYTES or blob[: len(MAGIC)] != MAGIC:
+        raise CheckpointError("not a panel blob")
+    return blob[len(MAGIC) : len(MAGIC) + _HASH_BYTES].hex()
+
+
+# ---------------------------------------------------------------------------
 # detector-level composition
 # ---------------------------------------------------------------------------
 def snapshot_detector(
@@ -139,6 +184,14 @@ def snapshot_detector(
     gate = getattr(det, "sketch_gate", None)
     if gate is not None:
         payload["sketch"] = gate.state_snapshot()
+    # Lifecycle manager (coordinator-side subsystem, duck-typed like
+    # mitigation): drift-monitor reference, reservoir windows, swap
+    # epoch, cooldown counters and the event log ride the checkpoint so
+    # a restart resumes the train→serve→monitor→retrain loop exactly
+    # where it stopped.
+    lifecycle = getattr(det, "lifecycle", None)
+    if lifecycle is not None:
+        payload["lifecycle"] = lifecycle.state_snapshot()
     observer = _sanitizer_observer()
     if observer is not None:
         observer.on_pack(int(cycles_done))
@@ -168,6 +221,9 @@ def restore_detector(det: "AutomatedDDoSDetector", blob: bytes) -> Dict[str, Any
     gate = getattr(det, "sketch_gate", None)
     if gate is not None and "sketch" in payload:
         gate.state_restore(payload["sketch"])
+    lifecycle = getattr(det, "lifecycle", None)
+    if lifecycle is not None and "lifecycle" in payload:
+        lifecycle.state_restore(payload["lifecycle"])
     observer = _sanitizer_observer()
     if observer is not None:
         observer.on_restore(int(payload["cycles_done"]))

@@ -40,6 +40,13 @@ class PredictionEntry:
     per entry and a merge ordered by ``(seq, shard)`` is deterministic
     for any worker count.  Entries created outside a detector run (e.g.
     hand-built in tests) default to ``-1``.
+
+    ``epoch`` is the model-panel generation that served the prediction
+    (0 = the pretrained panel; each lifecycle hot swap increments it).
+    It makes swap atomicity auditable — in a merged log the epoch column
+    must be non-decreasing in cycle order, or some shard served a cycle
+    with a mixed panel.  Excluded from the canonical digest, which
+    predates it.
     """
 
     key: tuple
@@ -50,6 +57,7 @@ class PredictionEntry:
     votes: tuple
     final_decision: Optional[int]
     seq: int = -1
+    epoch: int = 0
 
     @property
     def latency_ns(self) -> int:
@@ -68,6 +76,7 @@ class PredictionEntry:
         votes: tuple,
         final_decision: Optional[int],
         seq: int = -1,
+        epoch: int = 0,
     ) -> "PredictionEntry":
         """Construct without the frozen-dataclass ``__init__`` overhead.
 
@@ -88,6 +97,7 @@ class PredictionEntry:
         d["votes"] = votes
         d["final_decision"] = final_decision
         d["seq"] = seq
+        d["epoch"] = epoch
         return self
 
 

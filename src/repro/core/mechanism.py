@@ -142,6 +142,12 @@ class AutomatedDDoSDetector:
         #: checkpointed with the detector, cloned into shard workers,
         #: given the end-of-run episode pass, and surfaced in stats().
         self.mitigation: Optional[Any] = None
+        #: Attached lifecycle manager (duck-typed; set by
+        #: LifecycleManager.attach_to — same layering rule as
+        #: mitigation).  When present, the batched run loop hands it
+        #: every delivered CYCLE slice for drift checks, and its drift/
+        #: reservoir/swap state rides the detector checkpoint.
+        self.lifecycle: Optional[Any] = None
         flow_table = FlowTable(max_flows=max_flows, wrap_aware=wrap_aware)
         self.db = FlowDatabase(
             flow_table, fast_poll=fast_poll, skip_new_flows=skip_new_flows
@@ -162,6 +168,7 @@ class AutomatedDDoSDetector:
             bundle.models,
             bundle.feature_names,
             on_quarantine=self._on_quarantine,
+            on_reinstate=self._on_reinstate,
         )
         self.central = CentralServer(
             self.db,
@@ -195,6 +202,23 @@ class AutomatedDDoSDetector:
             "prediction", state,
             f"model {name!r} quarantined ({reason}); {n_active} member(s) left",
         )
+
+    def _on_reinstate(self, name: str, n_active: int) -> None:
+        """Recovery-side twin of :meth:`_on_quarantine`: the control
+        plane sees HEALTHY when the full panel is back, DEGRADED while
+        some members remain quarantined."""
+        if self.prediction.quarantined:
+            self.watchdog.degraded(
+                "prediction",
+                f"model {name!r} reinstated; "
+                f"{len(self.prediction.quarantined)} still quarantined",
+            )
+        else:
+            self.watchdog.healthy(
+                "prediction",
+                f"model {name!r} reinstated; full panel restored "
+                f"({n_active} member(s))",
+            )
 
     # ------------------------------------------------------------------
     # execution modes
@@ -265,18 +289,47 @@ class AutomatedDDoSDetector:
             )
         if batched is not None:
             self.central.batched = bool(batched)
+        if self.lifecycle is not None and not self.central.batched:
+            raise ValueError(
+                "the lifecycle manager requires the batched run mode "
+                "(drift windows are cut at CYCLE slice boundaries)"
+            )
         if self.central.batched:
+            # With a lifecycle manager the loop needs the *delivered*
+            # (post-chaos) records of each slice: faults are applied on
+            # the coordinator side via transform_batch — the exact same
+            # RNG walk feed_batch performs — and the delivered slice is
+            # both ingested and handed to the drift monitor.  This is
+            # what the sharded coordinator does too, so drift windows
+            # (and any swap they trigger) are identical for any worker
+            # count.
+            lifecycle_transform = (
+                self.lifecycle is not None and self.fault_injector is not None
+            )
             for start in range(0, records.shape[0], poll_every):
                 chunk = records[start : start + poll_every]
-                self.collection.feed_batch(chunk)
+                if lifecycle_transform:
+                    assert self.fault_injector is not None
+                    delivered = self.fault_injector.transform_batch(chunk)
+                    self._collection_inner.feed_batch(delivered)
+                else:
+                    delivered = chunk
+                    self.collection.feed_batch(chunk)
                 if chunk.shape[0] == poll_every:
                     if self.sketch_gate is not None:
                         self.sketch_gate.end_window()
                     self.central.cycle(max_updates=cycle_budget)
                     if self.mitigation is not None:
                         self.mitigation.on_cycle()
+                    if self.lifecycle is not None:
+                        self.lifecycle.on_slice(delivered)
             if self.fault_injector is not None:
-                self.fault_injector.flush(batched=True)
+                if lifecycle_transform:
+                    tail = self.fault_injector.transform_flush()
+                    if tail.shape[0]:
+                        self._collection_inner.feed_batch(tail)
+                else:
+                    self.fault_injector.flush(batched=True)
             self.central.drain(batch=cycle_budget)
             if self.mitigation is not None:
                 self.mitigation.finish_run(self.db)
@@ -351,6 +404,7 @@ class AutomatedDDoSDetector:
             "predictions_served": self.prediction.predictions_served,
             "quarantined_models": dict(self.prediction.quarantined),
             "active_models": self.prediction.active_model_names,
+            "panel_epoch": self.prediction.panel_epoch,
             "health": self.watchdog.snapshot(),
             "overall_health": self.watchdog.worst.name,
         }
@@ -363,6 +417,8 @@ class AutomatedDDoSDetector:
             out["supervision"] = dict(self.supervision_stats)
         if self.mitigation is not None:
             out["mitigation"] = self.mitigation.stats()
+        if self.lifecycle is not None:
+            out["lifecycle"] = self.lifecycle.stats()
         if self.sketch_gate is not None:
             out["sketch"] = self._sketch_stats()
         return out

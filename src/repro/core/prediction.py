@@ -34,6 +34,9 @@ class PredictionUnavailableError(RuntimeError):
 #: Quarantine callback signature: ``(model_name, reason, n_active_left)``.
 QuarantineHook = Callable[[str, str, int], None]
 
+#: Reinstate callback signature: ``(model_name, n_active_now)``.
+ReinstateHook = Callable[[str, int], None]
+
 
 class PredictionModule:
     """Scaler + pre-trained model panel.
@@ -55,6 +58,10 @@ class PredictionModule:
     on_quarantine : callable(name, reason, n_active_left), optional
         Observer invoked when a member is quarantined (the mechanism
         wires this to its watchdog).
+    on_reinstate : callable(name, n_active_now), optional
+        Observer invoked when a quarantined member rejoins the quorum —
+        the recovery-side twin of ``on_quarantine``, so the control
+        plane sees the HEALTHY transition too.
     """
 
     def __init__(
@@ -64,6 +71,7 @@ class PredictionModule:
         feature_names: Sequence[str],
         failure_threshold: int = 3,
         on_quarantine: Optional[QuarantineHook] = None,
+        on_reinstate: Optional[ReinstateHook] = None,
     ) -> None:
         if not models:
             raise ValueError("need at least one model")
@@ -81,9 +89,17 @@ class PredictionModule:
         self.feature_names = list(feature_names)
         self.failure_threshold = int(failure_threshold)
         self.on_quarantine = on_quarantine
+        self.on_reinstate = on_reinstate
         self.predictions_served = 0
         self.model_failures: Dict[str, int] = {name: 0 for name in self.models}
         self.quarantined: Dict[str, str] = {}  # name -> reason
+        #: Model-panel generation: 0 is the pretrained panel; each
+        #: lifecycle hot swap bumps it.  ``panel_hash`` is the content
+        #: hash of the installed panel blob ("" for the pretrained one),
+        #: checked on checkpoint restore so a worker can never resume
+        #: serving with the wrong generation's models.
+        self.panel_epoch = 0
+        self.panel_hash = ""
 
     @property
     def model_names(self) -> List[str]:
@@ -114,9 +130,78 @@ class PredictionModule:
 
     def reinstate(self, name: str) -> None:
         """Return a quarantined member to the quorum (e.g. after a
-        model reload); clears its strike count."""
-        self.quarantined.pop(name, None)
+        model reload); clears its strike count.  Unknown names raise
+        ``KeyError``, symmetric with :meth:`quarantine` — silently
+        accepting a typo here would leave an operator convinced a dead
+        member was back in the quorum.  Reinstating a member that is
+        not quarantined is an idempotent no-op (no hook fires)."""
+        if name not in self.models:
+            raise KeyError(f"unknown model: {name!r}")
+        was_quarantined = self.quarantined.pop(name, None) is not None
         self.model_failures[name] = 0
+        if was_quarantined and self.on_reinstate is not None:
+            self.on_reinstate(name, len(self.active_model_names))
+
+    # ------------------------------------------------------------------
+    # model lifecycle (hot swap)
+    # ------------------------------------------------------------------
+    def swap_panel(
+        self,
+        scaler: StandardScaler,
+        models: Dict[str, object],
+        epoch: int,
+        panel_hash: str,
+        feature_names: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Atomically install a retrained panel (lifecycle hot swap).
+
+        Validates the replacement like the constructor does, then
+        replaces scaler + models and **resets the failure-isolation
+        state** — strikes and quarantine reasons belong to the outgoing
+        generation's models, and carrying them over would quarantine a
+        fresh member for its predecessor's sins.  ``epoch`` must
+        strictly increase; ``panel_hash`` is the content hash of the
+        panel blob the swap was broadcast as.
+        """
+        names = list(feature_names) if feature_names is not None \
+            else self.feature_names
+        if not models:
+            raise ValueError("need at least one model")
+        if scaler.n_features_ is None:
+            raise ValueError("scaler must be fitted")
+        if scaler.n_features_ != len(names):
+            raise ValueError(
+                f"scaler has {scaler.n_features_} features, schema has "
+                f"{len(names)}"
+            )
+        if int(epoch) <= self.panel_epoch:
+            raise ValueError(
+                f"swap epoch must increase: {epoch} <= {self.panel_epoch}"
+            )
+        self.scaler = scaler
+        self.models = dict(models)
+        self.feature_names = names
+        self.model_failures = {name: 0 for name in self.models}
+        self.quarantined = {}
+        self.panel_epoch = int(epoch)
+        self.panel_hash = str(panel_hash)
+
+    def load_panel(
+        self, scaler: StandardScaler, models: Dict[str, object]
+    ) -> None:
+        """Replace the model objects *without* touching lifecycle state.
+
+        Restore-path twin of :meth:`swap_panel`: a respawned worker's
+        checkpoint carries ``panel_epoch``/``panel_hash``/quarantine
+        state but not the (immutable) model objects, which the
+        supervisor supplies from its panel archive.  The caller is
+        responsible for verifying the archive blob's content hash
+        against the restored ``panel_hash`` first.
+        """
+        if not models:
+            raise ValueError("need at least one model")
+        self.scaler = scaler
+        self.models = dict(models)
 
     def _vote_of(self, name: str, model: object, x: np.ndarray) -> Optional[int]:
         """One member's vote, or None if the member misbehaved."""
@@ -199,12 +284,16 @@ class PredictionModule:
             "predictions_served": self.predictions_served,
             "model_failures": dict(self.model_failures),
             "quarantined": dict(self.quarantined),
+            "panel_epoch": self.panel_epoch,
+            "panel_hash": self.panel_hash,
         }
 
     def state_restore(self, state: dict) -> None:
         self.predictions_served = int(state["predictions_served"])
         self.model_failures = dict(state["model_failures"])
         self.quarantined = dict(state["quarantined"])
+        self.panel_epoch = int(state.get("panel_epoch", 0))
+        self.panel_hash = str(state.get("panel_hash", ""))
 
     # ------------------------------------------------------------------
     # observability
@@ -218,4 +307,6 @@ class PredictionModule:
             "active_models": self.active_model_names,
             "quarantined_models": dict(self.quarantined),
             "model_failures": dict(self.model_failures),
+            "panel_epoch": self.panel_epoch,
+            "panel_hash": self.panel_hash,
         }

@@ -273,8 +273,12 @@ class DataProcessor:
         wall_registered_ns: int,
         votes: np.ndarray,
         seq: int = -1,
+        epoch: int = 0,
     ) -> PredictionEntry:
-        """Aggregate model votes, apply the sliding window, store."""
+        """Aggregate model votes, apply the sliding window, store.
+
+        ``epoch`` is the model-panel generation that produced ``votes``
+        (stamped into the entry so hot-swap atomicity is auditable)."""
         label = aggregate_votes(votes)
         final = self.decision.push(key, label)
         entry = PredictionEntry(
@@ -286,6 +290,7 @@ class DataProcessor:
             votes=tuple(int(v) for v in votes),
             final_decision=final,
             seq=seq,
+            epoch=epoch,
         )
         self.db.store_prediction(entry)
         return entry
@@ -294,6 +299,7 @@ class DataProcessor:
         self,
         updates: Sequence[Tuple[tuple, int, int, int]],
         votes: np.ndarray,
+        epoch: int = 0,
     ) -> List[PredictionEntry]:
         """Batched :meth:`receive_predictions` for one dispatched cycle.
 
@@ -316,7 +322,9 @@ class DataProcessor:
         entries: List[PredictionEntry] = []
         for (key, ts_sim, wall_reg, seq), label, row in zip(updates, labels, vote_rows):
             final = push(key, label)
-            entry = fast(key, ts_sim, wall_reg, clock(), label, tuple(row), final, seq)
+            entry = fast(
+                key, ts_sim, wall_reg, clock(), label, tuple(row), final, seq, epoch
+            )
             store(entry)
             entries.append(entry)
         return entries

@@ -39,7 +39,11 @@ consuming slots:
   pipe, and trims them from its in-memory log — so worker memory *and*
   checkpoint size stay O(flows) instead of O(stream);
 * ``FRAME_EOF``   — end of stream (always empty): the worker drains
-  its backlog, ships the final result block, and exits.
+  its backlog, ships the final result block, and exits;
+* ``FRAME_SWAP``  — a lifecycle hot-swap barrier: the payload is an
+  RPRCKPT1-framed model-panel blob, broadcast to every ring between
+  two CYCLE frames, so each worker installs the new generation at the
+  same global cycle boundary (see :mod:`repro.lifecycle`).
 
 Fault injection runs at the coordinator on the *unified* stream
 (:meth:`~repro.resilience.chaos.FaultInjector.transform_batch`), before
@@ -110,8 +114,10 @@ from repro.common.buffers import (
     FRAME_DATA,
     FRAME_EOF,
     FRAME_HEADER_BYTES,
+    FRAME_SWAP,
     PeerDead,
     SharedRing,
+    pack_blob_frame,
     pack_frame,
     read_frame_header,
     unpack_frame_payload,
@@ -119,7 +125,13 @@ from repro.common.buffers import (
 from repro.features.keys import canonical_key_arrays, shard_arrays
 from repro.resilience.process_chaos import ProcessChaos
 
-from .checkpoint import restore_detector, snapshot_detector
+from .checkpoint import (
+    CheckpointError,
+    panel_content_hash,
+    restore_detector,
+    snapshot_detector,
+    unpack_panel,
+)
 from .database import FlowDatabase, PredictionEntry
 
 if TYPE_CHECKING:
@@ -152,6 +164,7 @@ RESULT_DTYPE = np.dtype([
     ("votes_n", "i1"),
     ("final", "i1"),
     ("seq", "i8"),
+    ("epoch", "i2"),
 ])
 
 
@@ -160,7 +173,7 @@ RESULT_DTYPE = np.dtype([
 # ---------------------------------------------------------------------------
 _ENTRY_FIELDS = operator.attrgetter(
     "key", "ts_registered_ns", "wall_registered_ns", "wall_predicted_ns",
-    "label", "votes", "final_decision", "seq",
+    "label", "votes", "final_decision", "seq", "epoch",
 )
 
 
@@ -176,7 +189,7 @@ def pack_predictions(entries: List[PredictionEntry]) -> np.ndarray:
     if n == 0:
         return out
     rows = [_ENTRY_FIELDS(e) for e in entries]
-    keys, ts, wall_reg, wall_pred, labels, votes, finals, seqs = zip(*rows)
+    keys, ts, wall_reg, wall_pred, labels, votes, finals, seqs, epochs = zip(*rows)
     karr = np.array(keys, dtype=np.int64)
     out["k0"] = karr[:, 0]
     out["k1"] = karr[:, 1]
@@ -206,6 +219,7 @@ def pack_predictions(entries: List[PredictionEntry]) -> np.ndarray:
     out["votes_n"] = vns
     out["final"] = [-1 if f is None else int(f) for f in finals]
     out["seq"] = seqs
+    out["epoch"] = epochs
     return out
 
 
@@ -234,6 +248,7 @@ def unpack_predictions(packed: np.ndarray) -> List[PredictionEntry]:
     vns = packed["votes_n"].tolist()
     finals = packed["final"].tolist()
     seqs = packed["seq"].tolist()
+    epochs = packed["epoch"].tolist()
     vcache: Dict[Tuple[int, int], tuple] = {}
     append = out.append
     for i in range(n):
@@ -253,6 +268,7 @@ def unpack_predictions(packed: np.ndarray) -> List[PredictionEntry]:
             votes,
             None if final < 0 else final,
             seqs[i],
+            epochs[i],
         ))
     return out
 
@@ -278,6 +294,57 @@ def prediction_log_digest(db: FlowDatabase) -> str:
 # ---------------------------------------------------------------------------
 # worker
 # ---------------------------------------------------------------------------
+def _install_swap(det: "AutomatedDDoSDetector", blob: bytes) -> None:
+    """Install a broadcast panel blob into a worker's serving module.
+
+    Idempotent on replay: a respawned worker whose checkpoint already
+    carries the swapped generation (reinstalled from the spec's panel
+    archive) sees the replayed ``FRAME_SWAP`` again and must skip it —
+    ``swap_panel`` requires a strictly increasing epoch, so a stale
+    frame is a no-op instead of an error.
+    """
+    payload = unpack_panel(blob)
+    epoch = int(payload["panel_epoch"])
+    if epoch <= det.prediction.panel_epoch:
+        return
+    det.prediction.swap_panel(
+        payload["scaler"],
+        payload["models"],
+        epoch,
+        panel_content_hash(blob),
+        feature_names=payload["feature_names"],
+    )
+
+
+def _reinstall_checkpointed_panel(
+    det: "AutomatedDDoSDetector", panels: Dict[int, bytes]
+) -> None:
+    """After a checkpoint restore, put the *models* of the serving
+    generation back (checkpoints carry epoch + content hash, never the
+    model objects — those live in the supervisor's panel archive).
+    A missing or hash-mismatched archive entry is a loud
+    :class:`CheckpointError`: serving the wrong generation's models
+    would silently diverge the merged log.
+    """
+    epoch = det.prediction.panel_epoch
+    if epoch <= 0:
+        return
+    blob = panels.get(epoch)
+    if blob is None:
+        raise CheckpointError(
+            f"checkpoint names panel epoch {epoch} but the worker spec's "
+            f"panel archive only has epochs {sorted(panels)}"
+        )
+    got = panel_content_hash(blob)
+    if det.prediction.panel_hash and got != det.prediction.panel_hash:
+        raise CheckpointError(
+            f"panel archive hash {got} != checkpointed serving hash "
+            f"{det.prediction.panel_hash} for epoch {epoch}"
+        )
+    payload = unpack_panel(blob)
+    det.prediction.load_panel(payload["scaler"], payload["models"])
+
+
 def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
     """Worker entry point: consume framed telemetry until EOF.
 
@@ -338,6 +405,7 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
         payload = restore_detector(det, restore_blob)
         cycles_done = int(payload["cycles_done"])
         last_seq = int(payload["last_seq"])
+        _reinstall_checkpointed_panel(det, spec.get("panels") or {})
 
     seq_checker: Optional[Any] = None
     if os.environ.get("REPRO_SANITIZE") == "1":
@@ -382,6 +450,17 @@ def _shard_worker_main(spec: Dict[str, Any], conn: "Connection") -> None:
                 FRAME_HEADER_BYTES, timeout=timeout_s, peer_alive=alive
             )
             kind, count, _seq_base, payload_bytes = read_frame_header(header)
+            if kind == FRAME_SWAP:
+                # Panel blob, not records: consume the payload before
+                # the generic seq/record unpack (count is 0 here) and
+                # switch generations at this exact frame position —
+                # between the CYCLE that triggered the swap and the
+                # next one, the same boundary on every shard.
+                blob_arr = ring.pop_exact(
+                    payload_bytes, timeout=timeout_s, peer_alive=alive
+                )
+                _install_swap(det, blob_arr.tobytes())
+                continue
             if payload_bytes:
                 payload = ring.pop_exact(
                     payload_bytes, timeout=timeout_s, peer_alive=alive
@@ -571,11 +650,17 @@ class Supervisor:
         self._progress_ns: List[int] = []
         self._respawns: List[int] = []
         self.cycles_sent = 0
+        # Panel archive: every broadcast generation's blob, keyed by
+        # epoch.  Respawned workers get the whole archive in their spec
+        # so a checkpoint naming a post-swap generation can reinstall
+        # the exact models (hash-checked).
+        self._panels: Dict[int, bytes] = {}
         # Counters for mechanism.stats().
         self.workers_died = 0
         self.workers_respawned = 0
         self.checkpoints_taken = 0
         self.lossy_recoveries = 0
+        self.swap_broadcasts = 0
         self.replay_dropped_records = 0
         self.restore_latencies_s: List[float] = []
         self._empty_seqs = np.empty(0, dtype=np.int64)
@@ -622,6 +707,7 @@ class Supervisor:
             "hang_at_cycle": hang_at,
             "parent_pid": os.getpid(),
             "mitigation": self._mitigation_spec(),
+            "panels": dict(self._panels),
         }
         proc = self._ctx.Process(
             target=_shard_worker_main,
@@ -941,6 +1027,27 @@ class Supervisor:
                     self._kill(shard)
         self._pump()
 
+    def broadcast_swap(self, epoch: int, blob: bytes) -> None:
+        """Broadcast a panel generation to every shard at the current
+        CYCLE boundary (the swap barrier).
+
+        Called right after the CYCLE frames for slice *k* were
+        dispatched, so the swap frame sits between CYCLE *k* and CYCLE
+        *k*+1 on every ring — each worker's ordered frame stream makes
+        it install the panel at the same global boundary.  The frame is
+        replay-tagged like any other (``tag = cycles_sent``), so a
+        worker restored from an earlier checkpoint re-receives it in
+        the right position; workers restored from a *later* checkpoint
+        skip the stale replay idempotently.  Counts zero records
+        against the replay-buffer bound (control frames are free).
+        """
+        self._panels[int(epoch)] = blob
+        self.swap_broadcasts += 1
+        frame = pack_blob_frame(FRAME_SWAP, int(epoch), blob)
+        for shard in range(self.n_shards):
+            self.send(shard, frame, tag=self.cycles_sent, n_records=0)
+        self._pump()
+
     # ------------------------------------------------------------------
     # result collection
     # ------------------------------------------------------------------
@@ -1014,6 +1121,7 @@ class Supervisor:
             "workers_respawned": self.workers_respawned,
             "checkpoints_taken": self.checkpoints_taken,
             "lossy_recoveries": self.lossy_recoveries,
+            "swap_broadcasts": self.swap_broadcasts,
             "replay_dropped_records": self.replay_dropped_records,
             "restore_latencies_s": list(self.restore_latencies_s),
         }
@@ -1103,6 +1211,7 @@ def run_sharded(
             seq_base += n
             sup.dispatch(kind, delivered, seqs)
 
+        lifecycle = getattr(detector, "lifecycle", None)
         empty = records[:0]
         for start in range(0, records.shape[0], poll_every):
             chunk = records[start : start + poll_every]
@@ -1113,6 +1222,14 @@ def run_sharded(
             if chunk.shape[0] == poll_every:
                 # Slice + barrier travel as one CYCLE frame per shard.
                 dispatch(FRAME_CYCLE, delivered)
+                if lifecycle is not None:
+                    # Drift check on the same delivered slice the
+                    # single-process loop hands its manager; a swap
+                    # decided here broadcasts at this CYCLE boundary so
+                    # every shard switches before the next cycle.
+                    cmd = lifecycle.on_slice(delivered)
+                    if cmd is not None:
+                        sup.broadcast_swap(cmd.epoch, cmd.blob)
             elif delivered.shape[0]:
                 dispatch(FRAME_DATA, delivered)
         if injector is not None:

@@ -1,0 +1,36 @@
+"""Online model lifecycle: train → serve → monitor → retrain.
+
+The paper trains its ensemble once and serves it forever; Table IV shows
+the cost — accuracy collapses silently on traffic the panel never saw.
+This package closes the loop around the live detector:
+
+* per-cycle-window PSI drift scores (:class:`repro.ml.drift.DriftMonitor`)
+  feed Watchdog alerts at WARN;
+* at ALARM, a deterministic incremental retrain runs on a bounded
+  reservoir of recent labeled windows (seeded, bit-reproducible for any
+  worker count);
+* the retrained panel is installed via an **atomic hot swap**: in the
+  sharded runtime the coordinator broadcasts the panel blob at a CYCLE
+  boundary so every shard switches generations at the same global
+  sequence number;
+* a candidate that fails to train or regresses on the holdout gate is
+  rolled back to the incumbent with a FAILED alert — never silently.
+
+See DESIGN.md §17 for the state machine and wire behavior.
+"""
+
+from .manager import (
+    LifecycleConfig,
+    LifecycleError,
+    LifecycleEvent,
+    LifecycleManager,
+    SwapCommand,
+)
+
+__all__ = [
+    "LifecycleConfig",
+    "LifecycleError",
+    "LifecycleEvent",
+    "LifecycleManager",
+    "SwapCommand",
+]

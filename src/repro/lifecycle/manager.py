@@ -1,0 +1,639 @@
+"""Lifecycle manager: drift-triggered retraining and atomic hot swap.
+
+:class:`LifecycleManager` is a coordinator-side subsystem attached to a
+detector the same way the mitigation controller is (duck-typed
+``det.lifecycle`` attribute — ``repro.core`` never imports this layer).
+The run loop hands it every delivered telemetry slice *after* the CYCLE
+that consumed it; the manager accumulates slices into check windows,
+scores them against a frozen reference distribution with per-feature
+PSI, and walks the state machine::
+
+    SERVING ──warn──▶ SERVING (Watchdog DEGRADED, drift_warn event)
+       │alarm (cooldown elapsed)
+       ▼
+    RETRAINING ──candidate regresses / training raises──▶ SERVING
+       │                 (rollback: incumbent kept, Watchdog FAILED)
+       │candidate passes holdout gate
+       ▼
+    SWAP at the next CYCLE boundary (epoch += 1, Watchdog HEALTHY)
+
+Everything is deterministic: drift windows are cut at cycle boundaries
+of the *delivered* stream (identical for any worker count — the sharded
+coordinator sees the same post-chaos slices the single-process loop
+does), retraining is seeded with ``retrain_seed + epoch``, and no wall
+clock is consulted anywhere.  The retrained panel travels as an
+RPRCKPT1-framed blob whose content hash is the panel's identity across
+swap broadcast, checkpoint, and restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    pack_panel,
+    panel_content_hash,
+    unpack_panel,
+)
+from repro.core.training import TrainedBundle, default_panel, pretrain_from_records
+from repro.features.extract import extract_features
+from repro.ml.drift import DriftMonitor
+from repro.ml.forest import RandomForestClassifier
+from repro.resilience.degradation import Watchdog
+
+__all__ = [
+    "LifecycleConfig",
+    "LifecycleError",
+    "LifecycleEvent",
+    "LifecycleManager",
+    "SwapCommand",
+]
+
+#: Record fields usable as drift features, in canonical order.  The
+#: intersection with the telemetry dtype is taken at attach time, so the
+#: same config works for INT records (all four) and sFlow samples
+#: (length + protocol only).
+DRIFT_FIELD_CANDIDATES: Tuple[str, ...] = (
+    "length",
+    "hop_latency",
+    "queue_occupancy",
+    "protocol",
+)
+
+
+class LifecycleError(RuntimeError):
+    """Lifecycle misconfiguration or an unrecoverable archive mismatch."""
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One observable lifecycle decision, in check order.
+
+    ``kind`` is one of ``reference_frozen``, ``drift_warn``,
+    ``drift_alarm``, ``retrain_skipped``, ``rollback``, ``swap``.
+    ``detail`` carries the operator-triage payload — PSI scores, the
+    top contributing features, holdout accuracies, failure reasons.
+    """
+
+    kind: str
+    check: int
+    epoch: int
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SwapCommand:
+    """A panel generation ready to broadcast to every shard.
+
+    ``blob`` is the :func:`repro.core.checkpoint.pack_panel` frame;
+    ``panel_hash`` its embedded content hash.  The sharded coordinator
+    pushes the blob as a ``FRAME_SWAP`` between two CYCLE markers so
+    all workers install it at the same global boundary.
+    """
+
+    epoch: int
+    blob: bytes
+    panel_hash: str
+
+
+@dataclass
+class LifecycleConfig:
+    """Tuning knobs for the train→serve→monitor→retrain loop.
+
+    Parameters
+    ----------
+    check_every : int
+        Drift check cadence, in full CYCLE slices.
+    min_window_records : int
+        Smallest delivered-record window worth scoring; a check whose
+        accumulated window is thinner waits for the next slice.
+    bins, warn_at, alarm_at :
+        Forwarded to :class:`~repro.ml.drift.DriftMonitor`.
+    drift_fields : sequence of str, optional
+        Telemetry record fields to monitor; defaults to the
+        intersection of :data:`DRIFT_FIELD_CANDIDATES` with the record
+        dtype at attach time.
+    reservoir_windows : int
+        Bounded FIFO of recent check windows kept as retraining data.
+    min_retrain_records : int
+        Reservoir rows required before a retrain is attempted; an alarm
+        with a thinner reservoir emits ``retrain_skipped`` instead.
+    holdout_every : int
+        Every ``holdout_every``-th reservoir row (by position) is held
+        out of training and used for the candidate-vs-incumbent gate.
+    regression_tolerance : float
+        A candidate may trail the incumbent's holdout accuracy by at
+        most this much; worse means rollback.
+    cooldown_checks : int
+        Checks to wait after any retrain attempt before alarming again
+        (retrain storms are an outage of their own).
+    retrain_seed : int
+        Base seed; generation ``e`` trains with ``retrain_seed + e``.
+    retrain_jobs : int
+        Process parallelism for the candidate forest fit (tree-chunk
+        boundaries cannot change the fitted model, so any value is
+        bit-reproducible).
+    panel : callable(seed) -> dict, optional
+        Candidate panel factories; defaults to the testbed panel.
+    label_fn : callable(records) -> labels, optional
+        Ground-truth oracle for reservoir windows.  Without it the
+        manager monitors and alarms but never retrains.
+    force_swap_at_check : int, optional
+        Force a retrain at this check index regardless of PSI — the
+        deterministic trigger the swap-equivalence suite and the bench
+        use to exercise a mid-run swap.
+    top_k : int
+        Drifted features reported in swap/rollback events.
+    """
+
+    check_every: int = 4
+    min_window_records: int = 32
+    bins: int = 10
+    warn_at: float = 0.1
+    alarm_at: float = 0.25
+    drift_fields: Optional[Sequence[str]] = None
+    reservoir_windows: int = 8
+    min_retrain_records: int = 128
+    holdout_every: int = 4
+    regression_tolerance: float = 0.02
+    cooldown_checks: int = 2
+    retrain_seed: int = 0
+    retrain_jobs: int = 1
+    panel: Optional[Callable[[int], Dict[str, Callable[[], object]]]] = None
+    label_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None
+    force_swap_at_check: Optional[int] = None
+    top_k: int = 3
+
+    def __post_init__(self) -> None:
+        if self.check_every < 1:
+            raise ValueError(f"check_every must be >= 1: {self.check_every}")
+        if self.reservoir_windows < 1:
+            raise ValueError(
+                f"reservoir_windows must be >= 1: {self.reservoir_windows}"
+            )
+        if self.holdout_every < 2:
+            raise ValueError(
+                f"holdout_every must be >= 2 (need both splits): "
+                f"{self.holdout_every}"
+            )
+        if self.cooldown_checks < 0:
+            raise ValueError(
+                f"cooldown_checks must be >= 0: {self.cooldown_checks}"
+            )
+        if self.regression_tolerance < 0:
+            raise ValueError(
+                f"regression_tolerance must be >= 0: {self.regression_tolerance}"
+            )
+
+
+def _panel_factories(
+    config: LifecycleConfig, seed: int
+) -> Dict[str, Callable[[], object]]:
+    """Candidate panel for one generation (testbed panel by default,
+    with the forest fit parallelized across ``retrain_jobs``)."""
+    if config.panel is not None:
+        return config.panel(seed)
+    panel = default_panel(seed)
+    if config.retrain_jobs != 1:
+        jobs = config.retrain_jobs
+        panel["rf"] = lambda: RandomForestClassifier(
+            n_estimators=25, max_depth=14, max_samples=20000,
+            seed=seed, n_jobs=jobs,
+        )
+    return panel
+
+
+def _bundle_accuracy(bundle: TrainedBundle, X: np.ndarray, y: np.ndarray) -> float:
+    """Majority-vote accuracy of a trained bundle on extracted features."""
+    Xs = bundle.scaler.transform(np.asarray(X, dtype=np.float64))
+    votes = np.column_stack(
+        [np.asarray(m.predict(Xs), dtype=np.int64) for m in bundle.models.values()]
+    )
+    maj = (votes.sum(axis=1) * 2 >= votes.shape[1]).astype(np.int64)
+    return float(np.mean(maj == np.asarray(y).ravel()))
+
+
+class LifecycleManager:
+    """Drift monitoring + deterministic retraining + hot swap.
+
+    Attach with :meth:`attach_to`; the detector's run loop then calls
+    :meth:`on_slice` once per full CYCLE slice of *delivered* records
+    and broadcasts any returned :class:`SwapCommand` (the sharded
+    coordinator) — single-process runs need nothing more, the manager
+    installs the new panel into the serving module itself.
+    """
+
+    def __init__(self, config: Optional[LifecycleConfig] = None) -> None:
+        self.config = config if config is not None else LifecycleConfig()
+        self._det: Optional[Any] = None
+        self.watchdog: Optional[Watchdog] = None
+        self.source: str = "int"
+        self.incumbent: Optional[TrainedBundle] = None
+        self.drift_fields: List[str] = []
+        self.monitor: Optional[DriftMonitor] = None
+        #: Current panel generation (0 = pretrained).
+        self.epoch = 0
+        #: Archive of every swapped generation's blob, keyed by epoch —
+        #: the supervisor's source of truth when a respawned worker's
+        #: checkpoint names a post-swap generation.
+        self.panels: Dict[int, bytes] = {}
+        self.slices_seen = 0
+        self.checks_done = 0
+        self.cooldown_remaining = 0
+        self.retrains = 0
+        self.rollbacks = 0
+        self.swaps = 0
+        self.events: List[LifecycleEvent] = []
+        self.last_scores: Dict[str, float] = {}
+        self._window: List[np.ndarray] = []
+        self._reservoir: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach_to(self, det: Any) -> "LifecycleManager":
+        """Register on a detector (``det.lifecycle = self``) and bind to
+        its watchdog, telemetry source, and incumbent bundle."""
+        self._det = det
+        det.lifecycle = self
+        self.watchdog = det.watchdog
+        self.source = det.source
+        self.incumbent = det.bundle
+        # drift_fields resolve lazily against the first window's dtype
+        # (so a configured field that the telemetry source lacks fails
+        # loudly in _resolve_fields, not as a numpy indexing error).
+        return self
+
+    def _resolve_fields(self, records: np.ndarray) -> List[str]:
+        names = records.dtype.names or ()
+        if self.config.drift_fields is not None:
+            missing = [f for f in self.config.drift_fields if f not in names]
+            if missing:
+                raise LifecycleError(
+                    f"drift_fields {missing} not in telemetry dtype {list(names)}"
+                )
+            return list(self.config.drift_fields)
+        fields = [f for f in DRIFT_FIELD_CANDIDATES if f in names]
+        if not fields:
+            raise LifecycleError(
+                f"no usable drift fields in telemetry dtype {list(names)}"
+            )
+        return fields
+
+    def _drift_matrix(self, records: np.ndarray) -> np.ndarray:
+        return np.column_stack(
+            [np.asarray(records[f], dtype=np.float64) for f in self.drift_fields]
+        )
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, detail: Dict[str, object]) -> LifecycleEvent:
+        ev = LifecycleEvent(
+            kind=kind, check=self.checks_done, epoch=self.epoch, detail=detail
+        )
+        self.events.append(ev)
+        return ev
+
+    def _top_features(self) -> List[Tuple[str, float]]:
+        ranked = sorted(
+            self.last_scores.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [(n, float(s)) for n, s in ranked[: self.config.top_k]]
+
+    # ------------------------------------------------------------------
+    # the cycle hook
+    # ------------------------------------------------------------------
+    def on_slice(self, records: np.ndarray) -> Optional[SwapCommand]:
+        """Fold one delivered CYCLE slice; maybe check, maybe swap.
+
+        Returns the :class:`SwapCommand` when this call produced a new
+        panel generation (already installed into the attached
+        detector's serving module) so the sharded coordinator can
+        broadcast it at the current CYCLE boundary.
+        """
+        if self._det is None:
+            raise LifecycleError("manager is not attached to a detector")
+        self.slices_seen += 1
+        if records.shape[0]:
+            self._window.append(np.array(records, copy=True))
+        if self.slices_seen % self.config.check_every != 0:
+            return None
+        pending = sum(w.shape[0] for w in self._window)
+        if pending < max(self.config.min_window_records, self.config.bins):
+            return None  # window too thin; keep accumulating
+        window = (
+            self._window[0] if len(self._window) == 1
+            else np.concatenate(self._window)
+        )
+        self._window = []
+        self.checks_done += 1
+        if self.cooldown_remaining > 0:
+            self.cooldown_remaining -= 1
+        self._reservoir.append(window)
+        if len(self._reservoir) > self.config.reservoir_windows:
+            del self._reservoir[: len(self._reservoir) - self.config.reservoir_windows]
+        if not self.drift_fields:
+            self.drift_fields = self._resolve_fields(window)
+        X = self._drift_matrix(window)
+        if self.monitor is None:
+            self.monitor = DriftMonitor(
+                self.drift_fields,
+                bins=self.config.bins,
+                warn_at=self.config.warn_at,
+                alarm_at=self.config.alarm_at,
+            ).fit(X)
+            self._emit(
+                "reference_frozen",
+                {"rows": int(X.shape[0]), "fields": list(self.drift_fields)},
+            )
+            return None
+        report = self.monitor.report(X)
+        self.last_scores = dict(report["scores"])
+        status = str(report["status"])
+        forced = (
+            self.config.force_swap_at_check is not None
+            and self.checks_done == self.config.force_swap_at_check
+        )
+        if status == "warn" and not forced:
+            self._emit(
+                "drift_warn",
+                {
+                    "worst_feature": report["worst_feature"],
+                    "worst_psi": float(report["worst_psi"]),
+                    "drifted": list(report["drifted"]),
+                },
+            )
+            if self.watchdog is not None:
+                self.watchdog.degraded(
+                    "lifecycle",
+                    f"feature drift WARN: {report['worst_feature']} "
+                    f"PSI={report['worst_psi']:.3f}",
+                )
+            return None
+        if status != "alarm" and not forced:
+            return None
+        self._emit(
+            "drift_alarm",
+            {
+                "worst_feature": report["worst_feature"],
+                "worst_psi": float(report["worst_psi"]),
+                "drifted": list(report["drifted"]),
+                "forced": forced,
+            },
+        )
+        if self.watchdog is not None:
+            self.watchdog.degraded(
+                "lifecycle",
+                f"feature drift ALARM: {report['worst_feature']} "
+                f"PSI={report['worst_psi']:.3f}",
+            )
+        if self.cooldown_remaining > 0 and not forced:
+            return None
+        return self._retrain(forced=forced)
+
+    # ------------------------------------------------------------------
+    # retraining
+    # ------------------------------------------------------------------
+    def _retrain(self, forced: bool = False) -> Optional[SwapCommand]:
+        """Train a candidate on the reservoir; swap or roll back.
+
+        Every exit is loud: a skip emits ``retrain_skipped``, a failed
+        or regressing candidate emits ``rollback`` + Watchdog FAILED,
+        success emits ``swap`` + Watchdog HEALTHY.  The incumbent keeps
+        serving throughout — there is no window where the panel is
+        neither generation.
+        """
+        cfg = self.config
+        if cfg.label_fn is None:
+            self._emit("retrain_skipped", {"reason": "no label_fn configured"})
+            if self.watchdog is not None:
+                self.watchdog.degraded(
+                    "lifecycle", "drift ALARM but no label oracle: cannot retrain"
+                )
+            return None
+        data = (
+            self._reservoir[0] if len(self._reservoir) == 1
+            else np.concatenate(self._reservoir)
+        )
+        if data.shape[0] < cfg.min_retrain_records:
+            self._emit(
+                "retrain_skipped",
+                {
+                    "reason": "reservoir too small",
+                    "rows": int(data.shape[0]),
+                    "needed": int(cfg.min_retrain_records),
+                },
+            )
+            if self.watchdog is not None:
+                self.watchdog.degraded(
+                    "lifecycle",
+                    f"drift ALARM with {data.shape[0]} reservoir rows "
+                    f"(< {cfg.min_retrain_records}): retrain deferred",
+                )
+            return None
+        self.retrains += 1
+        self.cooldown_remaining = cfg.cooldown_checks
+        candidate_epoch = self.epoch + 1
+        seed = cfg.retrain_seed + candidate_epoch
+        assert self.incumbent is not None  # set at attach
+        try:
+            labels = np.asarray(cfg.label_fn(data)).ravel().astype(np.int64)
+            if labels.shape[0] != data.shape[0]:
+                raise LifecycleError(
+                    f"label_fn returned {labels.shape[0]} labels for "
+                    f"{data.shape[0]} records"
+                )
+            idx = np.arange(data.shape[0])
+            hold = idx % cfg.holdout_every == 0
+            candidate = pretrain_from_records(
+                data[~hold],
+                labels[~hold],
+                source=self.source,
+                panel=_panel_factories(cfg, seed),
+                seed=seed,
+            )
+            hold_X = extract_features(data[hold], source=self.source).X
+            hold_y = labels[hold]
+            acc_candidate = _bundle_accuracy(candidate, hold_X, hold_y)
+            acc_incumbent = _bundle_accuracy(self.incumbent, hold_X, hold_y)
+        except Exception as exc:  # noqa: BLE001 - rollback boundary
+            self.rollbacks += 1
+            self._emit(
+                "rollback",
+                {
+                    "reason": f"retrain failed: {type(exc).__name__}: {exc}",
+                    "candidate_epoch": candidate_epoch,
+                    "top_features": self._top_features(),
+                },
+            )
+            if self.watchdog is not None:
+                self.watchdog.failed(
+                    "lifecycle",
+                    f"retrain for epoch {candidate_epoch} failed "
+                    f"({type(exc).__name__}: {exc}); incumbent panel kept",
+                )
+            return None
+        # Fit-time parallelism is an execution detail, not panel
+        # content: normalize it away so the packed blob (and therefore
+        # the panel content hash) is identical for any retrain_jobs.
+        for model in candidate.models.values():
+            if getattr(model, "n_jobs", 1) != 1:
+                model.n_jobs = 1
+        if acc_candidate < acc_incumbent - cfg.regression_tolerance:
+            self.rollbacks += 1
+            self._emit(
+                "rollback",
+                {
+                    "reason": "holdout regression",
+                    "candidate_epoch": candidate_epoch,
+                    "holdout_candidate": acc_candidate,
+                    "holdout_incumbent": acc_incumbent,
+                    "top_features": self._top_features(),
+                },
+            )
+            if self.watchdog is not None:
+                self.watchdog.failed(
+                    "lifecycle",
+                    f"candidate epoch {candidate_epoch} regressed on holdout "
+                    f"({acc_candidate:.3f} < {acc_incumbent:.3f} - "
+                    f"{cfg.regression_tolerance}); incumbent panel kept",
+                )
+            return None
+        blob = pack_panel(
+            candidate_epoch, candidate.scaler, candidate.models,
+            candidate.feature_names,
+        )
+        panel_hash = panel_content_hash(blob)
+        self.epoch = candidate_epoch
+        self.panels[candidate_epoch] = blob
+        self.incumbent = candidate
+        self._emit(
+            "swap",
+            {
+                "panel_hash": panel_hash,
+                "holdout_candidate": acc_candidate,
+                "holdout_incumbent": acc_incumbent,
+                "reservoir_rows": int(data.shape[0]),
+                "seed": seed,
+                "top_features": self._top_features(),
+            },
+        )
+        if self.watchdog is not None:
+            self.watchdog.healthy(
+                "lifecycle",
+                f"panel epoch {candidate_epoch} installed "
+                f"(holdout {acc_candidate:.3f} vs {acc_incumbent:.3f})",
+            )
+        self.swaps += 1
+        assert self._det is not None
+        self._det.prediction.swap_panel(
+            candidate.scaler, candidate.models, candidate_epoch, panel_hash,
+            feature_names=candidate.feature_names,
+        )
+        return SwapCommand(epoch=candidate_epoch, blob=blob, panel_hash=panel_hash)
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> Dict[str, Any]:
+        """Full lifecycle state as a picklable dict: drift reference,
+        reservoir, pending window, counters, event log, and the panel
+        blob archive (so a restored run can reinstall the serving
+        generation without retraining)."""
+        return {
+            "epoch": self.epoch,
+            "panels": dict(self.panels),
+            "slices_seen": self.slices_seen,
+            "checks_done": self.checks_done,
+            "cooldown_remaining": self.cooldown_remaining,
+            "retrains": self.retrains,
+            "rollbacks": self.rollbacks,
+            "swaps": self.swaps,
+            "drift_fields": list(self.drift_fields),
+            "monitor": None if self.monitor is None else self.monitor.state_snapshot(),
+            "last_scores": dict(self.last_scores),
+            "events": list(self.events),
+            "window": [np.array(w, copy=True) for w in self._window],
+            "reservoir": [np.array(w, copy=True) for w in self._reservoir],
+        }
+
+    def state_restore(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_snapshot` capture.  If the attached
+        detector's serving module names a post-swap generation, the
+        matching archived panel is reinstalled (hash-checked)."""
+        self.epoch = int(state["epoch"])
+        self.panels = dict(state["panels"])
+        self.slices_seen = int(state["slices_seen"])
+        self.checks_done = int(state["checks_done"])
+        self.cooldown_remaining = int(state["cooldown_remaining"])
+        self.retrains = int(state["retrains"])
+        self.rollbacks = int(state["rollbacks"])
+        self.swaps = int(state["swaps"])
+        self.drift_fields = list(state["drift_fields"])
+        mon = state["monitor"]
+        if mon is None:
+            self.monitor = None
+        else:
+            if self.monitor is None:
+                self.monitor = DriftMonitor(
+                    self.drift_fields,
+                    bins=self.config.bins,
+                    warn_at=self.config.warn_at,
+                    alarm_at=self.config.alarm_at,
+                )
+            self.monitor.state_restore(mon)
+        self.last_scores = dict(state["last_scores"])
+        self.events = list(state["events"])
+        self._window = [np.array(w, copy=True) for w in state["window"]]
+        self._reservoir = [np.array(w, copy=True) for w in state["reservoir"]]
+        det = self._det
+        if det is not None and det.prediction.panel_epoch > 0:
+            blob = self.panels.get(det.prediction.panel_epoch)
+            if blob is None:
+                raise CheckpointError(
+                    f"serving panel epoch {det.prediction.panel_epoch} has no "
+                    "archived blob in the lifecycle checkpoint"
+                )
+            payload = unpack_panel(blob)
+            got = panel_content_hash(blob)
+            if det.prediction.panel_hash and got != det.prediction.panel_hash:
+                raise CheckpointError(
+                    f"panel archive hash {got} != checkpointed serving hash "
+                    f"{det.prediction.panel_hash} for epoch "
+                    f"{det.prediction.panel_epoch}"
+                )
+            det.prediction.load_panel(payload["scaler"], payload["models"])
+            self.incumbent = TrainedBundle(
+                scaler=payload["scaler"],
+                models=payload["models"],
+                feature_names=list(payload["feature_names"]),
+            )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Scorecard for the detector's stats surface."""
+        return {
+            "epoch": self.epoch,
+            "checks_done": self.checks_done,
+            "retrains": self.retrains,
+            "rollbacks": self.rollbacks,
+            "swaps": self.swaps,
+            "cooldown_remaining": self.cooldown_remaining,
+            "reservoir_windows": len(self._reservoir),
+            "reservoir_rows": int(sum(w.shape[0] for w in self._reservoir)),
+            "events": [
+                {"kind": e.kind, "check": e.check, "epoch": e.epoch}
+                for e in self.events
+            ],
+            "last_scores": dict(self.last_scores),
+            "nonfinite_dropped": (
+                0 if self.monitor is None else self.monitor.nonfinite_dropped
+            ),
+        }

@@ -14,13 +14,42 @@ action required.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = ["population_stability_index", "DriftMonitor"]
 
 _EPS = 1e-6
+
+
+def _psi_profile(
+    expected: np.ndarray, bins: int
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Frozen half of a PSI comparison: decile edges of ``expected``
+    (endcapped at ±inf) and its clipped bin fractions.
+
+    Returns ``(edges, None)`` for the degenerate single-bin case.
+    """
+    edges = np.quantile(expected, np.linspace(0, 1, bins + 1))
+    edges[0], edges[-1] = -np.inf, np.inf
+    edges = np.unique(edges)  # constant features collapse to few bins
+    if edges.size < 3:
+        # degenerate: a single catch-all bin, both fractions are 1
+        return edges, None
+    e_frac = np.histogram(expected, bins=edges)[0] / expected.size
+    return edges, np.maximum(e_frac, _EPS)
+
+
+def _psi_score(
+    edges: np.ndarray, e_frac: Optional[np.ndarray], observed: np.ndarray
+) -> float:
+    """PSI of ``observed`` against a :func:`_psi_profile` capture."""
+    if e_frac is None:
+        return 0.0
+    o_frac = np.histogram(observed, bins=edges)[0] / observed.size
+    o_frac = np.maximum(o_frac, _EPS)
+    return float(np.sum((o_frac - e_frac) * np.log(o_frac / e_frac)))
 
 
 def population_stability_index(
@@ -37,17 +66,14 @@ def population_stability_index(
         raise ValueError("need non-empty samples")
     if bins < 2:
         raise ValueError(f"bins must be >= 2: {bins}")
-    edges = np.quantile(expected, np.linspace(0, 1, bins + 1))
-    edges[0], edges[-1] = -np.inf, np.inf
-    edges = np.unique(edges)  # constant features collapse to few bins
-    if edges.size < 3:
-        # degenerate: a single catch-all bin, both fractions are 1
-        return 0.0
-    e_frac = np.histogram(expected, bins=edges)[0] / expected.size
-    o_frac = np.histogram(observed, bins=edges)[0] / observed.size
-    e_frac = np.maximum(e_frac, _EPS)
-    o_frac = np.maximum(o_frac, _EPS)
-    return float(np.sum((o_frac - e_frac) * np.log(o_frac / e_frac)))
+    if not np.isfinite(expected).all() or not np.isfinite(observed).all():
+        # NaN poisons np.quantile edges and Inf collapses the histogram
+        # into the endcap bin — either way the score would be garbage
+        # presented with full confidence.  Callers filter first
+        # (DriftMonitor drops and counts non-finite rows).
+        raise ValueError("samples must be finite (no NaN/Inf)")
+    edges, e_frac = _psi_profile(expected, bins)
+    return _psi_score(edges, e_frac, observed)
 
 
 class DriftMonitor:
@@ -78,6 +104,16 @@ class DriftMonitor:
         self.warn_at = float(warn_at)
         self.alarm_at = float(alarm_at)
         self._reference: Optional[np.ndarray] = None
+        #: Per-feature (edges, e_frac) frozen at fit time so the serving
+        #: path never re-quantiles the reference on every window.
+        self._profiles: List[Tuple[np.ndarray, Optional[np.ndarray]]] = []
+        #: Live rows dropped for carrying NaN/Inf (corrupted telemetry
+        #: must not poison the PSI histograms, but the loss is counted).
+        self.nonfinite_dropped = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self._reference is not None
 
     def fit(self, X: np.ndarray) -> "DriftMonitor":
         """Freeze the training-time feature distribution."""
@@ -86,20 +122,37 @@ class DriftMonitor:
             raise ValueError("X must be (n, n_features)")
         if X.shape[0] < self.bins:
             raise ValueError("reference sample smaller than the bin count")
+        if not np.isfinite(X).all():
+            raise ValueError("reference sample must be finite (no NaN/Inf)")
         self._reference = X.copy()
+        self._profiles = [
+            _psi_profile(self._reference[:, j], self.bins)
+            for j in range(self._reference.shape[1])
+        ]
         return self
 
     def score(self, X: np.ndarray) -> Dict[str, float]:
-        """PSI per feature for a live batch."""
+        """PSI per feature for a live batch.
+
+        Rows carrying NaN/Inf are dropped (and counted in
+        :attr:`nonfinite_dropped`); an all-non-finite batch raises."""
         if self._reference is None:
             raise RuntimeError("monitor is not fitted")
         X = np.asarray(X, dtype=np.float64)
         if X.ndim != 2 or X.shape[1] != len(self.feature_names):
             raise ValueError("X must be (n, n_features)")
+        finite = np.isfinite(X).all(axis=1)
+        if not finite.all():
+            self.nonfinite_dropped += int(X.shape[0] - finite.sum())
+            X = X[finite]
+        if X.shape[0] == 0:
+            raise ValueError("every observed row was non-finite")
+        # The cached profile makes this bit-identical to calling
+        # population_stability_index(reference, X[:, j]) — same edges,
+        # same clipped fractions — without re-quantiling the reference
+        # on every serving window.
         return {
-            name: population_stability_index(
-                self._reference[:, j], X[:, j], bins=self.bins
-            )
+            name: _psi_score(*self._profiles[j], X[:, j])
             for j, name in enumerate(self.feature_names)
         }
 
@@ -120,3 +173,38 @@ class DriftMonitor:
             "scores": scores,
             "drifted": [n for n, s in scores.items() if s > self.warn_at],
         }
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Frozen reference + drop counter as a plain picklable dict.
+
+        The reference array is copied so the snapshot cannot alias a
+        monitor that is later refitted; restoring yields bit-identical
+        PSI scores for any subsequent batch (the lifecycle equivalence
+        suite depends on this riding the coordinator checkpoints)."""
+        return {
+            "reference": (
+                None if self._reference is None else self._reference.copy()
+            ),
+            "nonfinite_dropped": self.nonfinite_dropped,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Replace monitor state with a :meth:`state_snapshot` capture
+        (configuration — names, bins, thresholds — is not restored;
+        construct with the same recipe).  The PSI profiles are rebuilt
+        from the restored reference, so they are bit-identical to the
+        snapshotted monitor's without riding the checkpoint."""
+        ref = state["reference"]
+        self._reference = None if ref is None else np.array(ref, copy=True)
+        self._profiles = (
+            []
+            if self._reference is None
+            else [
+                _psi_profile(self._reference[:, j], self.bins)
+                for j in range(self._reference.shape[1])
+            ]
+        )
+        self.nonfinite_dropped = int(state["nonfinite_dropped"])

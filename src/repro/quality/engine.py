@@ -56,6 +56,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro.features",
     "repro.sketch",
     "repro.resilience",
+    "repro.lifecycle",
     "repro.mitigation",
     "repro.controlplane",
 )

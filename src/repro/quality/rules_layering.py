@@ -16,6 +16,9 @@ The package stack, lowest layer first::
     5  repro.datasets          campaign/testbed builders
     6  repro.core              the four-module detection mechanism
     7  repro.analysis          tables, figures, experiment drivers
+    7  repro.lifecycle         drift-triggered retraining + hot swap
+       (peers with analysis: both sit on core, neither imports the
+       other)
     8  repro.mitigation        rules, enforcement, the controller
     9  repro.controlplane      alerts + episode→action bridge + APIs
    10  repro.resilience.harness
@@ -68,6 +71,7 @@ LAYERS = {
     "repro.datasets": 5,
     "repro.core": 6,
     "repro.analysis": 7,
+    "repro.lifecycle": 7,
     "repro.mitigation": 8,
     "repro.controlplane": 9,
     "repro.verify": 11,

@@ -22,7 +22,12 @@ degrade or crash".  :class:`ResilienceHarness` answers both:
   additionally requires the canonical **mitigation action-log digest**
   (blocks installed, rate limits, episode escalations) to survive the
   kill byte-identically — the detect→mitigate loop, not just detection,
-  is fault-tolerant.
+  is fault-tolerant;
+* :meth:`ResilienceHarness.run_lifecycle_kill` repeats it again with
+  the online model lifecycle attached and a panel hot swap forced
+  mid-replay: the merged log, the lifecycle event sequence, and the
+  seq-monotone epoch column (swap atomicity) must all survive the kill
+  — even one landing around the swap broadcast itself.
 
 Both lean on the cached :func:`~repro.analysis.experiments.run_testbed_study`
 artifacts, so the expensive parts (campaign build, pre-training, DES
@@ -52,6 +57,7 @@ __all__ = [
     "ModelFailureReport",
     "WorkerKillReport",
     "MitigationKillReport",
+    "LifecycleKillReport",
 ]
 
 
@@ -206,6 +212,104 @@ class MitigationKillReport:
                 f"lossy={sup.get('lossy_recoveries', 0)}"
             ),
         )
+
+
+@dataclass
+class LifecycleKillReport:
+    """Outcome of a worker-kill run with a hot swap forced mid-stream."""
+
+    plan: ProcessChaos
+    shards: int
+    digest_reference: str
+    digest_recovered: str
+    epoch_final: int
+    epochs_monotone: bool
+    swap_mid_run: bool
+    swaps_reference: int
+    swaps_recovered: int
+    events_reference: List[str]
+    events_recovered: List[str]
+    supervision: dict
+    alerts: List[HealthAlert]
+    predictions: int
+
+    @property
+    def swapped_identically(self) -> bool:
+        """The acceptance property: a worker died and was respawned
+        without data loss while a panel hot swap landed mid-run, the
+        swap was atomic (seq-ordered epochs never decrease — no cycle
+        served by a mixed old/new panel on any shard), and the merged
+        prediction log is byte-identical to the unfaulted
+        single-process run with the same lifecycle."""
+        return (
+            self.digest_recovered == self.digest_reference
+            and self.epoch_final >= 1
+            and self.epochs_monotone
+            and self.swap_mid_run
+            and self.swaps_reference == self.swaps_recovered
+            and self.events_reference == self.events_recovered
+            and int(self.supervision.get("workers_died", 0)) >= 1
+            and int(self.supervision.get("workers_respawned", 0)) >= 1
+            and int(self.supervision.get("lossy_recoveries", 0)) == 0
+        )
+
+    def render(self) -> str:
+        """Terminal table of the comparison."""
+        sup = self.supervision
+        body = [
+            ("prediction digest",
+             self.digest_reference[:16], self.digest_recovered[:16],
+             "match" if self.digest_recovered == self.digest_reference
+             else "DIVERGED"),
+            ("swap events",
+             "/".join(self.events_reference) or "-",
+             "/".join(self.events_recovered) or "-",
+             "match" if self.events_reference == self.events_recovered
+             else "DIVERGED"),
+            ("swap atomicity",
+             "epochs monotone", "epochs monotone"
+             if self.epochs_monotone else "MIXED-PANEL CYCLE",
+             "ok" if self.epochs_monotone else "VIOLATED"),
+        ]
+        return render_table(
+            f"Lifecycle hot swap under worker-kill "
+            f"(shards={self.shards}, plan={self.plan.describe()})",
+            ("invariant", "reference", "recovered", "verdict"),
+            body,
+            note=(
+                f"final epoch={self.epoch_final}; workers "
+                f"died={sup.get('workers_died', 0)} "
+                f"respawned={sup.get('workers_respawned', 0)} "
+                f"lossy={sup.get('lossy_recoveries', 0)} "
+                f"swap_broadcasts={sup.get('swap_broadcasts', 0)}"
+            ),
+        )
+
+
+def _parity_labels(records: np.ndarray) -> np.ndarray:
+    """Deterministic, balanced two-class label oracle for lifecycle
+    chaos runs: position parity.  The scenario tests swap *mechanics*
+    (determinism, atomicity, recovery), not model quality, so the only
+    requirements on the oracle are that both classes appear and that
+    every execution mode computes identical labels from identical
+    reservoir contents."""
+    return np.arange(records.shape[0], dtype=np.int64) % 2
+
+
+def _epoch_profile(db) -> tuple:
+    """(epochs monotone by (seq, key), swap landed mid-run, final epoch)
+    over a merged prediction log.  Monotonicity is the atomicity check
+    in the no-backlog regime: every update registered in slice *k* is
+    predicted at cycle *k*, so a swap at a cycle boundary partitions
+    the seq axis cleanly — an epoch that *decreases* means some shard
+    served a cycle with the outgoing panel after the barrier."""
+    epochs = [
+        e.epoch for e in sorted(db.predictions, key=lambda e: (e.seq, e.key))
+    ]
+    monotone = all(a <= b for a, b in zip(epochs, epochs[1:]))
+    mid_run = bool(epochs) and epochs[0] == 0 and epochs[-1] >= 1
+    final = epochs[-1] if epochs else 0
+    return monotone, mid_run, final
 
 
 class _PoisonedModel:
@@ -470,4 +574,97 @@ class ResilienceHarness:
             mitigation_stats=stats,
             actions=int(stats.get("actions_logged", 0)),
             blocked=int(stats.get("active_blocks", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    def run_lifecycle_kill(
+        self,
+        shards: int = 2,
+        kill_seed: int = 0,
+        mode: str = "sigkill",
+        flow_type: str = "SYN Flood",
+        poll_every: int = 64,
+        cycle_budget: int = 256,
+        checkpoint_every: int = 8,
+        heartbeat_timeout_s: float = 30.0,
+        force_swap_at_check: int = 3,
+    ) -> LifecycleKillReport:
+        """Worker-kill scenario with the model lifecycle attached and a
+        hot swap forced mid-run.
+
+        Both the reference (unfaulted, single-process) and the victim
+        (sharded, killed, restored) detectors carry a
+        :class:`~repro.lifecycle.LifecycleManager` configured to retrain
+        and swap at check ``force_swap_at_check`` — the deterministic
+        stand-in for a real drift alarm, so the swap barrier lands at a
+        known cycle regardless of traffic content.  The acceptance bar:
+        byte-identical merged prediction logs, identical lifecycle
+        event sequences, seq-monotone panel epochs (swap atomicity) and
+        a clean (non-lossy) recovery of the murdered worker — even when
+        the kill lands around the swap broadcast itself.
+
+        The holdout gate is disabled (``regression_tolerance=1.0``)
+        because the parity label oracle makes candidate quality
+        meaningless here; the rollback paths have their own dedicated
+        tests on real labels.
+        """
+        from repro.core.sharding import prediction_log_digest
+        from repro.lifecycle import LifecycleConfig, LifecycleManager
+
+        clean = self._study()
+        if clean.bundle is None or flow_type not in clean.test_records:
+            raise RuntimeError("clean study lacks replay artifacts")
+        records = clean.test_records[flow_type]
+        n_cycles = max(1, records.shape[0] // poll_every)
+        plan = ProcessChaos.seeded(
+            kill_seed, n_cycles=n_cycles, n_shards=shards, modes=(mode,)
+        )
+
+        def lifecycle() -> LifecycleManager:
+            return LifecycleManager(LifecycleConfig(
+                check_every=2,
+                min_window_records=32,
+                min_retrain_records=64,
+                reservoir_windows=6,
+                holdout_every=4,
+                cooldown_checks=1,
+                regression_tolerance=1.0,
+                retrain_seed=self.seed,
+                label_fn=_parity_labels,
+                force_swap_at_check=force_swap_at_check,
+            ))
+
+        ref = AutomatedDDoSDetector(clean.bundle, batched=True)
+        mgr_ref = lifecycle().attach_to(ref)
+        db_ref = ref.run_stream(
+            records, poll_every=poll_every, cycle_budget=cycle_budget
+        )
+
+        det = AutomatedDDoSDetector(clean.bundle, batched=True)
+        mgr = lifecycle().attach_to(det)
+        db = det.run_stream(
+            records,
+            poll_every=poll_every,
+            cycle_budget=cycle_budget,
+            shards=shards,
+            checkpoint_every=checkpoint_every,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            process_chaos=plan,
+        )
+        monotone, mid_run, final = _epoch_profile(db)
+        return LifecycleKillReport(
+            plan=plan,
+            shards=shards,
+            digest_reference=prediction_log_digest(db_ref),
+            digest_recovered=prediction_log_digest(db),
+            epoch_final=final,
+            epochs_monotone=monotone,
+            swap_mid_run=mid_run,
+            swaps_reference=mgr_ref.swaps,
+            swaps_recovered=mgr.swaps,
+            events_reference=[e.kind for e in mgr_ref.events],
+            events_recovered=[e.kind for e in mgr.events],
+            supervision=dict(det.supervision_stats or {}),
+            alerts=list(det.watchdog.alerts),
+            predictions=len(db.predictions),
         )

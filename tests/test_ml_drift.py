@@ -1,0 +1,223 @@
+"""Unit + property tests for the PSI drift layer (repro.ml.drift).
+
+The lifecycle manager (PR 10) turns :class:`DriftMonitor` scores into
+retrain/swap decisions, so the score itself must be boringly solid:
+degenerate inputs (empty samples, constant features) resolve loudly or
+to exact zeros, non-finite telemetry can never poison the histograms
+silently, and a snapshot/restore cycle is bit-identical — the monitor
+state rides coordinator checkpoints and a restored run must score every
+subsequent window exactly like the uninterrupted one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.drift import DriftMonitor, population_stability_index
+
+
+# ---------------------------------------------------------------------------
+# population_stability_index
+# ---------------------------------------------------------------------------
+class TestPSI:
+    def test_identical_samples_score_zero(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500)
+        assert population_stability_index(x, x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_shifted_sample_scores_high(self):
+        rng = np.random.default_rng(1)
+        ref = rng.normal(0.0, 1.0, size=2000)
+        moved = rng.normal(3.0, 1.0, size=2000)
+        assert population_stability_index(ref, moved) > 0.25
+
+    def test_empty_samples_raise(self):
+        x = np.arange(10.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            population_stability_index(np.array([]), x)
+        with pytest.raises(ValueError, match="non-empty"):
+            population_stability_index(x, np.array([]))
+
+    def test_too_few_bins_raise(self):
+        x = np.arange(10.0)
+        with pytest.raises(ValueError, match="bins"):
+            population_stability_index(x, x, bins=1)
+
+    def test_constant_reference_is_finite(self):
+        # All decile edges coincide; the ±inf endcaps keep two bins
+        # alive, so a constant reference scores 0 against itself and a
+        # large finite value (no NaN, no divide-by-zero) against data
+        # that left the constant — which *is* drift.
+        ref = np.full(100, 7.0)
+        assert population_stability_index(ref, np.full(60, 7.0)) == \
+            pytest.approx(0.0, abs=1e-9)
+        moved = population_stability_index(ref, np.linspace(-5, 5, 100))
+        assert np.isfinite(moved) and moved > 0.25
+
+    def test_nan_in_either_sample_raises(self):
+        x = np.arange(20.0)
+        bad = x.copy()
+        bad[3] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            population_stability_index(bad, x)
+        with pytest.raises(ValueError, match="finite"):
+            population_stability_index(x, bad)
+
+    def test_inf_raises(self):
+        x = np.arange(20.0)
+        bad = x.copy()
+        bad[0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            population_stability_index(x, bad)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=10, max_size=200,
+        ),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_psi_nonnegative_and_symmetric_zero(self, data, seed):
+        ref = np.asarray(data)
+        obs = np.asarray(data)[np.random.default_rng(seed).permutation(len(data))]
+        # Same multiset in any order: identical histograms, PSI exactly 0.
+        score = population_stability_index(ref, obs)
+        assert score == pytest.approx(0.0, abs=1e-12)
+        assert score >= -1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ref=st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=20, max_size=200,
+        ),
+        obs=st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False),
+            min_size=20, max_size=200,
+        ),
+    )
+    def test_psi_finite_nonnegative(self, ref, obs):
+        score = population_stability_index(np.asarray(ref), np.asarray(obs))
+        assert np.isfinite(score)
+        # PSI is an f-divergence estimate over clipped frequencies:
+        # never meaningfully negative.
+        assert score >= -1e-9
+
+
+# ---------------------------------------------------------------------------
+# DriftMonitor
+# ---------------------------------------------------------------------------
+def _ref_matrix(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack([
+        rng.normal(1200, 50, size=n),
+        rng.integers(0, 1000, size=n).astype(np.float64),
+    ])
+
+
+class TestDriftMonitor:
+    def test_requires_features_and_sane_thresholds(self):
+        with pytest.raises(ValueError, match="at least one feature"):
+            DriftMonitor([])
+        with pytest.raises(ValueError, match="warn_at"):
+            DriftMonitor(["a"], warn_at=0.3, alarm_at=0.1)
+        with pytest.raises(ValueError, match="warn_at"):
+            DriftMonitor(["a"], warn_at=0.0)
+
+    def test_fitted_property_and_unfitted_score_raises(self):
+        mon = DriftMonitor(["length", "latency"])
+        assert not mon.fitted
+        with pytest.raises(RuntimeError, match="not fitted"):
+            mon.score(_ref_matrix())
+        mon.fit(_ref_matrix())
+        assert mon.fitted
+
+    def test_fit_rejects_wrong_shape_and_thin_reference(self):
+        mon = DriftMonitor(["a", "b"], bins=10)
+        with pytest.raises(ValueError, match="n_features"):
+            mon.fit(np.zeros((50, 3)))
+        with pytest.raises(ValueError, match="smaller than the bin count"):
+            mon.fit(np.zeros((5, 2)))
+
+    def test_fit_rejects_nonfinite_reference(self):
+        mon = DriftMonitor(["a", "b"])
+        X = _ref_matrix()
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            mon.fit(X)
+
+    def test_score_drops_and_counts_nonfinite_rows(self):
+        mon = DriftMonitor(["a", "b"]).fit(_ref_matrix())
+        live = _ref_matrix(seed=1)
+        live[0, 0] = np.nan
+        live[5, 1] = np.inf
+        scores = mon.score(live)
+        assert mon.nonfinite_dropped == 2
+        assert all(np.isfinite(v) for v in scores.values())
+        # and the counter accumulates across batches
+        mon.score(live)
+        assert mon.nonfinite_dropped == 4
+
+    def test_score_raises_when_every_row_nonfinite(self):
+        mon = DriftMonitor(["a", "b"]).fit(_ref_matrix())
+        live = np.full((8, 2), np.nan)
+        with pytest.raises(ValueError, match="non-finite"):
+            mon.score(live)
+
+    def test_report_status_ladder(self):
+        rng = np.random.default_rng(2)
+        ref = rng.normal(0, 1, size=(2000, 1))
+        mon = DriftMonitor(["x"]).fit(ref)
+        stable = mon.report(rng.normal(0, 1, size=(2000, 1)))
+        assert stable["status"] == "stable"
+        assert stable["drifted"] == []
+        alarm = mon.report(rng.normal(4, 1, size=(2000, 1)))
+        assert alarm["status"] == "alarm"
+        assert alarm["worst_feature"] == "x"
+        assert alarm["drifted"] == ["x"]
+        assert alarm["worst_psi"] > 0.25
+
+    def test_constant_feature_column_scores_zero(self):
+        ref = np.column_stack([np.full(100, 5.0), np.arange(100.0)])
+        mon = DriftMonitor(["const", "ramp"]).fit(ref)
+        live = np.column_stack([np.full(60, 5.0), np.arange(60.0) * 2])
+        scores = mon.score(live)
+        assert scores["const"] == 0.0
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore bit-identity
+    # ------------------------------------------------------------------
+    def test_snapshot_restore_scores_bit_identical(self):
+        mon = DriftMonitor(["a", "b"], bins=10).fit(_ref_matrix())
+        live = _ref_matrix(seed=3)
+        live[2, 0] = np.inf  # exercise the drop counter too
+        before = mon.score(live)
+        snap = mon.state_snapshot()
+
+        clone = DriftMonitor(["a", "b"], bins=10)
+        clone.state_restore(snap)
+        assert clone.fitted
+        assert clone.nonfinite_dropped == mon.nonfinite_dropped
+        after = clone.score(live)
+        assert before.keys() == after.keys()
+        for name in before:
+            # bit-identical, not approximately equal
+            assert before[name] == after[name]
+
+    def test_snapshot_does_not_alias_reference(self):
+        mon = DriftMonitor(["a", "b"]).fit(_ref_matrix(seed=4))
+        snap = mon.state_snapshot()
+        mon.fit(_ref_matrix(seed=5) + 100.0)  # refit mutates the monitor
+        clone = DriftMonitor(["a", "b"])
+        clone.state_restore(snap)
+        live = _ref_matrix(seed=6)
+        fresh = DriftMonitor(["a", "b"]).fit(_ref_matrix(seed=4))
+        assert clone.score(live) == fresh.score(live)
+
+    def test_unfitted_snapshot_roundtrip(self):
+        mon = DriftMonitor(["a"])
+        clone = DriftMonitor(["a"])
+        clone.state_restore(mon.state_snapshot())
+        assert not clone.fitted
